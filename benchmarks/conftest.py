@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure: it computes the
+series through the memoized experiment driver, writes an ASCII artifact
+under ``benchmarks/results/``, prints it, and asserts the *shape* the
+paper reports (who wins, rough factors, crossovers) — never absolute
+cycle counts, which depend on the simulator substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: The 11 resource-sensitive apps of paper Table 3 (Figure 13 order).
+SENSITIVE = [
+    "BLK", "CFD", "DTC", "ESP", "FDTD", "HST", "KMN", "LBM", "SPMV",
+    "STE", "STM",
+]
+
+#: The 11 resource-insensitive apps (Figure 19).
+INSENSITIVE = [
+    "BAK", "BFS", "B+T", "GAU", "LUD", "MUM", "NEED", "PTF", "PATH",
+    "SGM", "SRAD",
+]
+
+#: Apps whose default register count already matches the demand
+#: (Section 7.2: register utilization not improved, CRAT == OptTLP).
+DEFAULT_OPTIMAL = ["STM", "SPMV", "KMN", "LBM"]
+
+#: Apps where spilling survives CRAT and Algorithm 1 matters (Fig 16).
+SPILLING_APPS = ["DTC", "FDTD", "CFD", "STE"]
+
+
+@pytest.fixture
+def record(capsys):
+    """Print + persist one experiment table."""
+    from repro.bench import write_result
+
+    def _record(name: str, text: str) -> None:
+        path = write_result(name, text)
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {path}]")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

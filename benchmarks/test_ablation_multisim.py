@@ -1,0 +1,69 @@
+"""Ablation: single-SM + interference slice vs full multi-SM simulation.
+
+All per-figure benchmarks simulate ONE SM with an interference-divided
+L2 slice (DESIGN.md Section 4b).  This bench validates that shortcut on
+the cache-sensitive apps: the chip-level model (N SMs contending the
+real shared L2 and a shared DRAM channel) must rank TLPs the same way
+and produce comparable per-block throughput.
+"""
+
+from conftest import run_once
+
+from repro.arch import FERMI
+from repro.bench import evaluate_app, format_table
+from repro.sim import makespan, simulate_multi_sm, simulate_traces, trace_grid
+from repro.core import default_allocation
+
+APPS = ["KMN", "HST"]
+NUM_SMS = 4
+
+
+def _collect():
+    rows = []
+    rank_agreement = {}
+    for abbr in APPS:
+        ev = evaluate_app(abbr)
+        workload = ev.workload
+        usage = ev.crat.usage
+        allocation = default_allocation(workload.kernel, usage)
+        traces = trace_grid(
+            allocation.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+        )
+        single_cycles = {}
+        multi_cycles = {}
+        for tlp in range(1, usage.max_tlp + 1):
+            single = simulate_traces(traces, FERMI, tlp)
+            multi = simulate_multi_sm(traces, FERMI, tlp, num_sms=NUM_SMS)
+            single_cycles[tlp] = single.cycles / len(traces)
+            multi_cycles[tlp] = makespan(multi) / (len(traces) / NUM_SMS)
+            rows.append(
+                (abbr, tlp, f"{single_cycles[tlp]:.0f}",
+                 f"{multi_cycles[tlp]:.0f}",
+                 multi_cycles[tlp] / single_cycles[tlp])
+            )
+        best_single = min(single_cycles, key=single_cycles.get)
+        best_multi = min(multi_cycles, key=multi_cycles.get)
+        rank_agreement[abbr] = (best_single, best_multi)
+    return rows, rank_agreement
+
+
+def test_ablation_single_sm_is_representative(benchmark, record):
+    rows, rank_agreement = run_once(benchmark, _collect)
+    table = format_table(
+        ["app", "TLP", "cycles/block (1 SM)", f"cycles/block ({NUM_SMS} SM)",
+         "ratio"],
+        rows,
+        title="Ablation: single-SM interference model vs chip-level simulation",
+    )
+    summary = "\n".join(
+        f"{abbr}: best TLP single={s}, multi={m}"
+        for abbr, (s, m) in rank_agreement.items()
+    )
+    record("ablation_multisim", table + "\n" + summary)
+
+    # Shape: per-block throughput within 2x at every point, and the
+    # optimal TLP agrees within one block.
+    for abbr, tlp, _, _, ratio in rows:
+        assert 0.5 <= ratio <= 2.0, (abbr, tlp, ratio)
+    for abbr, (best_single, best_multi) in rank_agreement.items():
+        assert abs(best_single - best_multi) <= 1, (abbr, best_single, best_multi)

@@ -1,0 +1,71 @@
+"""Paper Figure 3: selected design points for CFD in detail.
+
+Compares MaxTLP, OptTLP, OptTLP+Reg (the throttled TLP with the
+registers the throttling freed), and CRAT on performance, L1 behaviour,
+and register utilization — the motivating example of Section 1.
+"""
+
+from conftest import run_once
+
+from repro.arch import FERMI, max_reg_at_tlp, register_utilization
+from repro.bench import evaluate_app, format_table
+from repro.regalloc import allocate
+from repro.sim import simulate_traces, trace_grid
+
+
+def _collect():
+    ev = evaluate_app("CFD")
+    usage = ev.crat.usage
+    workload = ev.workload
+    rows = []
+
+    def row(name, reg, tlp, sim):
+        rows.append(
+            (
+                name,
+                reg,
+                tlp,
+                f"{sim.cycles:.0f}",
+                f"{sim.l1_hit_rate:.1%}",
+                f"{sim.mshr_stall_cycles:.0f}",
+                f"{register_utilization(FERMI, reg, usage.block_size, tlp):.1%}",
+            )
+        )
+
+    maxtlp = ev.baselines["maxtlp"]
+    opttlp = ev.baselines["opttlp"]
+    row("MaxTLP", maxtlp.reg, maxtlp.tlp, maxtlp.sim)
+    row("OptTLP", opttlp.reg, opttlp.tlp, opttlp.sim)
+
+    # OptTLP+Reg: keep the throttled TLP, raise registers to the stair.
+    reg_plus = min(
+        max_reg_at_tlp(FERMI, opttlp.tlp, usage.shm_size, usage.block_size),
+        usage.max_reg,
+        FERMI.max_reg_per_thread,
+    )
+    alloc_plus = allocate(workload.kernel, reg_plus, enable_shm_spill=False)
+    traces = trace_grid(
+        alloc_plus.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+    )
+    sim_plus = simulate_traces(traces, FERMI, opttlp.tlp)
+    row("OptTLP+Reg", alloc_plus.reg_per_thread, opttlp.tlp, sim_plus)
+
+    row("CRAT", ev.crat.reg, ev.crat.tlp, ev.crat.sim)
+    return rows, maxtlp.sim.cycles, opttlp.sim.cycles, sim_plus.cycles, ev.crat.sim.cycles
+
+
+def test_fig03_selected_points(benchmark, record):
+    rows, c_max, c_opt, c_plus, c_crat = run_once(benchmark, _collect)
+    table = format_table(
+        ["solution", "reg", "TLP", "cycles", "L1 hit", "MSHR stalls", "reg util"],
+        rows,
+        title="Fig 3: CFD selected design points",
+    )
+    record("fig03_selected_points", table)
+
+    # Paper ordering: MaxTLP >= OptTLP >= OptTLP+Reg >= CRAT cycles.
+    assert c_opt <= c_max
+    assert c_plus <= c_opt * 1.02
+    assert c_crat <= c_plus * 1.02
+    # And CRAT improves noticeably on the throttling baseline.
+    assert c_opt / c_crat >= 1.05

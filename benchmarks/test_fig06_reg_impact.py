@@ -1,0 +1,56 @@
+"""Paper Figure 6: register-per-thread impact for CFD.
+
+(a) more registers per thread lower the achievable TLP (staircase);
+(b) fewer registers per thread raise the instruction count (spills).
+"""
+
+from conftest import run_once
+
+from repro.arch import FERMI, compute_occupancy
+from repro.bench import format_table
+from repro.regalloc import allocate
+from repro.sim import trace_grid
+from repro.workloads import load_workload
+
+
+def _sweep():
+    workload = load_workload("CFD")
+    rows = []
+    for reg in range(21, 64, 3):
+        allocation = allocate(workload.kernel, reg, enable_shm_spill=False)
+        occ = compute_occupancy(
+            FERMI,
+            allocation.reg_per_thread,
+            workload.kernel.shared_bytes(),
+            workload.kernel.block_size,
+        )
+        traces = trace_grid(
+            allocation.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+        )
+        dynamic_insts = sum(t.instruction_count for t in traces)
+        rows.append(
+            (reg, allocation.reg_per_thread, occ.blocks,
+             allocation.num_local_insts, dynamic_insts)
+        )
+    return rows
+
+
+def test_fig06_reg_vs_tlp_and_instruction_count(benchmark, record):
+    rows = run_once(benchmark, _sweep)
+    table = format_table(
+        ["reg limit", "reg used", "TLP", "static spill insts", "dynamic insts"],
+        rows,
+        title="Fig 6: CFD register-per-thread vs TLP and instruction count",
+    )
+    record("fig06_reg_impact", table)
+
+    tlps = [r[2] for r in rows]
+    dyn = [r[4] for r in rows]
+    # (a) TLP is monotone non-increasing in registers per thread.
+    assert tlps == sorted(tlps, reverse=True)
+    assert tlps[0] > tlps[-1]
+    # (b) dynamic instruction count is monotone non-increasing as the
+    # register limit grows (fewer spills), and the lowest limit pays a
+    # visible overhead vs the highest.
+    assert dyn == sorted(dyn, reverse=True)
+    assert dyn[0] > dyn[-1] * 1.03

@@ -1,0 +1,56 @@
+"""Paper Figure 12: cross-validation of spill volume vs a reference.
+
+The paper compares its allocator's spill load/store bytes against nvcc
+across register limits for CFD, finding close agreement with small
+discrepancies at a couple of points (different algorithms, PTX type
+sensitivity).  nvcc is unavailable offline; a genuinely different
+algorithm — linear scan — plays the reference role.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.regalloc import allocate, allocate_linear_scan
+from repro.workloads import load_workload
+
+
+def _sweep():
+    workload = load_workload("CFD")
+    rows = []
+    for reg in range(30, 64, 2):
+        cb = allocate(workload.kernel, reg, enable_shm_spill=False, remat=False)
+        ls = allocate_linear_scan(workload.kernel, reg)
+        rows.append((reg, cb.static_spill_bytes, ls.static_spill_bytes))
+    return rows
+
+
+def test_fig12_spill_bytes_vs_reference_allocator(benchmark, record):
+    rows = run_once(benchmark, _sweep)
+    table = format_table(
+        ["reg limit", "CRAT spill bytes", "linear-scan spill bytes"],
+        rows,
+        title="Fig 12: CFD static spill bytes, Chaitin-Briggs vs linear scan",
+    )
+    record("fig12_validation", table)
+
+    # Shape: both allocators' spill volume decreases with the limit and
+    # they agree within small factors at most points (the paper reports
+    # "very similar except when Reg=32 and Reg=35").
+    crat = [r[1] for r in rows]
+    ref = [r[2] for r in rows]
+    # Decreasing trend with small local wiggle (heuristic allocators
+    # are not strictly monotone, nor is nvcc in the paper's Fig 12).
+    assert crat[0] > crat[-1]
+    assert ref[0] > ref[-1]
+    for a, b in zip(crat, crat[2:]):
+        assert b <= a * 1.1 + 16
+    for a, b in zip(ref, ref[2:]):
+        assert b <= a * 1.1 + 16
+    close = sum(
+        1
+        for c, l in zip(crat, ref)
+        if c == l == 0 or (c > 0 and l > 0 and max(c, l) / max(1, min(c, l)) <= 2.5)
+    )
+    assert close >= int(0.7 * len(rows)), (crat, ref)
+    # The graph-coloring allocator never spills more than linear scan.
+    assert all(c <= l for c, l in zip(crat, ref))

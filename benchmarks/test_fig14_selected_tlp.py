@@ -1,0 +1,41 @@
+"""Paper Figure 14: the TLP each scheme selects.
+
+CRAT runs far fewer blocks than MaxTLP (paper: 2.6 vs 5.1 average),
+trading parallelism for registers; KMN collapses to a single block.
+"""
+
+from conftest import SENSITIVE, run_once
+
+from repro.bench import evaluate_app, format_table
+
+
+def _collect():
+    return [
+        (abbr, evaluate_app(abbr).tlp_of("maxtlp"), evaluate_app(abbr).tlp_of("crat"))
+        for abbr in SENSITIVE
+    ]
+
+
+def test_fig14_selected_tlp(benchmark, record):
+    rows = run_once(benchmark, _collect)
+    avg_max = sum(r[1] for r in rows) / len(rows)
+    avg_crat = sum(r[2] for r in rows) / len(rows)
+    table = format_table(
+        ["app", "MaxTLP blocks/SM", "CRAT blocks/SM"],
+        rows,
+        title="Fig 14: selected TLP per scheme",
+    )
+    record(
+        "fig14_selected_tlp",
+        table + f"\naverage: MaxTLP {avg_max:.1f} (paper 5.1), "
+        f"CRAT {avg_crat:.1f} (paper 2.6)",
+    )
+
+    # Shape: CRAT's average TLP is clearly below MaxTLP's.
+    assert avg_crat < avg_max * 0.8
+    # No scheme ever exceeds the hardware maximum.
+    assert all(r[2] <= r[1] for r in rows)
+    # KMN throttles hardest (paper: 1 block vs 6).
+    kmn = next(r for r in rows if r[0] == "KMN")
+    assert kmn[2] <= 2
+    assert kmn[1] - kmn[2] >= 2

@@ -1,0 +1,53 @@
+"""Paper Figure 15: register utilization, OptTLP vs CRAT.
+
+CRAT recovers the registers thread throttling strands (paper: +15-27%
+average), except for STM/SPMV/KMN/LBM where the default allocation was
+already optimal and utilization cannot move.
+"""
+
+from conftest import DEFAULT_OPTIMAL, SENSITIVE, run_once
+
+from repro.bench import evaluate_app, format_table
+
+
+def _collect():
+    rows = []
+    for abbr in SENSITIVE:
+        ev = evaluate_app(abbr)
+        rows.append(
+            (
+                abbr,
+                ev.register_utilization_of("opttlp"),
+                ev.register_utilization_of("crat"),
+            )
+        )
+    return rows
+
+
+def test_fig15_register_utilization(benchmark, record):
+    rows = run_once(benchmark, _collect)
+    table = format_table(
+        ["app", "OptTLP util", "CRAT util"],
+        [(a, f"{o:.1%}", f"{c:.1%}") for a, o, c in rows],
+        title="Fig 15: register utilization of OptTLP vs CRAT",
+    )
+    improving = [r for r in rows if r[0] not in DEFAULT_OPTIMAL]
+    # Apps whose OptTLP configuration already saturates the register
+    # file cannot improve further; measure gains on the rest.
+    gainable = [r for r in improving if r[1] < 0.98]
+    mean_gain = sum(c - o for _, o, c in gainable) / len(gainable)
+    record(
+        "fig15_reg_utilization",
+        table + f"\nmean improvement on the seven improving apps: "
+        f"{mean_gain:+.1%} (paper: +15-27%)",
+    )
+
+    by_app = {r[0]: r for r in rows}
+    # Default-optimal apps: utilization unchanged (paper Section 7.2).
+    for abbr in DEFAULT_OPTIMAL:
+        _, o, c = by_app[abbr]
+        assert abs(o - c) < 1e-6, abbr
+    # Every other app's utilization improves (unless the baseline was
+    # already saturated), by a paper-like margin on average.
+    assert all(c > o or o >= 0.95 for _, o, c in improving)
+    assert 0.08 <= mean_gain <= 0.55

@@ -1,0 +1,45 @@
+"""Paper Figure 16: local-memory accesses, CRAT-local vs CRAT.
+
+For the apps where spilling survives CRAT (DTC, FDTD, CFD, STE),
+Algorithm 1 moves spill sub-stacks to spare shared memory, cutting
+local-memory accesses (paper: 42% average reduction).
+"""
+
+from conftest import SPILLING_APPS, run_once
+
+from repro.bench import evaluate_app, format_table
+
+
+def _collect():
+    rows = []
+    for abbr in SPILLING_APPS:
+        ev = evaluate_app(abbr)
+        local = ev.local_insts_of("crat-local")
+        crat = ev.local_insts_of("crat")
+        shm = ev.crat.sim.shared_insts
+        reduction = 1.0 - crat / local if local else 0.0
+        rows.append((abbr, local, crat, shm, reduction))
+    return rows
+
+
+def test_fig16_local_access_reduction(benchmark, record):
+    rows = run_once(benchmark, _collect)
+    table = format_table(
+        ["app", "CRAT-local local insts", "CRAT local insts",
+         "CRAT shm spill insts", "reduction"],
+        [(a, l, c, s, f"{r:.1%}") for a, l, c, s, r in rows],
+        title="Fig 16: dynamic local-memory accesses (Algorithm 1 effect)",
+    )
+    mean_red = sum(r[4] for r in rows) / len(rows)
+    record(
+        "fig16_local_accesses",
+        table + f"\nmean reduction: {mean_red:.1%} (paper: 42%)",
+    )
+
+    # Shape: these apps still spill without the optimization...
+    assert all(r[1] > 0 for r in rows), rows
+    # ...and shared-memory spilling removes a large share of the local
+    # traffic, replacing it with shared-memory accesses.
+    assert all(r[2] <= r[1] for r in rows)
+    assert mean_red >= 0.3
+    assert any(r[3] > 0 for r in rows)

@@ -1,0 +1,58 @@
+"""Paper Figure 18: input sensitivity (CFD and BLK).
+
+"For every application, different profiling inputs lead to the same
+OptTLP" and CRAT's speedups are consistent across inputs (Section 7.4).
+"""
+
+from conftest import run_once
+
+from repro.arch import FERMI
+from repro.bench import evaluate_app, format_table
+from repro.core import CRATOptimizer
+from repro.workloads import inputs_for
+
+
+def _collect():
+    results = {}
+    for abbr in ("CFD", "BLK"):
+        rows = []
+        for name, workload in inputs_for(abbr):
+            optimizer = CRATOptimizer(FERMI)
+            res = optimizer.optimize(
+                workload.kernel,
+                default_reg=workload.default_reg,
+                grid_blocks=workload.grid_blocks,
+                param_sizes=workload.param_sizes,
+            )
+            rows.append(
+                (name, res.baselines["opttlp"].tlp, res.opt_tlp,
+                 res.reg, res.tlp, res.speedup_vs("opttlp"))
+            )
+        results[abbr] = rows
+    return results
+
+
+def test_fig18_input_sensitivity(benchmark, record):
+    results = run_once(benchmark, _collect)
+    flat = [
+        (abbr, name, opt_base, opt_ceil, reg, tlp, f"{su:.2f}")
+        for abbr, rows in results.items()
+        for name, opt_base, opt_ceil, reg, tlp, su in rows
+    ]
+    table = format_table(
+        ["app", "input", "OptTLP", "prune ceiling", "CRAT reg", "CRAT TLP",
+         "speedup"],
+        flat,
+        title="Fig 18: CRAT speedup across inputs (profiling-input stability)",
+    )
+    record("fig18_input_sensitivity", table)
+
+    for abbr, rows in results.items():
+        speedups = [r[5] for r in rows]
+        opttlps = [r[1] for r in rows]
+        # The paper's stability claim: OptTLP varies by at most one
+        # block across inputs, and CRAT never loses.
+        assert max(opttlps) - min(opttlps) <= 1, (abbr, opttlps)
+        assert all(s >= 0.97 for s in speedups), (abbr, speedups)
+        # Speedups stay in a consistent band across inputs.
+        assert max(speedups) / min(speedups) <= 1.6, (abbr, speedups)

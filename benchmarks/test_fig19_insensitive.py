@@ -1,0 +1,42 @@
+"""Paper Figure 19: the resource-insensitive applications.
+
+These apps face neither cache contention nor register pressure, so
+MaxTLP with the default allocation is already good: "neither OptTLP nor
+CRAT has remarkable improvement."
+"""
+
+from conftest import INSENSITIVE, run_once
+
+from repro.bench import evaluate_app, format_table, geomean
+
+
+def _collect():
+    rows = []
+    for abbr in INSENSITIVE:
+        ev = evaluate_app(abbr)
+        rows.append(
+            (abbr, ev.speedup("maxtlp"), 1.0, ev.speedup("crat"))
+        )
+    return rows
+
+
+def test_fig19_insensitive_apps_unchanged(benchmark, record):
+    rows = run_once(benchmark, _collect)
+    table = format_table(
+        ["app", "MaxTLP", "OptTLP", "CRAT"],
+        rows,
+        title="Fig 19: resource-insensitive applications (normalized to OptTLP)",
+    )
+    g_max = geomean([r[1] for r in rows])
+    g_crat = geomean([r[3] for r in rows])
+    record(
+        "fig19_insensitive",
+        table + f"\ngeomean: MaxTLP {g_max:.3f}, CRAT {g_crat:.3f} "
+        "(paper: ~1.0 across the board)",
+    )
+
+    # Shape: nothing moves much for these apps.
+    for abbr, s_max, _, s_crat in rows:
+        assert 0.85 <= s_max <= 1.15, (abbr, s_max)
+        assert 0.9 <= s_crat <= 1.25, (abbr, s_crat)
+    assert 0.95 <= g_crat <= 1.12

@@ -1,0 +1,63 @@
+"""Paper Section 7.7: framework overhead.
+
+OptTLP via profiling costs one simulation per TLP; the static code
+analysis costs a single pass ("average overhead is only 1 millisecond"
+on their setup).  The design-space exploration itself is negligible.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.arch import FERMI
+from repro.analysis import estimate_opt_tlp
+from repro.bench import format_table
+from repro.core import collect_resource_usage, default_allocation, profile_tlp
+from repro.sim import trace_grid
+from repro.workloads import load_workload
+
+APPS = ["CFD", "HST", "KMN"]
+
+
+def _measure():
+    rows = []
+    for abbr in APPS:
+        workload = load_workload(abbr)
+        usage = collect_resource_usage(
+            workload.kernel, FERMI, default_reg=workload.default_reg
+        )
+        allocation = default_allocation(workload.kernel, usage)
+        traces = trace_grid(
+            allocation.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+        )
+
+        t0 = time.perf_counter()
+        profile_tlp(traces, FERMI, usage.max_tlp)
+        profiling_s = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        estimate_opt_tlp(allocation.kernel, FERMI, usage.max_tlp)
+        static_s = time.perf_counter() - t1
+
+        rows.append((abbr, usage.max_tlp, profiling_s, static_s))
+    return rows
+
+
+def test_overhead_static_vs_profiling(benchmark, record):
+    rows = run_once(benchmark, _measure)
+    table = format_table(
+        ["app", "profiled TLPs", "profiling (s)", "static analysis (s)"],
+        [(a, n, f"{p:.3f}", f"{s:.4f}") for a, n, p, s in rows],
+        title="Section 7.7: OptTLP estimation overhead",
+    )
+    speedup = sum(r[2] for r in rows) / max(1e-9, sum(r[3] for r in rows))
+    record(
+        "overhead",
+        table + f"\nstatic analysis is {speedup:.0f}x cheaper than profiling "
+        "(paper: hours of simulation vs ~1 ms of analysis)",
+    )
+
+    # Shape: the static estimator is at least an order of magnitude
+    # cheaper than exhaustive profiling on every app.
+    for abbr, _, profiling_s, static_s in rows:
+        assert static_s * 10 < profiling_s, abbr

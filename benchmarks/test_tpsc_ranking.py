@@ -1,0 +1,72 @@
+"""TPSC fidelity: does the prediction model rank candidates correctly?
+
+Section 6 claims "TPSC metric can accurately capture the tradeoff
+between single-thread performance and TLP."  This bench computes the
+rank agreement between TPSC scores and simulated cycles over each
+app's candidate set.
+"""
+
+from conftest import run_once
+
+from repro.arch import FERMI
+from repro.bench import evaluate_app, format_table
+from repro.sim import simulate_traces, trace_grid
+
+APPS = ["CFD", "DTC", "STE", "HST"]
+
+
+def _kendall_like(pairs):
+    """Fraction of concordant pairs between two rankings."""
+    concordant = total = 0
+    for i in range(len(pairs)):
+        for j in range(i + 1, len(pairs)):
+            a, b = pairs[i], pairs[j]
+            if a[0] == b[0] or a[1] == b[1]:
+                continue
+            total += 1
+            if (a[0] < b[0]) == (a[1] < b[1]):
+                concordant += 1
+    return concordant / total if total else 1.0
+
+
+def _collect():
+    rows = []
+    for abbr in APPS:
+        ev = evaluate_app(abbr)
+        workload = ev.workload
+        pairs = []
+        for scored in ev.crat.candidates:
+            traces = trace_grid(
+                scored.allocation.kernel, FERMI, workload.grid_blocks,
+                workload.param_sizes,
+            )
+            cycles = simulate_traces(traces, FERMI, scored.point.tlp).cycles
+            pairs.append((scored.tpsc, cycles, scored.point))
+        agreement = _kendall_like([(p[0], p[1]) for p in pairs])
+        sim_best = min(pairs, key=lambda p: p[1])[2]
+        tpsc_best = min(pairs, key=lambda p: p[0])[2]
+        best_cycles = min(p[1] for p in pairs)
+        chosen_cycles = next(p[1] for p in pairs if p[2] == tpsc_best)
+        rows.append(
+            (abbr, len(pairs), f"{agreement:.2f}", str(tpsc_best),
+             str(sim_best), chosen_cycles / best_cycles)
+        )
+    return rows
+
+
+def test_tpsc_ranks_candidates_like_the_simulator(benchmark, record):
+    rows = run_once(benchmark, _collect)
+    table = format_table(
+        ["app", "candidates", "pairwise agreement", "TPSC pick", "sim best",
+         "pick/best cycles"],
+        rows,
+        title="TPSC vs simulation: candidate ranking fidelity",
+    )
+    record("tpsc_ranking", table)
+
+    # Shape: TPSC's pick is near the simulated optimum for every app,
+    # and the ranking agrees on a clear majority of pairs.
+    for abbr, n, agreement, _, _, ratio in rows:
+        assert ratio <= 1.25, (abbr, ratio)
+    mean_agree = sum(float(r[2]) for r in rows) / len(rows)
+    assert mean_agree >= 0.6

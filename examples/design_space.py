@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Explore the (registers/thread, TLP) design space of a workload.
+
+Reproduces paper Figure 2 interactively: simulates every feasible
+(reg, TLP) stair point for an app, prints the surface as an ASCII
+table, and marks the pure-throttling optimum versus the coordinated
+optimum — the register/TLP tradeoff CRAT automates.
+
+Run:  python examples/design_space.py [APP]
+"""
+
+import sys
+
+from repro import FERMI, collect_resource_usage, load_workload
+from repro.arch import compute_occupancy, max_reg_at_tlp
+from repro.regalloc import allocate
+from repro.sim import simulate_traces, trace_grid
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "CFD"
+    workload = load_workload(abbr)
+    usage = collect_resource_usage(
+        workload.kernel, FERMI, default_reg=workload.default_reg
+    )
+    ceiling = compute_occupancy(
+        FERMI, usage.min_reg, usage.shm_size, usage.block_size
+    ).blocks
+    print(f"== design space for {abbr}: MaxReg={usage.max_reg}, "
+          f"default reg={usage.default_reg}, TLP ceiling={ceiling} ==\n")
+
+    reg_points = sorted(
+        {
+            min(
+                max_reg_at_tlp(FERMI, tlp, usage.shm_size, usage.block_size),
+                FERMI.max_reg_per_thread,
+                usage.max_reg,
+            )
+            for tlp in range(1, ceiling + 1)
+        }
+        | {usage.default_reg}
+    )
+
+    surface = {}
+    for reg in reg_points:
+        allocation = allocate(workload.kernel, reg, enable_shm_spill=False)
+        blocks = compute_occupancy(
+            FERMI, allocation.reg_per_thread, usage.shm_size, usage.block_size
+        ).blocks
+        traces = trace_grid(
+            allocation.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+        )
+        for tlp in range(1, blocks + 1):
+            result = simulate_traces(traces, FERMI, tlp)
+            surface[(reg, tlp)] = result.cycles
+
+    tlps = sorted({t for _, t in surface})
+    header = "reg\\TLP " + "".join(f"{t:>10}" for t in tlps)
+    print(header)
+    best = min(surface, key=surface.get)
+    default_points = {k: v for k, v in surface.items() if k[0] == usage.default_reg}
+    throttle_best = min(default_points, key=default_points.get)
+    for reg in reg_points:
+        cells = []
+        for tlp in tlps:
+            cycles = surface.get((reg, tlp))
+            if cycles is None:
+                cells.append(f"{'-':>10}")
+            else:
+                mark = "*" if (reg, tlp) == best else (
+                    "o" if (reg, tlp) == throttle_best else " "
+                )
+                cells.append(f"{cycles:>9.0f}{mark}")
+        print(f"{reg:>7} " + "".join(cells))
+
+    print("\n  o = best pure thread-throttling point (default registers)")
+    print("  * = best coordinated point")
+    gain = surface[throttle_best] / surface[best]
+    print(f"\ncoordinated optimum (reg={best[0]}, TLP={best[1]}) beats pure "
+          f"throttling (reg={throttle_best[0]}, TLP={throttle_best[1]}) "
+          f"by {gain:.2f}X")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: optimize one workload with CRAT.
+
+Loads the CFD workload (the paper's motivating example), runs the full
+CRAT pipeline against the Fermi-like configuration of paper Table 2,
+and prints what the paper's Figures 2/3 show: the baselines, the pruned
+candidate set with TPSC scores, the chosen (reg, TLP) point, and the
+resulting speedup.
+
+Run:  python examples/quickstart.py [APP]
+"""
+
+import sys
+
+from repro import CRATOptimizer, FERMI, load_workload
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "CFD"
+    workload = load_workload(abbr)
+    print(f"== {workload.app.app} / kernel {workload.app.kernel} ({abbr}) ==")
+    print(f"block size {workload.kernel.block_size}, "
+          f"{len(workload.kernel.instructions())} static instructions\n")
+
+    optimizer = CRATOptimizer(FERMI)
+    result = optimizer.optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+    )
+
+    usage = result.usage
+    print("Resource usage (paper Table 1):")
+    print(f"  MaxReg={usage.max_reg}  MinReg={usage.min_reg}  "
+          f"BlockSize={usage.block_size}  ShmSize={usage.shm_size}B")
+    print(f"  MaxTLP={usage.max_tlp}  OptTLP={result.opt_tlp} "
+          f"(via {result.opt_tlp_source})\n")
+
+    maxtlp = result.baselines["maxtlp"]
+    opttlp = result.baselines["opttlp"]
+    print("Baselines:")
+    print(f"  MaxTLP: reg={maxtlp.reg} TLP={maxtlp.tlp} "
+          f"cycles={maxtlp.sim.cycles:.0f}")
+    print(f"  OptTLP: reg={opttlp.reg} TLP={opttlp.tlp} "
+          f"cycles={opttlp.sim.cycles:.0f}\n")
+
+    print("Pruned candidates (rightmost stair points <= OptTLP):")
+    for scored in result.candidates:
+        marker = " <= chosen" if scored.point == result.chosen.point else ""
+        print(f"  (reg={scored.point.reg:>2}, TLP={scored.point.tlp})  "
+              f"spill_cost={scored.spill_cost:8.1f}  "
+              f"TLP_gain={scored.tlp_gain:.3f}  "
+              f"TPSC={scored.tpsc:8.1f}{marker}")
+
+    alloc = result.chosen.allocation
+    print(f"\nCRAT decision: reg={result.reg}, TLP={result.tlp}")
+    print(f"  spilled vars: {len(alloc.spilled)}  "
+          f"(local insts {alloc.num_local_insts}, "
+          f"shm insts {alloc.num_shared_insts}, "
+          f"rematerialized {len(alloc.rematerialized)})")
+    print(f"  cycles={result.sim.cycles:.0f}  "
+          f"L1 hit={result.sim.l1_hit_rate:.1%}")
+    print(f"\nSpeedup vs OptTLP: {result.speedup_vs('opttlp'):.2f}X")
+    print(f"Speedup vs MaxTLP: {result.speedup_vs('maxtlp'):.2f}X")
+
+
+if __name__ == "__main__":
+    main()

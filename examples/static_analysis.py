@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Static OptTLP estimation vs exhaustive profiling (paper Fig 10/20).
+
+For each resource-sensitive app this example:
+
+1. segments the kernel into computation/memory phases (Figure 10a),
+2. mimics GTO scheduling to estimate OptTLP statically (Figure 10b),
+3. profiles every TLP on the simulator (the paper's offline search),
+4. compares the two estimates and their cost.
+
+Run:  python examples/static_analysis.py
+"""
+
+import time
+
+from repro import FERMI, collect_resource_usage
+from repro.analysis import estimate_opt_tlp, segment_kernel
+from repro.arch import compute_occupancy
+from repro.core import default_allocation, opt_tlp_from_profile, profile_tlp
+from repro.sim import trace_grid
+from repro.workloads import RESOURCE_SENSITIVE, load_workload
+
+
+def main() -> None:
+    print(f"{'app':6} {'segments':>8} {'mem-req':>8} {'static':>7} "
+          f"{'profiled':>8} {'analysis':>9} {'profiling':>10}")
+    for app in RESOURCE_SENSITIVE:
+        workload = load_workload(app.abbr)
+        usage = collect_resource_usage(
+            workload.kernel, FERMI, default_reg=workload.default_reg
+        )
+        allocation = default_allocation(workload.kernel, usage)
+        ceiling = compute_occupancy(
+            FERMI, min(usage.min_reg, usage.default_reg), usage.shm_size,
+            usage.block_size,
+        ).blocks
+
+        t0 = time.perf_counter()
+        segments = segment_kernel(allocation.kernel, FERMI)
+        estimate = estimate_opt_tlp(
+            allocation.kernel, FERMI, ceiling, segments=segments
+        )
+        static_seconds = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        traces = trace_grid(
+            allocation.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+        )
+        profile = profile_tlp(traces, FERMI, ceiling)
+        profiled = opt_tlp_from_profile(profile)
+        profiling_seconds = time.perf_counter() - t1
+
+        mem_requests = sum(s.mem_requests * s.weight for s in segments)
+        print(f"{app.abbr:6} {len(segments):>8} {mem_requests:>8.0f} "
+              f"{estimate.opt_tlp:>7} {profiled:>8} "
+              f"{static_seconds:>8.4f}s {profiling_seconds:>9.2f}s")
+
+    print("\nThe static estimate runs orders of magnitude faster than the")
+    print("profiling pass while landing near the profiled optimum —")
+    print("the paper's Section 7.6/7.7 result (1.22X vs 1.25X geomean).")
+
+
+if __name__ == "__main__":
+    main()

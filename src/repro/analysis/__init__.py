@@ -1,0 +1,25 @@
+"""Static performance analysis: kernel segmentation, the GTO-mimic
+OptTLP estimator (paper Figure 10), and a Hong-Kim-style analytical
+model used as a cross-check."""
+
+from .gto_model import StaticEstimate, estimate_opt_tlp
+from .hongkim import AnalyticalPrediction, predict_cycles
+from .segments import (
+    DEFAULT_TRIP_COUNT,
+    Segment,
+    segment_kernel,
+    total_cycles,
+    total_mem_requests,
+)
+
+__all__ = [
+    "AnalyticalPrediction",
+    "DEFAULT_TRIP_COUNT",
+    "Segment",
+    "StaticEstimate",
+    "estimate_opt_tlp",
+    "predict_cycles",
+    "segment_kernel",
+    "total_cycles",
+    "total_mem_requests",
+]

@@ -1,0 +1,101 @@
+"""Hong-Kim-style analytical GPU performance model (paper ref. [11]).
+
+"Prior analytical models [11] have demonstrated that GPU application
+performance can be accurately predicted by dividing the thread lifetime
+into computation and memory period and modeling their overlapping
+through warp scheduling" (Section 4.1).  This module implements the
+MWP/CWP formulation of Hong & Kim (ISCA'09) at thread-block
+granularity: it predicts execution cycles for a given TLP from the
+kernel's compute/memory balance, and serves as a cross-check for both
+the simulator trends and the GTO-based OptTLP estimate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..arch.config import GPUConfig
+from ..ptx.module import Kernel
+from .segments import (
+    DEFAULT_TRIP_COUNT,
+    Segment,
+    segment_kernel,
+    total_cycles,
+    total_mem_requests,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalyticalPrediction:
+    """Predicted cycles and the intermediate MWP/CWP quantities."""
+
+    cycles: float
+    mwp: float
+    cwp: float
+    comp_cycles: float
+    mem_cycles: float
+    n_warps: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether a thread's lifetime is dominated by memory periods."""
+        return self.mem_cycles > self.comp_cycles
+
+
+def predict_cycles(
+    kernel: Kernel,
+    config: GPUConfig,
+    tlp: int,
+    hit_ratio: float = 0.6,
+    trip_count: int = DEFAULT_TRIP_COUNT,
+    segments: Optional[List[Segment]] = None,
+) -> AnalyticalPrediction:
+    """Predict execution cycles of one wave of ``tlp`` blocks.
+
+    Follows Hong-Kim: with N concurrent warps, computation period
+    ``comp`` and one memory period ``mem`` per memory access,
+
+    * ``MWP`` (memory warp parallelism) — warps whose memory requests
+      overlap, bounded by bandwidth and by ``mem / mem_issue``;
+    * ``CWP`` (computation warp parallelism) — ``(mem + comp) / comp``;
+    * if MWP >= CWP, memory is fully hidden: cycles ~ comp * N / ...,
+      otherwise memory dominates.
+    """
+    if tlp <= 0:
+        raise ValueError("tlp must be positive")
+    lat = config.latency
+    if segments is None:
+        segments = segment_kernel(kernel, config, trip_count=trip_count)
+
+    n_warps = tlp * (kernel.block_size / config.warp_size)
+    comp = total_cycles(segments)
+    requests = max(1.0, total_mem_requests(segments))
+    mem_lat = hit_ratio * lat.l1_hit + (1 - hit_ratio) * lat.dram
+    mem = requests * mem_lat
+    # Departure delay between consecutive memory warps: the transfer
+    # time of one warp's requests on the DRAM channel.
+    miss_requests = requests * (1 - hit_ratio)
+    departure = max(
+        1.0, miss_requests * config.l1.line_bytes / config.dram_bytes_per_cycle
+    )
+    mwp_bw = mem / departure
+    mwp = max(1.0, min(n_warps, mwp_bw))
+    cwp = max(1.0, min(n_warps, (mem + comp) / max(comp, 1.0)))
+
+    if mwp >= cwp:
+        # Computation dominates; memory is fully hidden behind the
+        # other warps' compute.  Total issue work divided by issue
+        # width, floored by one warp's serial latency.
+        cycles = max(comp * n_warps / config.num_schedulers, comp + mem)
+    else:
+        # Memory dominates: each group of MWP warps overlaps its memory.
+        cycles = (mem * n_warps / mwp) + comp
+    return AnalyticalPrediction(
+        cycles=cycles,
+        mwp=mwp,
+        cwp=cwp,
+        comp_cycles=comp,
+        mem_cycles=mem,
+        n_warps=n_warps,
+    )

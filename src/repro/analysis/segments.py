@@ -1,0 +1,129 @@
+"""Computation/memory segmentation of a kernel (paper Figure 10a).
+
+The static OptTLP analysis "first analyzes the PTX code and divides the
+kernels into computation and memory segments.  For each segment, we
+compute its latency by summing the latency of all its instructions"
+(Section 4.1).  A *segment* is a maximal run of instructions of one
+kind in the expected dynamic instruction stream; loop bodies contribute
+one segment pair per estimated iteration, which we represent compactly
+as per-iteration segments plus a repeat count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..arch.config import GPUConfig
+from ..cfg.graph import CFG
+from ..cfg.loops import loop_depths
+from ..ptx.isa import LatencyClass, Space
+from ..ptx.module import Kernel
+
+#: Default static trip-count guess for loops whose bounds are not known.
+DEFAULT_TRIP_COUNT = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One computation or memory segment of the dynamic stream."""
+
+    kind: str  # "compute" or "memory"
+    cycles: float  # summed issue latency of the segment's instructions
+    mem_requests: int = 0  # memory instructions in the segment
+    weight: float = 1.0  # expected executions (loop trip product)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind == "memory"
+
+
+def segment_kernel(
+    kernel: Kernel,
+    config: GPUConfig,
+    trip_count: int = DEFAULT_TRIP_COUNT,
+    trip_counts: Optional[Dict[int, int]] = None,
+) -> List[Segment]:
+    """Split a kernel into weighted compute/memory segments.
+
+    ``trip_counts`` optionally maps loop-header block indices to known
+    trip counts (the workload table supplies them); unknown loops use
+    ``trip_count``.  Instruction latencies come from the architecture's
+    latency table — memory-instruction *service* time is added later by
+    the GTO mimic using the measured average hit ratio, so here memory
+    segments only carry their request counts and issue cost.
+    """
+    cfg = CFG(kernel)
+    depths = loop_depths(cfg)
+    trip_counts = trip_counts or {}
+    lat = config.latency
+
+    segments: List[Segment] = []
+    current_kind: Optional[str] = None
+    current_cycles = 0.0
+    current_requests = 0
+    current_weight = 1.0
+
+    def flush() -> None:
+        nonlocal current_cycles, current_requests, current_kind
+        if current_kind is not None and (current_cycles or current_requests):
+            segments.append(
+                Segment(
+                    kind=current_kind,
+                    cycles=current_cycles,
+                    mem_requests=current_requests,
+                    weight=current_weight,
+                )
+            )
+        current_cycles = 0.0
+        current_requests = 0
+
+    for block in cfg.blocks:
+        depth = depths.get(block.index, 0)
+        weight = 1.0
+        for _ in range(depth):
+            weight *= trip_counts.get(block.index, trip_count)
+        if weight != current_weight:
+            flush()
+            current_weight = weight
+        for inst in block.instructions:
+            klass = inst.latency_class
+            if klass is LatencyClass.MEM and inst.space in (
+                Space.GLOBAL,
+                Space.LOCAL,
+                Space.CONST,
+                Space.PARAM,
+            ):
+                kind = "memory"
+                cycles = 1.0  # issue slot; service time modeled downstream
+                requests = 1
+            else:
+                kind = "compute"
+                requests = 0
+                if klass is LatencyClass.SFU:
+                    cycles = float(lat.sfu)
+                elif klass is LatencyClass.MEM:  # shared memory
+                    cycles = float(lat.shared_mem)
+                elif klass is LatencyClass.CTRL:
+                    cycles = float(lat.ctrl)
+                elif klass is LatencyClass.BARRIER:
+                    cycles = 1.0
+                else:
+                    cycles = float(lat.alu)
+            if kind != current_kind:
+                flush()
+                current_kind = kind
+            current_cycles += cycles
+            current_requests += requests
+    flush()
+    return segments
+
+
+def total_cycles(segments: List[Segment]) -> float:
+    """Weighted issue-cycle total across all segments."""
+    return sum(s.cycles * s.weight for s in segments)
+
+
+def total_mem_requests(segments: List[Segment]) -> float:
+    """Weighted memory-request total across all segments."""
+    return sum(s.mem_requests * s.weight for s in segments)

@@ -1,0 +1,34 @@
+"""GPU architecture model: configurations, occupancy, measured latencies."""
+
+from .config import CONFIGS, FERMI, KEPLER, CacheConfig, GPUConfig, LatencyConfig, get_config
+from .latency import MemoryCosts, measure_costs
+from .occupancy import (
+    LimitingResource,
+    Occupancy,
+    compute_occupancy,
+    max_reg_at_tlp,
+    max_tlp,
+    register_utilization,
+    shared_memory_utilization,
+    spare_shm_per_block,
+)
+
+__all__ = [
+    "CONFIGS",
+    "CacheConfig",
+    "FERMI",
+    "GPUConfig",
+    "KEPLER",
+    "LatencyConfig",
+    "LimitingResource",
+    "MemoryCosts",
+    "Occupancy",
+    "compute_occupancy",
+    "get_config",
+    "max_reg_at_tlp",
+    "max_tlp",
+    "measure_costs",
+    "register_utilization",
+    "shared_memory_utilization",
+    "spare_shm_per_block",
+]

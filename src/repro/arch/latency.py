@@ -1,0 +1,117 @@
+"""Micro-benchmarks measuring memory costs on the simulator.
+
+The paper measures ``Cost_local`` and ``Cost_shm`` — the per-access
+delay of local and shared memory — "on the target architecture through
+micro benchmarks" (Section 6) and feeds them into the TPSC spill-cost
+model.  We do the same against our simulator: a pointer-chase-style
+kernel issues dependent accesses to one space and the cost per access
+is recovered from the cycle difference against an empty-bodied control
+kernel.
+
+Results are cached per configuration; the numbers move only when the
+simulator's latency model moves, which is exactly the coupling the
+paper wants (the model measures the machine it optimizes for).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from ..ptx.builder import KernelBuilder
+from ..ptx.isa import CmpOp, DType, Space
+from .config import GPUConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryCosts:
+    """Measured per-access delays in cycles (TPSC inputs)."""
+
+    cost_local: float
+    cost_shared: float
+    cost_other: float  # plain ALU instruction cost (address computation)
+
+
+_CACHE: Dict[Tuple[str, int], MemoryCosts] = {}
+
+
+def _chase_kernel(space: Space, accesses: int) -> "KernelBuilder":
+    """A single-warp kernel doing ``accesses`` dependent spill-style accesses."""
+    b = KernelBuilder(f"chase_{space.value}", block_size=32)
+    b.param("output", DType.U64)
+    if space is Space.LOCAL:
+        stack = b.local_array("Stack", 64)
+    else:
+        stack = b.shared_array("Stack", 64 * 32)
+    base = b.addr_of(stack)
+    val = b.mov(b.imm(1, DType.S32))
+    i = b.mov(b.imm(0, DType.S32))
+    loop = b.label("loop")
+    done = b.label("done")
+    b.place(loop)
+    p = b.setp(CmpOp.GE, i, b.imm(accesses, DType.S32))
+    b.bra(done, guard=p)
+    # Dependent store/load pair through the spill slot.
+    b.st(space, base, val, dtype=DType.S32)
+    val = b.ld(space, base, dtype=DType.S32)
+    b.mov_to(i, b.add(i, b.imm(1, DType.S32)))
+    b.bra(loop)
+    b.place(done)
+    from ..ptx.instruction import Sym
+
+    out = b.addr_of(Sym("output"))
+    b.st(Space.GLOBAL, out, val, dtype=DType.S32)
+    return b
+
+
+def _control_kernel(iterations: int) -> "KernelBuilder":
+    """Same loop skeleton with an ALU pair instead of memory accesses."""
+    b = KernelBuilder("chase_control", block_size=32)
+    b.param("output", DType.U64)
+    val = b.mov(b.imm(1, DType.S32))
+    i = b.mov(b.imm(0, DType.S32))
+    loop = b.label("loop")
+    done = b.label("done")
+    b.place(loop)
+    p = b.setp(CmpOp.GE, i, b.imm(iterations, DType.S32))
+    b.bra(done, guard=p)
+    val = b.add(val, b.imm(1, DType.S32))
+    val = b.add(val, b.imm(1, DType.S32))
+    b.mov_to(i, b.add(i, b.imm(1, DType.S32)))
+    b.bra(loop)
+    b.place(done)
+    from ..ptx.instruction import Sym
+
+    out = b.addr_of(Sym("output"))
+    b.st(Space.GLOBAL, out, val, dtype=DType.S32)
+    return b
+
+
+def measure_costs(config: GPUConfig, accesses: int = 64) -> MemoryCosts:
+    """Measure Cost_local / Cost_shm / Cost_other on this configuration."""
+    key = (config.name, accesses)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    from ..sim.gpu import simulate
+
+    def cycles_of(builder: KernelBuilder) -> float:
+        kernel = builder.build()
+        result = simulate(kernel, config, tlp=1, grid_blocks=1)
+        return result.cycles
+
+    control = cycles_of(_control_kernel(accesses))
+    local = cycles_of(_chase_kernel(Space.LOCAL, accesses))
+    shared = cycles_of(_chase_kernel(Space.SHARED, accesses))
+    # Each iteration replaces two dependent ALU adds with a dependent
+    # store+load pair, so per access: cost_mem = delta/(2n) + cost_alu.
+    alu = float(config.latency.alu)
+    cost_local = max(alu, (local - control) / (2 * accesses) + alu)
+    cost_shared = max(alu, (shared - control) / (2 * accesses) + alu)
+    costs = MemoryCosts(
+        cost_local=cost_local,
+        cost_shared=cost_shared,
+        cost_other=alu,
+    )
+    _CACHE[key] = costs
+    return costs

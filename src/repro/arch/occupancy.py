@@ -1,0 +1,162 @@
+"""Occupancy calculation: how many thread blocks fit on an SM.
+
+"GPU kernel will launch as many thread blocks concurrently as possible
+until one or more dimension of resources are exhausted" (paper Section
+2.1).  The four dimensions are registers, shared memory, the thread
+limit, and the block limit.  This module computes ``MaxTLP`` for a
+``(reg_per_thread, shm_per_block, block_size)`` triple, the limiting
+resource, and the staircase quantities the design-space component needs
+(the largest register count that still sustains a given TLP).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from .config import GPUConfig
+
+
+class LimitingResource(enum.Enum):
+    """Which resource dimension binds the occupancy."""
+
+    REGISTERS = "registers"
+    SHARED_MEMORY = "shared_memory"
+    THREADS = "threads"
+    BLOCKS = "blocks"
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Occupancy of one kernel configuration on one SM."""
+
+    blocks: int
+    limiting: LimitingResource
+    blocks_by_regs: int
+    blocks_by_shm: int
+    blocks_by_threads: int
+    blocks_by_limit: int
+
+    def __str__(self) -> str:
+        return f"{self.blocks} blocks/SM (limited by {self.limiting.value})"
+
+
+def compute_occupancy(
+    config: GPUConfig,
+    reg_per_thread: int,
+    shm_per_block: int,
+    block_size: int,
+) -> Occupancy:
+    """MaxTLP for the given resource usage.
+
+    ``reg_per_thread`` is in 32-bit register slots.  A kernel that
+    cannot fit even one block raises ``ValueError`` — such design
+    points are infeasible and are excluded from the design space.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    if reg_per_thread < 0 or shm_per_block < 0:
+        raise ValueError("resource usage cannot be negative")
+    if block_size > config.max_threads_per_sm:
+        raise ValueError(
+            f"block size {block_size} exceeds the per-SM thread limit "
+            f"{config.max_threads_per_sm}"
+        )
+
+    regs_per_block = reg_per_thread * block_size
+    blocks_by_regs = (
+        config.registers_per_sm // regs_per_block if regs_per_block else 10**9
+    )
+    blocks_by_shm = (
+        config.shared_mem_per_sm // shm_per_block if shm_per_block else 10**9
+    )
+    blocks_by_threads = config.max_threads_per_sm // block_size
+    blocks_by_limit = config.max_blocks_per_sm
+
+    blocks = min(blocks_by_regs, blocks_by_shm, blocks_by_threads, blocks_by_limit)
+    if blocks <= 0:
+        raise ValueError(
+            f"kernel does not fit on an SM: reg/thread={reg_per_thread}, "
+            f"shm/block={shm_per_block}, block_size={block_size}"
+        )
+
+    # Report the binding dimension; ties resolve in this order, which
+    # matches how the paper discusses limits (registers first).
+    if blocks == blocks_by_regs:
+        limiting = LimitingResource.REGISTERS
+    elif blocks == blocks_by_shm:
+        limiting = LimitingResource.SHARED_MEMORY
+    elif blocks == blocks_by_threads:
+        limiting = LimitingResource.THREADS
+    else:
+        limiting = LimitingResource.BLOCKS
+
+    return Occupancy(
+        blocks=blocks,
+        limiting=limiting,
+        blocks_by_regs=min(blocks_by_regs, 10**9),
+        blocks_by_shm=min(blocks_by_shm, 10**9),
+        blocks_by_threads=blocks_by_threads,
+        blocks_by_limit=blocks_by_limit,
+    )
+
+
+def max_tlp(
+    config: GPUConfig, reg_per_thread: int, shm_per_block: int, block_size: int
+) -> int:
+    """Shorthand for ``compute_occupancy(...).blocks``."""
+    return compute_occupancy(config, reg_per_thread, shm_per_block, block_size).blocks
+
+
+def max_reg_at_tlp(
+    config: GPUConfig, tlp: int, shm_per_block: int, block_size: int
+) -> int:
+    """Largest reg/thread that still sustains ``tlp`` blocks per SM.
+
+    This is the *rightmost point of the stair* in the paper's staircase
+    design space (Figure 11): for two points with equal TLP, the one
+    with more registers per thread is always at least as good, so only
+    this point need be considered (pruning rule 1, Section 4.2).
+
+    Raises ``ValueError`` when ``tlp`` is unachievable regardless of
+    registers (shared memory, thread, or block limits bind first).
+    """
+    if tlp <= 0:
+        raise ValueError("tlp must be positive")
+    ceiling = compute_occupancy(config, 0, shm_per_block, block_size).blocks
+    if tlp > ceiling:
+        raise ValueError(
+            f"TLP {tlp} unachievable: non-register limits cap occupancy at {ceiling}"
+        )
+    return config.registers_per_sm // (tlp * block_size)
+
+
+def register_utilization(
+    config: GPUConfig, reg_per_thread: int, block_size: int, tlp: int
+) -> float:
+    """Fraction of the register file used (paper Figures 1b, 15)."""
+    used = reg_per_thread * block_size * tlp
+    return min(1.0, used / config.registers_per_sm)
+
+
+def shared_memory_utilization(
+    config: GPUConfig, shm_per_block: int, tlp: int
+) -> float:
+    """Fraction of shared memory used (paper Figure 7)."""
+    used = shm_per_block * tlp
+    return min(1.0, used / config.shared_mem_per_sm)
+
+
+def spare_shm_per_block(
+    config: GPUConfig, shm_per_block: int, tlp: int
+) -> int:
+    """Shared memory a block may claim without reducing ``tlp``.
+
+    Algorithm 1's ``SpareShmSize``: the per-block budget such that
+    ``tlp`` blocks still fit in the SM's shared memory after each takes
+    this much extra.
+    """
+    if tlp <= 0:
+        raise ValueError("tlp must be positive")
+    per_block_budget = config.shared_mem_per_sm // tlp
+    return max(0, per_block_budget - shm_per_block)

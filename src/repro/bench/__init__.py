@@ -1,0 +1,21 @@
+"""Benchmark-harness utilities: memoized experiment driver + reports."""
+
+from .report import format_table, results_dir, write_result
+from .runner import (
+    AppEvaluation,
+    clear_cache,
+    evaluate_app,
+    evaluate_app_static,
+    geomean,
+)
+
+__all__ = [
+    "AppEvaluation",
+    "clear_cache",
+    "evaluate_app",
+    "evaluate_app_static",
+    "format_table",
+    "geomean",
+    "results_dir",
+    "write_result",
+]

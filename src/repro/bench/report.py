@@ -1,0 +1,55 @@
+"""ASCII table/series formatting for benchmark output.
+
+Every benchmark regenerates its paper figure as a plain-text table and
+writes it under ``benchmarks/results/`` so the reproduction can be
+inspected without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a padded ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def results_dir() -> str:
+    """The directory benchmark artifacts are written to."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist one experiment's table; returns the file path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path

@@ -1,0 +1,141 @@
+"""Experiment driver shared by the benchmark harness.
+
+Evaluating one app through the full pipeline (baselines + profiling +
+CRAT + CRAT-local) is expensive, and several figures slice the same
+runs from different angles (Fig 13 plots speedups, Fig 14 the chosen
+TLPs, Fig 15 register utilization, Fig 16 local accesses...).  The
+driver therefore memoizes one :class:`AppEvaluation` per (app, config,
+input) and lets every benchmark read from it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import math
+from typing import Dict, Iterable, List, Optional
+
+from ..arch.config import GPUConfig, get_config
+from ..arch.occupancy import register_utilization
+from ..core.crat import CRATOptimizer, CRATResult
+from ..core.throttling import BaselineResult
+from ..workloads.suite import Workload, load_workload
+
+
+@dataclasses.dataclass
+class AppEvaluation:
+    """Everything the figures need about one app on one configuration."""
+
+    workload: Workload
+    config: GPUConfig
+    crat: CRATResult
+    crat_local: CRATResult
+
+    @property
+    def abbr(self) -> str:
+        return self.workload.abbr
+
+    @property
+    def baselines(self) -> Dict[str, BaselineResult]:
+        return self.crat.baselines
+
+    # ------------------------------------------------------------------
+    # Normalized metrics (all normalized to OptTLP, as in Figure 13).
+    # ------------------------------------------------------------------
+    def speedup(self, scheme: str) -> float:
+        """Speedup of ``scheme`` over the OptTLP baseline."""
+        opttlp = self.baselines["opttlp"].sim.cycles
+        if scheme == "crat":
+            return opttlp / self.crat.sim.cycles
+        if scheme == "crat-local":
+            return opttlp / self.crat_local.sim.cycles
+        return opttlp / self.baselines[scheme].sim.cycles
+
+    def register_utilization_of(self, scheme: str) -> float:
+        if scheme == "crat":
+            reg, tlp = self.crat.reg, self.crat.tlp
+        else:
+            base = self.baselines[scheme]
+            reg, tlp = base.reg, base.tlp
+        return register_utilization(
+            self.config, reg, self.workload.kernel.block_size, tlp
+        )
+
+    def tlp_of(self, scheme: str) -> int:
+        if scheme == "crat":
+            return self.crat.tlp
+        if scheme == "crat-local":
+            return self.crat_local.tlp
+        return self.baselines[scheme].tlp
+
+    def local_insts_of(self, scheme: str) -> int:
+        if scheme == "crat":
+            return self.crat.sim.local_insts
+        if scheme == "crat-local":
+            return self.crat_local.sim.local_insts
+        return self.baselines[scheme].sim.local_insts
+
+    def energy_of(self, scheme: str) -> float:
+        if scheme == "crat":
+            return self.crat.sim.energy_nj
+        if scheme == "crat-local":
+            return self.crat_local.sim.energy_nj
+        return self.baselines[scheme].sim.energy_nj
+
+
+@functools.lru_cache(maxsize=None)
+def evaluate_app(
+    abbr: str, config_name: str = "fermi", input_scale: float = 1.0
+) -> AppEvaluation:
+    """Run the whole pipeline for one app (memoized)."""
+    config = get_config(config_name)
+    workload = load_workload(abbr, input_scale)
+    optimizer = CRATOptimizer(config, enable_shm_spill=True)
+    crat = optimizer.optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+    )
+    local_optimizer = CRATOptimizer(config, enable_shm_spill=False)
+    crat_local = local_optimizer.optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+        baselines=crat.baselines,
+    )
+    return AppEvaluation(
+        workload=workload, config=config, crat=crat, crat_local=crat_local
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def evaluate_app_static(
+    abbr: str, config_name: str = "fermi", hit_ratio: float = 0.6
+) -> CRATResult:
+    """CRAT-static: OptTLP from code analysis instead of profiling."""
+    config = get_config(config_name)
+    workload = load_workload(abbr)
+    optimizer = CRATOptimizer(
+        config, enable_shm_spill=True, opt_tlp_mode="static", hit_ratio=hit_ratio
+    )
+    return optimizer.optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+    )
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def clear_cache() -> None:
+    """Drop memoized evaluations (tests that tweak configs use this)."""
+    evaluate_app.cache_clear()
+    evaluate_app_static.cache_clear()

@@ -1,0 +1,29 @@
+"""Control-flow and dataflow analyses over the PTX-subset IR."""
+
+from .dataflow import BackwardMaySolver, ForwardMaySolver
+from .dominators import (
+    dominates,
+    dominator_tree,
+    immediate_dominators,
+    immediate_post_dominators,
+)
+from .graph import BasicBlock, CFG
+from .liveness import LiveRange, LivenessInfo, analyze
+from .loops import Loop, find_loops, loop_depths
+
+__all__ = [
+    "BackwardMaySolver",
+    "BasicBlock",
+    "CFG",
+    "ForwardMaySolver",
+    "LiveRange",
+    "LivenessInfo",
+    "Loop",
+    "analyze",
+    "dominates",
+    "dominator_tree",
+    "find_loops",
+    "immediate_dominators",
+    "immediate_post_dominators",
+    "loop_depths",
+]

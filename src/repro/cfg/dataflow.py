@@ -1,0 +1,89 @@
+"""Generic iterative dataflow framework.
+
+Liveness (backward, may) drives register allocation; the framework is
+kept generic so other analyses (reaching definitions for the verifier's
+stricter mode, availability for future redundancy elimination) can share
+the worklist machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Generic, TypeVar
+
+from .graph import CFG
+
+T = TypeVar("T")
+
+Transfer = Callable[[int, FrozenSet[T]], FrozenSet[T]]
+
+
+class BackwardMaySolver(Generic[T]):
+    """Solve a backward may-analysis (union meet) over a CFG.
+
+    ``transfer(block_index, out_set) -> in_set`` applies the block's
+    transfer function.  The solver iterates to a fixed point using a
+    worklist seeded in postorder (the efficient order for backward
+    problems).
+    """
+
+    def __init__(self, cfg: CFG, transfer: Transfer):
+        self.cfg = cfg
+        self.transfer = transfer
+        self.in_sets: Dict[int, FrozenSet[T]] = {}
+        self.out_sets: Dict[int, FrozenSet[T]] = {}
+
+    def solve(self) -> None:
+        empty: FrozenSet[T] = frozenset()
+        for block in self.cfg.blocks:
+            self.in_sets[block.index] = empty
+            self.out_sets[block.index] = empty
+        worklist = list(self.cfg.reverse_postorder())
+        in_worklist = set(worklist)
+        while worklist:
+            idx = worklist.pop()
+            in_worklist.discard(idx)
+            block = self.cfg.blocks[idx]
+            out_set: FrozenSet[T] = empty
+            for succ in block.successors:
+                out_set = out_set | self.in_sets[succ]
+            self.out_sets[idx] = out_set
+            new_in = self.transfer(idx, out_set)
+            if new_in != self.in_sets[idx]:
+                self.in_sets[idx] = new_in
+                for pred in block.predecessors:
+                    if pred not in in_worklist:
+                        worklist.append(pred)
+                        in_worklist.add(pred)
+
+
+class ForwardMaySolver(Generic[T]):
+    """Solve a forward may-analysis (union meet) over a CFG."""
+
+    def __init__(self, cfg: CFG, transfer: Transfer):
+        self.cfg = cfg
+        self.transfer = transfer
+        self.in_sets: Dict[int, FrozenSet[T]] = {}
+        self.out_sets: Dict[int, FrozenSet[T]] = {}
+
+    def solve(self) -> None:
+        empty: FrozenSet[T] = frozenset()
+        for block in self.cfg.blocks:
+            self.in_sets[block.index] = empty
+            self.out_sets[block.index] = empty
+        worklist = list(reversed(self.cfg.reverse_postorder()))
+        in_worklist = set(worklist)
+        while worklist:
+            idx = worklist.pop()
+            in_worklist.discard(idx)
+            block = self.cfg.blocks[idx]
+            in_set: FrozenSet[T] = empty
+            for pred in block.predecessors:
+                in_set = in_set | self.out_sets[pred]
+            self.in_sets[idx] = in_set
+            new_out = self.transfer(idx, in_set)
+            if new_out != self.out_sets[idx]:
+                self.out_sets[idx] = new_out
+                for succ in block.successors:
+                    if succ not in in_worklist:
+                        worklist.append(succ)
+                        in_worklist.add(succ)

@@ -1,0 +1,166 @@
+"""Dominator-tree computation (Cooper-Harvey-Kennedy algorithm).
+
+Dominators feed natural-loop detection (:mod:`repro.cfg.loops`), which
+in turn supplies the loop-depth spill weights used by the allocator and
+the trip-count hints used by the static OptTLP analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .graph import CFG
+
+
+def immediate_dominators(cfg: CFG) -> Dict[int, Optional[int]]:
+    """Compute the immediate dominator of every reachable block.
+
+    Returns a map ``block_index -> idom_index`` with the entry mapping
+    to ``None``.  Unreachable blocks are omitted.
+    """
+    if not cfg.blocks:
+        return {}
+    rpo = cfg.reverse_postorder()
+    # Restrict to reachable blocks: reverse_postorder appends unreachable
+    # blocks; filter them via reachability from entry.
+    reachable = _reachable(cfg)
+    rpo = [b for b in rpo if b in reachable]
+    order_of = {b: i for i, b in enumerate(rpo)}
+
+    idom: Dict[int, Optional[int]] = {rpo[0]: rpo[0]}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order_of[a] > order_of[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order_of[b] > order_of[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block_idx in rpo[1:]:
+            preds = [
+                p
+                for p in cfg.blocks[block_idx].predecessors
+                if p in idom and p in reachable
+            ]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(block_idx) != new_idom:
+                idom[block_idx] = new_idom
+                changed = True
+
+    result: Dict[int, Optional[int]] = {}
+    for block_idx, dom in idom.items():
+        result[block_idx] = None if block_idx == rpo[0] else dom
+    return result
+
+
+def dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    """Whether block ``a`` dominates block ``b`` under the given idom map."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+def dominator_tree(cfg: CFG) -> Dict[int, List[int]]:
+    """Children lists of the dominator tree."""
+    idom = immediate_dominators(cfg)
+    tree: Dict[int, List[int]] = {b: [] for b in idom}
+    for block_idx, dom in idom.items():
+        if dom is not None:
+            tree[dom].append(block_idx)
+    return tree
+
+
+def _reachable(cfg: CFG) -> set:
+    seen = {0}
+    stack = [0]
+    while stack:
+        idx = stack.pop()
+        for succ in cfg.blocks[idx].successors:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def immediate_post_dominators(cfg: CFG) -> Dict[int, Optional[int]]:
+    """Immediate post-dominator of every block.
+
+    Computed by running the dominator algorithm on the reversed CFG
+    with a virtual exit (index ``-1``) joining all real exits.  Blocks
+    whose only post-dominator is the virtual exit map to ``None``.
+
+    SIMT reconvergence uses this: a divergent branch reconverges at the
+    immediate post-dominator of its block (the standard IPDOM stack).
+    """
+    if not cfg.blocks:
+        return {}
+    virtual_exit = -1
+    preds: Dict[int, List[int]] = {virtual_exit: []}
+    succs: Dict[int, List[int]] = {virtual_exit: []}
+    for block in cfg.blocks:
+        # Reversed edges: successor -> predecessor.
+        succs[block.index] = list(block.predecessors)
+        preds[block.index] = list(block.successors)
+        if not block.successors:
+            preds[block.index] = [virtual_exit]
+            succs[virtual_exit].append(block.index)
+
+    # Reverse postorder of the reversed graph from the virtual exit.
+    order: List[int] = []
+    seen = {virtual_exit}
+    stack = [(virtual_exit, iter(succs[virtual_exit]))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, iter(succs[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    order_of = {b: i for i, b in enumerate(order)}
+
+    ipdom: Dict[int, Optional[int]] = {virtual_exit: virtual_exit}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order_of[a] > order_of[b]:
+                a = ipdom[a]  # type: ignore[assignment]
+            while order_of[b] > order_of[a]:
+                b = ipdom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order[1:]:
+            candidates = [p for p in preds.get(node, []) if p in ipdom]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(p, new)
+            if ipdom.get(node) != new:
+                ipdom[node] = new
+                changed = True
+
+    result: Dict[int, Optional[int]] = {}
+    for block in cfg.blocks:
+        dom = ipdom.get(block.index)
+        result[block.index] = None if dom in (None, virtual_exit) else dom
+    return result

@@ -1,0 +1,187 @@
+"""Control-flow graph construction over PTX-subset kernels.
+
+CRAT "first builds the control- and data-flow graph based on the
+intermediate PTX representation" (paper Section 4.1).  A
+:class:`BasicBlock` is a maximal straight-line instruction sequence; the
+:class:`CFG` links blocks by branch targets and fall-through edges and
+offers the traversal orders the dataflow framework needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..ptx.instruction import Instruction, Label
+from ..ptx.module import Kernel
+
+
+@dataclasses.dataclass
+class BasicBlock:
+    """A maximal single-entry, single-exit straight-line sequence.
+
+    ``start`` is the index (into the kernel body, counting instructions
+    only) of the first instruction; used to give every instruction a
+    stable global position for live-range computation.
+    """
+
+    index: int
+    label: Optional[str]
+    instructions: List[Instruction]
+    start: int
+    successors: List[int] = dataclasses.field(default_factory=list)
+    predecessors: List[int] = dataclasses.field(default_factory=list)
+
+    def positions(self) -> Iterator[Tuple[int, Instruction]]:
+        """Yield ``(global_position, instruction)`` pairs."""
+        for offset, inst in enumerate(self.instructions):
+            yield self.start + offset, inst
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class CFG:
+    """The control-flow graph of one kernel."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.blocks: List[BasicBlock] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        body = self.kernel.body
+        # Pass 1: find leader positions (first instruction, label targets,
+        # instructions following branches).
+        leaders: Set[int] = set()
+        label_at: Dict[str, int] = {}
+        position = 0
+        pending_labels: List[str] = []
+        flat: List[Tuple[Optional[List[str]], Instruction]] = []
+        for item in body:
+            if isinstance(item, Label):
+                pending_labels.append(item.name)
+                continue
+            labels_here = pending_labels or None
+            pending_labels = []
+            if labels_here:
+                leaders.add(position)
+                for name in labels_here:
+                    label_at[name] = position
+            flat.append((labels_here, item))
+            position += 1
+        if flat:
+            leaders.add(0)
+        for pos, (_, inst) in enumerate(flat):
+            if inst.is_terminator and pos + 1 < len(flat):
+                leaders.add(pos + 1)
+            if inst.is_branch:
+                # Conditional branches also make the next inst a leader.
+                if pos + 1 < len(flat):
+                    leaders.add(pos + 1)
+
+        # Pass 2: carve blocks.
+        ordered = sorted(leaders)
+        block_of_pos: Dict[int, int] = {}
+        for bi, lead in enumerate(ordered):
+            end = ordered[bi + 1] if bi + 1 < len(ordered) else len(flat)
+            insts = [inst for _, inst in flat[lead:end]]
+            labels_here = flat[lead][0]
+            label = labels_here[0] if labels_here else None
+            self.blocks.append(
+                BasicBlock(index=bi, label=label, instructions=insts, start=lead)
+            )
+            for pos in range(lead, end):
+                block_of_pos[pos] = bi
+
+        # Pass 3: wire edges.
+        block_of_label = {
+            name: block_of_pos[pos] for name, pos in label_at.items() if pos in block_of_pos
+        }
+        for block in self.blocks:
+            if not block.instructions:
+                continue
+            last = block.instructions[-1]
+            last_pos = block.start + len(block.instructions) - 1
+            if last.is_branch:
+                target = block_of_label.get(last.target)
+                if target is None:
+                    raise ValueError(
+                        f"branch to label {last.target!r} past end of kernel"
+                    )
+                block.successors.append(target)
+                if last.guard is not None and last_pos + 1 < len(flat):
+                    block.successors.append(block_of_pos[last_pos + 1])
+            elif last.is_terminator:
+                pass  # ret/exit: no successors
+            elif last_pos + 1 < len(flat):
+                block.successors.append(block_of_pos[last_pos + 1])
+        for block in self.blocks:
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    # ------------------------------------------------------------------
+    # Queries and traversals.
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError("empty CFG")
+        return self.blocks[0]
+
+    def exits(self) -> List[BasicBlock]:
+        return [b for b in self.blocks if not b.successors]
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def reverse_postorder(self) -> List[int]:
+        """Block indices in reverse postorder (good order for forward problems)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(idx: int) -> None:
+            stack = [(idx, iter(self.blocks[idx].successors))]
+            seen.add(idx)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.blocks[succ].successors)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        if self.blocks:
+            visit(0)
+        # Unreachable blocks appended at the end in index order.
+        for block in self.blocks:
+            if block.index not in seen:
+                order.append(block.index)
+                seen.add(block.index)
+        order.reverse()
+        return order
+
+    def postorder(self) -> List[int]:
+        return list(reversed(self.reverse_postorder()))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for block in self.blocks:
+            for succ in block.successors:
+                yield block.index, succ
+
+    def __len__(self) -> int:
+        return len(self.blocks)

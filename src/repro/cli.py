@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's toolchain is used:
+
+* ``info APP|FILE``      — resource-usage analysis (Table 1)
+* ``allocate APP|FILE``  — register-allocate at a limit, emit PTX
+* ``simulate APP|FILE``  — run the timing simulator at a TLP
+* ``crat APP|FILE``      — the full coordinated optimization (Fig 9)
+* ``suite``              — the Fig 13 table over the sensitive suite
+
+``APP`` is a Table 3 abbreviation (CFD, KMN, ...); ``FILE`` is a path
+to PTX-subset text.  File inputs use synthetic default buffer sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .arch import get_config
+from .core import CRATOptimizer, collect_resource_usage
+from .ptx import parse_kernel, print_kernel, verify_kernel
+from .regalloc import allocate as allocate_kernel
+from .regalloc import register_demand
+from .sim import simulate
+from .workloads import BY_ABBR, load_workload
+
+
+def _load(target: str):
+    """Resolve APP abbreviation or PTX file path to (kernel, workload?)."""
+    if target.upper() in BY_ABBR:
+        workload = load_workload(target.upper())
+        return workload.kernel, workload
+    try:
+        with open(target) as handle:
+            text = handle.read()
+    except OSError as err:
+        raise SystemExit(f"error: {target!r} is neither a known app "
+                         f"({', '.join(sorted(BY_ABBR))}) nor a readable "
+                         f"file: {err}")
+    kernel = parse_kernel(text)
+    verify_kernel(kernel)
+    return kernel, None
+
+
+def cmd_info(args) -> int:
+    kernel, workload = _load(args.target)
+    config = get_config(args.config)
+    default = workload.default_reg if workload else None
+    usage = collect_resource_usage(kernel, config, default_reg=default)
+    print(f"kernel:     {kernel.name}")
+    print(f"config:     {config.name}")
+    print(f"MaxReg:     {usage.max_reg}")
+    print(f"MinReg:     {usage.min_reg}")
+    print(f"DefaultReg: {usage.default_reg}")
+    print(f"BlockSize:  {usage.block_size}")
+    print(f"ShmSize:    {usage.shm_size} B")
+    print(f"MaxTLP:     {usage.max_tlp}")
+    print(f"static instructions: {len(kernel.instructions())}")
+    return 0
+
+
+def cmd_allocate(args) -> int:
+    kernel, _ = _load(args.target)
+    limit = args.reg if args.reg else register_demand(kernel)
+    result = allocate_kernel(
+        kernel, limit, spare_shm_bytes=args.spare_shm,
+        enable_shm_spill=args.spare_shm > 0,
+    )
+    print(f"// reg limit {limit}: used {result.reg_per_thread} slots, "
+          f"{len(result.spilled)} spilled "
+          f"({result.num_local_insts} local / "
+          f"{result.num_shared_insts} shared insts, "
+          f"{len(result.rematerialized)} rematerialized)",
+          file=sys.stderr)
+    print(print_kernel(result.kernel))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    kernel, workload = _load(args.target)
+    config = get_config(args.config)
+    sizes = workload.param_sizes if workload else None
+    grid = args.grid or (workload.grid_blocks if workload else None)
+    result = simulate(kernel, config, tlp=args.tlp, grid_blocks=grid,
+                      param_sizes=sizes)
+    print(f"cycles:        {result.cycles:.0f}")
+    print(f"instructions:  {result.instructions}")
+    print(f"IPC:           {result.ipc:.3f}")
+    print(f"L1 hit rate:   {result.l1_hit_rate:.1%}")
+    print(f"MSHR stalls:   {result.mshr_stall_cycles:.0f} cycles")
+    print(f"local insts:   {result.local_insts}")
+    print(f"DRAM traffic:  {result.dram_bytes >> 10} KiB")
+    print(f"energy:        {result.energy_nj / 1e3:.1f} uJ")
+    return 0
+
+
+def cmd_crat(args) -> int:
+    kernel, workload = _load(args.target)
+    config = get_config(args.config)
+    optimizer = CRATOptimizer(
+        config,
+        enable_shm_spill=not args.no_shm_spill,
+        opt_tlp_mode="static" if args.static else "profile",
+    )
+    result = optimizer.optimize(
+        kernel,
+        default_reg=workload.default_reg if workload else None,
+        grid_blocks=workload.grid_blocks if workload else None,
+        param_sizes=workload.param_sizes if workload else None,
+    )
+    print(f"OptTLP ({result.opt_tlp_source}): {result.opt_tlp}")
+    print("candidates:")
+    for scored in result.candidates:
+        mark = "  <== chosen" if scored.point == result.chosen.point else ""
+        print(f"  (reg={scored.point.reg}, TLP={scored.point.tlp}) "
+              f"TPSC={scored.tpsc:.1f}{mark}")
+    print(f"speedup vs OptTLP: {result.speedup_vs('opttlp'):.2f}X")
+    print(f"speedup vs MaxTLP: {result.speedup_vs('maxtlp'):.2f}X")
+    if args.emit:
+        with open(args.emit, "w") as handle:
+            handle.write(print_kernel(result.chosen.allocation.kernel) + "\n")
+        print(f"optimized PTX written to {args.emit}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from .bench import evaluate_app, format_table, geomean
+
+    from .workloads import RESOURCE_SENSITIVE
+
+    rows = []
+    for app in RESOURCE_SENSITIVE:
+        ev = evaluate_app(app.abbr, args.config)
+        rows.append(
+            (app.abbr, f"{ev.speedup('maxtlp'):.3f}", "1.000",
+             f"{ev.speedup('crat-local'):.3f}", f"{ev.speedup('crat'):.3f}")
+        )
+        print(f"  {app.abbr} done", file=sys.stderr)
+    print(format_table(
+        ["app", "MaxTLP", "OptTLP", "CRAT-local", "CRAT"], rows,
+        title=f"CRAT suite results ({args.config})",
+    ))
+    crat_gm = geomean([float(r[4]) for r in rows])
+    print(f"\nCRAT geomean speedup vs OptTLP: {crat_gm:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="resource usage analysis")
+    p_info.add_argument("target")
+    p_info.add_argument("--config", default="fermi")
+    p_info.set_defaults(func=cmd_info)
+
+    p_alloc = sub.add_parser("allocate", help="register-allocate a kernel")
+    p_alloc.add_argument("target")
+    p_alloc.add_argument("--reg", type=int, default=0,
+                         help="register limit in slots (default: demand)")
+    p_alloc.add_argument("--spare-shm", type=int, default=0,
+                         help="shared-memory budget for Algorithm 1")
+    p_alloc.set_defaults(func=cmd_allocate)
+
+    p_sim = sub.add_parser("simulate", help="run the timing simulator")
+    p_sim.add_argument("target")
+    p_sim.add_argument("--tlp", type=int, default=4)
+    p_sim.add_argument("--grid", type=int, default=0)
+    p_sim.add_argument("--config", default="fermi")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_crat = sub.add_parser("crat", help="run the CRAT optimizer")
+    p_crat.add_argument("target")
+    p_crat.add_argument("--config", default="fermi")
+    p_crat.add_argument("--static", action="store_true",
+                        help="estimate OptTLP statically (CRAT-static)")
+    p_crat.add_argument("--no-shm-spill", action="store_true",
+                        help="disable Algorithm 1 (CRAT-local)")
+    p_crat.add_argument("--emit", default="",
+                        help="write optimized PTX to this path")
+    p_crat.set_defaults(func=cmd_crat)
+
+    p_suite = sub.add_parser("suite", help="Fig 13 table on the sensitive suite")
+    p_suite.add_argument("--config", default="fermi")
+    p_suite.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""The CRAT optimizer: coordinated register allocation + TLP (Figure 9).
+
+Pipeline per kernel:
+
+1. collect resource usage (Table 1),
+2. obtain OptTLP — by profiling every TLP (paper's default) or by the
+   static GTO analysis (*CRAT-static*, Section 7.6),
+3. prune the (reg, TLP) staircase to a few candidates (Section 4.2),
+4. register-allocate each candidate, spilling to spare shared memory
+   when profitable (Algorithm 1; disabled for *CRAT-local*),
+5. rank candidates with the TPSC model (Section 6) and pick the best,
+6. simulate the winner for evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from ..analysis.gto_model import estimate_opt_tlp
+from ..arch.config import GPUConfig
+from ..arch.latency import measure_costs
+from ..arch.occupancy import compute_occupancy, spare_shm_per_block
+from ..ptx.module import Kernel
+from ..regalloc.allocator import InsufficientRegistersError, allocate
+from ..sim.gpu import simulate_traces, trace_grid
+from ..sim.stats import SimResult
+from .design_space import DesignPoint, prune
+from .params import ResourceUsage, collect_resource_usage
+from .throttling import BaselineResult, run_baselines
+from .tpsc import ScoredPoint, score, select_best
+
+
+@dataclasses.dataclass
+class CRATResult:
+    """Everything the evaluation needs about one optimized kernel."""
+
+    usage: ResourceUsage
+    opt_tlp: int
+    opt_tlp_source: str
+    candidates: List[ScoredPoint]
+    chosen: ScoredPoint
+    sim: SimResult
+    baselines: Dict[str, BaselineResult]
+    variant: str
+    opt_tlp_seconds: float
+    search_seconds: float
+
+    @property
+    def reg(self) -> int:
+        return self.chosen.point.reg
+
+    @property
+    def tlp(self) -> int:
+        return self.chosen.point.tlp
+
+    def speedup_vs(self, scheme: str) -> float:
+        """Cycles(baseline) / cycles(CRAT) — >1 means CRAT is faster."""
+        base = self.baselines[scheme].sim.cycles
+        return base / self.sim.cycles if self.sim.cycles else 0.0
+
+
+class CRATOptimizer:
+    """Configurable CRAT pipeline.
+
+    ``enable_shm_spill=False`` gives the paper's *CRAT-local* variant;
+    ``opt_tlp_mode='static'`` gives *CRAT-static* (OptTLP from code
+    analysis instead of profiling).
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        enable_shm_spill: bool = True,
+        opt_tlp_mode: str = "profile",
+        hit_ratio: float = 0.6,
+        weighted_tpsc: bool = False,
+    ):
+        if opt_tlp_mode not in ("profile", "static"):
+            raise ValueError("opt_tlp_mode must be 'profile' or 'static'")
+        self.config = config
+        self.enable_shm_spill = enable_shm_spill
+        self.opt_tlp_mode = opt_tlp_mode
+        self.hit_ratio = hit_ratio
+        self.weighted_tpsc = weighted_tpsc
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        kernel: Kernel,
+        default_reg: Optional[int] = None,
+        grid_blocks: Optional[int] = None,
+        param_sizes: Optional[Dict[str, int]] = None,
+        baselines: Optional[Dict[str, BaselineResult]] = None,
+    ) -> CRATResult:
+        """Run the full pipeline on one kernel."""
+        config = self.config
+        if grid_blocks is None:
+            grid_blocks = 2 * config.max_blocks_per_sm
+        usage = collect_resource_usage(kernel, config, default_reg=default_reg)
+
+        # Baselines are also the profiling source for OptTLP.
+        t0 = time.perf_counter()
+        if baselines is None:
+            baselines = run_baselines(
+                kernel, config, usage, grid_blocks, param_sizes
+            )
+        if self.opt_tlp_mode == "profile":
+            # Pruning ceiling: the contention optimum over the whole
+            # achievable TLP range, not just what the default
+            # allocation can reach (see run_baselines).
+            profile = baselines["opttlp"].profile
+            opt_tlp = min(profile, key=lambda t: (profile[t].cycles, t))
+            opt_tlp_seconds = time.perf_counter() - t0
+        else:
+            t_static = time.perf_counter()
+            ceiling = compute_occupancy(
+                config,
+                min(usage.min_reg, usage.default_reg),
+                usage.shm_size,
+                usage.block_size,
+            ).blocks
+            estimate = estimate_opt_tlp(
+                baselines["opttlp"].allocation.kernel,
+                config,
+                max(ceiling, usage.max_tlp),
+                hit_ratio=self.hit_ratio,
+            )
+            opt_tlp = estimate.opt_tlp
+            opt_tlp_seconds = time.perf_counter() - t_static
+
+        t1 = time.perf_counter()
+        candidates = prune(config, usage, opt_tlp)
+        costs = measure_costs(config)
+        scored: List[ScoredPoint] = []
+        for point in candidates:
+            allocation = self._allocate_point(kernel, usage, point)
+            if allocation is None:
+                continue
+            scored.append(
+                score(
+                    point,
+                    allocation,
+                    config,
+                    usage.block_size,
+                    costs=costs,
+                    weighted=self.weighted_tpsc,
+                )
+            )
+        if not scored:
+            # Degenerate kernels (no register pressure range): fall back
+            # to the throttling point with the default allocation.
+            fallback = DesignPoint(reg=usage.default_reg, tlp=opt_tlp)
+            scored = [
+                score(
+                    fallback,
+                    baselines["opttlp"].allocation,
+                    config,
+                    usage.block_size,
+                    costs=costs,
+                    weighted=self.weighted_tpsc,
+                )
+            ]
+        chosen = select_best(scored)
+        search_seconds = time.perf_counter() - t1
+
+        traces = trace_grid(
+            chosen.allocation.kernel, config, grid_blocks, param_sizes
+        )
+        sim = simulate_traces(traces, config, chosen.point.tlp)
+        return CRATResult(
+            usage=usage,
+            opt_tlp=opt_tlp,
+            opt_tlp_source=self.opt_tlp_mode,
+            candidates=scored,
+            chosen=chosen,
+            sim=sim,
+            baselines=baselines,
+            variant="crat" if self.enable_shm_spill else "crat-local",
+            opt_tlp_seconds=opt_tlp_seconds,
+            search_seconds=search_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _allocate_point(
+        self, kernel: Kernel, usage: ResourceUsage, point: DesignPoint
+    ):
+        """Allocate one candidate; returns None if it turns out infeasible."""
+        spare = 0
+        if self.enable_shm_spill:
+            spare = spare_shm_per_block(self.config, usage.shm_size, point.tlp)
+        try:
+            allocation = allocate(
+                kernel,
+                point.reg,
+                spare_shm_bytes=spare,
+                enable_shm_spill=self.enable_shm_spill,
+            )
+        except InsufficientRegistersError:
+            return None
+        # The allocation must actually sustain the candidate TLP once
+        # its own shared-memory spill stack is accounted for.
+        total_shm = usage.shm_size + allocation.shm_spill_block_bytes
+        occ = compute_occupancy(
+            self.config,
+            allocation.reg_per_thread,
+            total_shm,
+            usage.block_size,
+        )
+        if occ.blocks < point.tlp:
+            return None
+        return allocation

@@ -1,0 +1,91 @@
+"""Design-space enumeration and pruning (paper Section 4.2).
+
+The space ``C = {(reg, TLP) | MinReg <= reg <= MaxReg, 1 <= TLP <=
+MaxTLP}`` forms a staircase (Figure 11): raising reg/thread keeps the
+TLP until a block no longer fits, then the TLP drops a stair.  Two
+pruning rules shrink it to a handful of candidates:
+
+1. **Rightmost point per stair** — with equal TLP, more registers per
+   thread is never worse, so only the largest reg sustaining each TLP
+   survives.
+2. **OptTLP ceiling** — points with ``TLP > OptTLP`` thrash the L1 and
+   are discarded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..arch.config import GPUConfig
+from ..arch.occupancy import compute_occupancy, max_reg_at_tlp
+from .params import ResourceUsage
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One ``(reg, TLP)`` candidate."""
+
+    reg: int
+    tlp: int
+
+    def __str__(self) -> str:
+        return f"(reg={self.reg}, TLP={self.tlp})"
+
+
+def enumerate_space(
+    config: GPUConfig, usage: ResourceUsage
+) -> List[DesignPoint]:
+    """The full (unpruned) staircase: every feasible (reg, TLP) pair.
+
+    Used by the exhaustive-search ablation; real runs call
+    :func:`prune` instead.
+    """
+    points = []
+    lo = min(usage.min_reg, usage.max_reg)
+    hi = min(usage.max_reg, config.max_reg_per_thread)
+    for reg in range(lo, hi + 1):
+        try:
+            occ = compute_occupancy(
+                config, reg, usage.shm_size, usage.block_size
+            )
+        except ValueError:
+            continue
+        for tlp in range(1, occ.blocks + 1):
+            points.append(DesignPoint(reg=reg, tlp=tlp))
+    return points
+
+
+def prune(
+    config: GPUConfig,
+    usage: ResourceUsage,
+    opt_tlp: int,
+) -> List[DesignPoint]:
+    """Apply both pruning rules; returns candidates sorted by TLP desc.
+
+    For every TLP from 1 to ``min(OptTLP, MaxTLP achievable)``, keep the
+    rightmost stair point: the largest reg/thread that still sustains
+    that TLP, clamped to ``MaxReg`` (more registers than the kernel can
+    use buy nothing).  When the clamp makes several TLPs share the same
+    reg, only the highest TLP survives (same single-thread performance,
+    more parallelism).
+    """
+    if opt_tlp <= 0:
+        raise ValueError("opt_tlp must be positive")
+    ceiling = compute_occupancy(
+        config, 0, usage.shm_size, usage.block_size
+    ).blocks
+    top_tlp = min(opt_tlp, ceiling)
+
+    by_reg = {}
+    for tlp in range(1, top_tlp + 1):
+        reg = max_reg_at_tlp(config, tlp, usage.shm_size, usage.block_size)
+        reg = min(reg, usage.max_reg, config.max_reg_per_thread)
+        if reg < min(usage.min_reg, usage.max_reg):
+            continue  # cannot even hold the architectural floor
+        # Highest TLP wins for a shared reg value.
+        if reg not in by_reg or by_reg[reg] < tlp:
+            by_reg[reg] = tlp
+    candidates = [DesignPoint(reg=r, tlp=t) for r, t in by_reg.items()]
+    candidates.sort(key=lambda p: (-p.tlp, -p.reg))
+    return candidates

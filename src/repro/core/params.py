@@ -1,0 +1,78 @@
+"""Resource-usage analysis: the parameters of paper Table 1.
+
+The design-space pruning component "collects the resource usage
+parameters" (Section 4.1):
+
+* ``MaxReg`` — registers/thread that hold every variable (dataflow
+  analysis over the interference graphs);
+* ``MinReg`` — ``NumRegister / MaxThreads``, the architecture floor
+  below which fewer registers cannot buy more TLP;
+* ``BlockSize``, ``MaxTLP``, ``OptTLP`` — thread-level parallelism;
+* ``ShmSize`` — shared memory per thread block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..arch.config import GPUConfig
+from ..arch.occupancy import compute_occupancy
+from ..ptx.module import Kernel
+from ..regalloc.allocator import register_demand
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Collected resource parameters for one kernel (paper Table 1)."""
+
+    kernel_name: str
+    max_reg: int
+    min_reg: int
+    block_size: int
+    shm_size: int
+    max_tlp: int
+    default_reg: int
+
+    def reg_range(self):
+        """The interesting register range ``[MinReg, MaxReg]``."""
+        low = min(self.min_reg, self.max_reg)
+        return range(low, self.max_reg + 1)
+
+
+#: nvcc caps registers per thread (Fermi: 63); the "default register
+#: allocation" of the MaxTLP/OptTLP baselines is the demand clipped to
+#: this cap, mirroring how the toolchain compiles without -maxrregcount.
+NVCC_DEFAULT_REG_CAP = 63
+
+
+def collect_resource_usage(
+    kernel: Kernel,
+    config: GPUConfig,
+    default_reg: int = None,
+) -> ResourceUsage:
+    """Analyze ``kernel`` and collect Table 1's parameters.
+
+    ``default_reg`` overrides the modeled nvcc default (some workloads
+    pin it to mimic a specific toolchain choice); otherwise it is the
+    register demand clipped to the nvcc cap and floored at ``MinReg``.
+    """
+    max_reg = register_demand(kernel)
+    min_reg = config.min_reg_per_thread
+    if default_reg is None:
+        default_reg = min(max_reg, NVCC_DEFAULT_REG_CAP)
+        default_reg = max(default_reg, min(min_reg, max_reg))
+    occupancy = compute_occupancy(
+        config,
+        reg_per_thread=default_reg,
+        shm_per_block=kernel.shared_bytes(),
+        block_size=kernel.block_size,
+    )
+    return ResourceUsage(
+        kernel_name=kernel.name,
+        max_reg=max_reg,
+        min_reg=min_reg,
+        block_size=kernel.block_size,
+        shm_size=kernel.shared_bytes(),
+        max_tlp=occupancy.blocks,
+        default_reg=default_reg,
+    )

@@ -1,0 +1,67 @@
+"""Pre-allocation optimization passes: copy propagation and DCE.
+
+``optimize_kernel`` runs the standard cleanup pipeline the production
+toolchain applies before register allocation: propagate copies, then
+delete the dead definitions that propagation exposes, iterated to a
+fixed point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ptx.module import Kernel
+from .bypass import BypassResult, apply_static_bypass
+from .copy_prop import CopyPropResult, propagate_copies
+from .dce import DCEResult, eliminate_dead_code
+from .schedule import ScheduleResult, schedule_for_mlp
+from .unroll import UnrollResult, unroll_loops
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Outcome of the cleanup pipeline."""
+
+    kernel: Kernel
+    rewritten_uses: int
+    removed_instructions: int
+    iterations: int
+
+
+def optimize_kernel(kernel: Kernel, max_iterations: int = 8) -> PipelineResult:
+    """Copy-propagate and DCE to a fixed point; returns a new kernel."""
+    current = kernel
+    total_rewritten = 0
+    total_removed = 0
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        cp = propagate_copies(current)
+        dce = eliminate_dead_code(cp.kernel)
+        total_rewritten += cp.rewritten_uses
+        total_removed += dce.removed
+        current = dce.kernel
+        if cp.rewritten_uses == 0 and dce.removed == 0:
+            break
+    return PipelineResult(
+        kernel=current,
+        rewritten_uses=total_rewritten,
+        removed_instructions=total_removed,
+        iterations=iterations,
+    )
+
+
+__all__ = [
+    "BypassResult",
+    "CopyPropResult",
+    "apply_static_bypass",
+    "DCEResult",
+    "PipelineResult",
+    "eliminate_dead_code",
+    "optimize_kernel",
+    "propagate_copies",
+    "ScheduleResult",
+    "schedule_for_mlp",
+    "UnrollResult",
+    "unroll_loops",
+]

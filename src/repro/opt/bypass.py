@@ -1,0 +1,106 @@
+"""Static cache bypassing for streaming global loads.
+
+The paper notes CRAT "can be used together with cache bypassing
+techniques to further improve the cache performance" (Section 8,
+referring to the authors' ICCAD'13/HPCA'15 work).  This pass implements
+the static flavour: global loads whose addresses *stream* — the base
+pointer is advanced by a loop-carried increment and never wraps — have
+no reuse, so caching them only evicts useful lines.  Such loads are
+marked ``ld.global.cg`` and the simulator services them from the L2
+without touching L1 tags or MSHRs.
+
+Detection is a conservative dataflow pattern match: a load streams when
+its address register is (transitively, through copies/adds with
+immediates) rooted at a register that is *monotonically advanced* in a
+loop — redefined by ``add reg, reg, <imm>`` with no masking — and that
+register has no other definition inside the loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from ..cfg.graph import CFG
+from ..cfg.loops import find_loops
+from ..ptx.instruction import Imm, Instruction, Label, Reg
+from ..ptx.isa import Opcode, Space
+from ..ptx.module import Kernel
+
+
+@dataclasses.dataclass
+class BypassResult:
+    """Outcome of the static bypass pass."""
+
+    kernel: Kernel
+    bypassed_loads: int
+
+
+def apply_static_bypass(kernel: Kernel) -> BypassResult:
+    """Mark streaming global loads ``.cg``; returns a new kernel."""
+    out = kernel.copy()
+    cfg = CFG(out)
+    loops = find_loops(cfg)
+    loop_blocks: Set[int] = set()
+    for loop in loops:
+        loop_blocks.update(loop.body)
+
+    # Registers advanced monotonically inside a loop: exactly one
+    # in-loop definition of the form  add r, r, imm  (self-increment).
+    defs_in_loop: Dict[str, List[Instruction]] = {}
+    for block in cfg.blocks:
+        if block.index not in loop_blocks:
+            continue
+        for inst in block.instructions:
+            for dreg in inst.defs():
+                defs_in_loop.setdefault(dreg.name, []).append(inst)
+
+    streaming_roots: Set[str] = set()
+    for name, sites in defs_in_loop.items():
+        if len(sites) != 1:
+            continue
+        inst = sites[0]
+        if (
+            inst.opcode is Opcode.ADD
+            and inst.dst is not None
+            and len(inst.srcs) == 2
+            and isinstance(inst.srcs[0], Reg)
+            and inst.srcs[0].name == name
+            and isinstance(inst.srcs[1], Imm)
+            and int(inst.srcs[1].value) > 0
+        ):
+            streaming_roots.add(name)
+
+    if not streaming_roots:
+        return BypassResult(kernel=out, bypassed_loads=0)
+
+    # Mark loop-resident global loads addressed through a streaming root.
+    new_body: List = []
+    count = 0
+    position = 0
+    pos_in_loop: Set[int] = set()
+    for block in cfg.blocks:
+        in_loop = block.index in loop_blocks
+        for pos, _ in block.positions():
+            if in_loop:
+                pos_in_loop.add(pos)
+    for item in out.body:
+        if isinstance(item, Label):
+            new_body.append(item)
+            continue
+        inst = item
+        if (
+            position in pos_in_loop
+            and inst.opcode is Opcode.LD
+            and inst.space is Space.GLOBAL
+            and inst.cache_op == "ca"
+            and inst.mem is not None
+            and isinstance(inst.mem.base, Reg)
+            and inst.mem.base.name in streaming_roots
+        ):
+            inst = dataclasses.replace(inst, cache_op="cg")
+            count += 1
+        new_body.append(inst)
+        position += 1
+    out.body = new_body
+    return BypassResult(kernel=out, bypassed_loads=count)

@@ -1,0 +1,98 @@
+"""Local copy propagation over the PTX-subset IR.
+
+Rewrites uses of ``%b`` to ``%a`` after ``mov %b, %a`` within a basic
+block, as long as neither register is redefined in between and the
+types are bit-compatible.  The SSA-style front end produces many such
+copies (paper Listing 2's ``mov`` chains); propagating them lets DCE
+delete the movs and shortens live ranges before allocation.
+
+Only register-to-register movs are propagated — immediates are left to
+the allocator's rematerialization, and special-register reads must stay
+(they are the canonical definition points).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..cfg.graph import CFG
+from ..ptx.instruction import Instruction, Label, Reg
+from ..ptx.isa import Opcode
+from ..ptx.module import Kernel
+
+
+@dataclasses.dataclass
+class CopyPropResult:
+    """Outcome of copy propagation."""
+
+    kernel: Kernel
+    rewritten_uses: int
+
+
+def propagate_copies(kernel: Kernel) -> CopyPropResult:
+    """Propagate register copies within basic blocks; returns a new kernel."""
+    out = kernel.copy()
+    cfg = CFG(out)
+    rewritten = 0
+    new_instructions: Dict[int, Instruction] = {}
+
+    for block in cfg.blocks:
+        copies: Dict[str, Reg] = {}  # dst name -> source register
+        for pos, inst in block.positions():
+            # Rewrite uses through the current copy map (transitively).
+            mapping: Dict[str, Reg] = {}
+            for reg in inst.uses():
+                source = _resolve(copies, reg)
+                if source is not None and source.name != reg.name:
+                    mapping[reg.name] = Reg(source.name, reg.dtype)
+            if mapping:
+                inst = inst.rewrite_regs(lambda r: mapping.get(r.name, r))
+                new_instructions[pos] = inst
+                rewritten += len(mapping)
+            # Kill copies invalidated by this definition.
+            for dreg in inst.defs():
+                copies.pop(dreg.name, None)
+                stale = [
+                    d for d, s in copies.items() if s.name == dreg.name
+                ]
+                for name in stale:
+                    del copies[name]
+            # Record a new copy.
+            if (
+                inst.opcode is Opcode.MOV
+                and inst.guard is None
+                and inst.dst is not None
+                and len(inst.srcs) == 1
+                and isinstance(inst.srcs[0], Reg)
+                and _compatible(inst.dst, inst.srcs[0])
+            ):
+                copies[inst.dst.name] = inst.srcs[0]
+
+    if new_instructions:
+        body: List = []
+        position = 0
+        for item in out.body:
+            if isinstance(item, Label):
+                body.append(item)
+                continue
+            body.append(new_instructions.get(position, item))
+            position += 1
+        out.body = body
+    return CopyPropResult(kernel=out, rewritten_uses=rewritten)
+
+
+def _resolve(copies: Dict[str, Reg], reg: Reg, limit: int = 8):
+    """Follow the copy chain from ``reg`` (bounded)."""
+    current = reg
+    seen = 0
+    while current.name in copies and seen < limit:
+        current = copies[current.name]
+        seen += 1
+    return current if seen else None
+
+
+def _compatible(a: Reg, b: Reg) -> bool:
+    if a.dtype.reg_class is not b.dtype.reg_class:
+        return False
+    return a.dtype.bits == b.dtype.bits

@@ -1,0 +1,173 @@
+"""List scheduling for memory-level parallelism (load hoisting).
+
+GPU compilers hoist independent loads above their consumers so a warp
+issues many memory requests before stalling — the memory-level
+parallelism that hides DRAM latency.  The price is register pressure:
+every hoisted load's destination is live until its (now distant)
+consumer.  Combined with :mod:`repro.opt.unroll`, this reproduces the
+classic ILP-vs-occupancy tension that CRAT's coordinated register/TLP
+search resolves.
+
+The scheduler works per basic block on a dependency DAG:
+
+* register RAW/WAR/WAW edges (guards included),
+* conservative memory edges: stores order against all other memory
+  operations of any space; loads reorder freely among themselves,
+* barriers and terminators are fences.
+
+Ready instructions whose subtree leads to a load are scheduled first
+(hoisting whole address chains); ties keep program order, so the pass
+is deterministic and a no-op on blocks without loads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from ..cfg.graph import CFG
+from ..ptx.instruction import Instruction, Label
+from ..ptx.isa import Opcode, Space
+from ..ptx.module import Kernel
+
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """Outcome of the scheduling pass."""
+
+    kernel: Kernel
+    moved_instructions: int
+
+
+def schedule_for_mlp(kernel: Kernel) -> ScheduleResult:
+    """Hoist loads (and their address chains) within each basic block."""
+    out = kernel.copy()
+    cfg = CFG(out)
+    new_order: Dict[int, List[Instruction]] = {}
+    moved = 0
+    for block in cfg.blocks:
+        scheduled = _schedule_block(block.instructions)
+        if scheduled is not None:
+            new_order[block.index] = scheduled
+            moved += sum(
+                1
+                for a, b in zip(block.instructions, scheduled)
+                if a is not b
+            )
+    if not new_order:
+        return ScheduleResult(out, 0)
+
+    new_body: List = []
+    by_start = {block.start: block for block in cfg.blocks}
+    position = 0
+    idx = 0
+    items = list(out.body)
+    while idx < len(items):
+        item = items[idx]
+        if isinstance(item, Label):
+            new_body.append(item)
+            idx += 1
+            continue
+        block = by_start.get(position)
+        if block is not None and block.index in new_order:
+            new_body.extend(new_order[block.index])
+            idx += len(block.instructions)
+            position += len(block.instructions)
+            continue
+        new_body.append(item)
+        idx += 1
+        position += 1
+    out.body = new_body
+    return ScheduleResult(out, moved)
+
+
+def _schedule_block(insts: List[Instruction]):
+    """Return the rescheduled instruction list, or None if unchanged."""
+    n = len(insts)
+    if n < 3:
+        return None
+    loads = [
+        i
+        for i, inst in enumerate(insts)
+        if inst.opcode is Opcode.LD
+    ]
+    if not loads:
+        return None
+
+    # --- dependency DAG -------------------------------------------------
+    succs: List[Set[int]] = [set() for _ in range(n)]
+    preds_count = [0] * n
+    last_def: Dict[str, int] = {}
+    last_uses: Dict[str, List[int]] = {}
+    last_store = -1
+    last_mems: List[int] = []
+    fence = -1
+
+    def add_edge(a: int, b: int) -> None:
+        if a != b and b not in succs[a]:
+            succs[a].add(b)
+            preds_count[b] += 1
+
+    for i, inst in enumerate(insts):
+        if fence >= 0:
+            add_edge(fence, i)
+        for reg in inst.uses():
+            if reg.name in last_def:
+                add_edge(last_def[reg.name], i)  # RAW
+        for reg in inst.defs():
+            if reg.name in last_def:
+                add_edge(last_def[reg.name], i)  # WAW
+            for use_site in last_uses.get(reg.name, ()):
+                add_edge(use_site, i)  # WAR
+        # Memory ordering: stores are ordered against everything
+        # memory; loads only against stores.
+        if inst.opcode is Opcode.ST:
+            for m in last_mems:
+                add_edge(m, i)
+            last_mems.append(i)
+            last_store = i
+        elif inst.opcode is Opcode.LD:
+            if last_store >= 0:
+                add_edge(last_store, i)
+            last_mems.append(i)
+        # Barriers/terminators are full fences.
+        if inst.opcode in (Opcode.BAR, Opcode.BRA, Opcode.RET, Opcode.EXIT):
+            for j in range(i):
+                add_edge(j, i)
+            fence = i
+        # Bookkeeping.
+        for reg in inst.uses():
+            last_uses.setdefault(reg.name, []).append(i)
+        for reg in inst.defs():
+            last_def[reg.name] = i
+            last_uses[reg.name] = []
+
+    # --- priority: does this instruction lead to a load? ----------------
+    leads_to_load = [False] * n
+    for i in range(n - 1, -1, -1):
+        if insts[i].opcode is Opcode.LD:
+            leads_to_load[i] = True
+            continue
+        leads_to_load[i] = any(leads_to_load[s] for s in succs[i])
+
+    # --- list schedule ---------------------------------------------------
+    import heapq
+
+    ready = [
+        ((not leads_to_load[i]), i) for i in range(n) if preds_count[i] == 0
+    ]
+    heapq.heapify(ready)
+    order: List[int] = []
+    remaining = list(preds_count)
+    while ready:
+        _, i = heapq.heappop(ready)
+        order.append(i)
+        for s in succs[i]:
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                heapq.heappush(ready, ((not leads_to_load[s]), s))
+    if len(order) != n:  # pragma: no cover - DAG is acyclic by build
+        return None
+    if order == list(range(n)):
+        return None
+    return [insts[i] for i in order]

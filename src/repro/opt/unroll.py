@@ -1,0 +1,220 @@
+"""Partial unrolling of counted innermost loops.
+
+Unrolling is the classic ILP knob that *raises register pressure* — the
+exact tension CRAT coordinates (more live values per iteration against
+the TLP the registers permit; the paper's related work points to loop
+optimization [27] as a complementary lever).  This pass unrolls loops
+of the canonical counted shape
+
+.. code-block:: text
+
+    $head:
+        setp.ge.s32 %p, %i, <trip>;    // immediate trip count
+        @%p bra $exit;
+        <straight-line body ... add %i, %i, 1;>
+        bra $head;
+    $exit:
+
+by replicating the body ``factor`` times per back edge (the counter
+increment replicates with it, so iteration-dependent addresses stay
+correct).  Only branch-free bodies are transformed, and only when the
+factor divides the trip count — otherwise the loop is left alone and
+reported as skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..cfg.graph import CFG
+from ..cfg.loops import find_loops
+from ..ptx.instruction import Imm, Instruction, Label, Reg
+from ..ptx.isa import CmpOp, Opcode
+from ..ptx.module import Kernel
+
+
+@dataclasses.dataclass
+class UnrollResult:
+    """Outcome of the unrolling pass."""
+
+    kernel: Kernel
+    unrolled_loops: int
+    skipped_loops: int
+    factor: int
+
+
+@dataclasses.dataclass
+class _CountedLoop:
+    header_index: int
+    latch_index: int
+    counter: str
+    trip: int
+
+
+def _match_counted_loop(cfg: CFG, header: int, body) -> Optional[_CountedLoop]:
+    """Recognize the canonical two-block counted loop."""
+    if len(body) != 2:
+        return None
+    latch = next(b for b in body if b != header)
+    head_block = cfg.blocks[header]
+    latch_block = cfg.blocks[latch]
+    insts = head_block.instructions
+    if len(insts) != 2:
+        return None
+    setp, bra = insts
+    if setp.opcode is not Opcode.SETP or setp.cmp is not CmpOp.GE:
+        return None
+    if not (
+        isinstance(setp.srcs[0], Reg)
+        and isinstance(setp.srcs[1], Imm)
+    ):
+        return None
+    if bra.opcode is not Opcode.BRA or bra.guard is None:
+        return None
+    if bra.guard.name != setp.dst.name or bra.guard_negated:
+        return None
+    counter = setp.srcs[0].name
+    trip = int(setp.srcs[1].value)
+
+    # Latch: straight-line, ends with an unconditional branch to the
+    # header, contains exactly one `add counter, counter, 1`.
+    last = latch_block.instructions[-1]
+    if not (last.opcode is Opcode.BRA and last.guard is None):
+        return None
+    increments = [
+        inst
+        for inst in latch_block.instructions
+        if inst.opcode is Opcode.ADD
+        and inst.dst is not None
+        and inst.dst.name == counter
+    ]
+    if len(increments) != 1:
+        return None
+    inc = increments[0]
+    if not (
+        len(inc.srcs) == 2
+        and isinstance(inc.srcs[0], Reg)
+        and inc.srcs[0].name == counter
+        and isinstance(inc.srcs[1], Imm)
+        and int(inc.srcs[1].value) == 1
+    ):
+        return None
+    return _CountedLoop(
+        header_index=header, latch_index=latch, counter=counter, trip=trip
+    )
+
+
+def _local_defs(straight: List[Instruction]) -> List[str]:
+    """Registers whose first occurrence in the body is a definition.
+
+    These are the iteration-local temporaries (loaded values, address
+    computations); loop-carried values appear as a *use* first and must
+    keep their names across replicas.
+    """
+    seen_use = set()
+    locals_: List[str] = []
+    for inst in straight:
+        for reg in inst.uses():
+            if reg.name not in locals_:
+                seen_use.add(reg.name)
+        for reg in inst.defs():
+            if reg.name not in seen_use and reg.name not in locals_:
+                locals_.append(reg.name)
+    return locals_
+
+
+def _rename_replica(
+    straight: List[Instruction], locals_: List[str], suffix: str
+) -> List[Instruction]:
+    mapping = {name: f"{name}u{suffix}" for name in locals_}
+
+    def remap(reg: Reg) -> Reg:
+        new = mapping.get(reg.name)
+        return Reg(new, reg.dtype) if new else reg
+
+    return [inst.rewrite_regs(remap) for inst in straight]
+
+
+def unroll_loops(
+    kernel: Kernel, factor: int = 2, rename_locals: bool = True
+) -> UnrollResult:
+    """Unroll every matching innermost counted loop by ``factor``.
+
+    With ``rename_locals`` (default), each replica's iteration-local
+    temporaries get fresh names, so independent replicas can overlap in
+    the pipeline — the memory-level-parallelism gain unrolling is for,
+    at the cost of proportionally higher register pressure (the
+    coordination problem CRAT resolves).
+    """
+    if factor < 2:
+        raise ValueError("unroll factor must be at least 2")
+    out = kernel.copy()
+    cfg = CFG(out)
+    loops = find_loops(cfg)
+    # Innermost loops: those whose body contains no other loop's header.
+    headers = {loop.header for loop in loops}
+    unrolled = 0
+    skipped = 0
+    replications: List[Tuple[int, int]] = []  # (latch block, copies)
+    for loop in loops:
+        inner_headers = (loop.body - {loop.header}) & headers
+        if inner_headers:
+            continue  # not innermost
+        matched = _match_counted_loop(cfg, loop.header, loop.body)
+        if matched is None or matched.trip % factor != 0:
+            skipped += 1
+            continue
+        replications.append((matched.latch_index, factor))
+        unrolled += 1
+
+    if not replications:
+        return UnrollResult(out, 0, skipped, factor)
+
+    # Rebuild the body, replicating the chosen latch blocks' straight
+    # line instructions (everything but the trailing branch) factor
+    # times; the final increment of each replica advances the counter.
+    latch_spans = {}
+    for latch_index, copies in replications:
+        block = cfg.blocks[latch_index]
+        start = block.start
+        end = start + len(block.instructions)
+        latch_spans[start] = (end, copies)
+
+    new_body: List = []
+    position = 0
+    body_iter = iter(out.body)
+    # Map positions back to body items (labels carry no position).
+    items = list(out.body)
+    idx = 0
+    while idx < len(items):
+        item = items[idx]
+        if isinstance(item, Label):
+            new_body.append(item)
+            idx += 1
+            continue
+        if position in latch_spans:
+            end, copies = latch_spans[position]
+            # Collect the latch instructions (and any interleaved labels
+            # would violate the straight-line guarantee — none exist).
+            latch_insts: List[Instruction] = []
+            while position < end:
+                latch_insts.append(items[idx])
+                idx += 1
+                position += 1
+            straight, branch = latch_insts[:-1], latch_insts[-1]
+            locals_ = _local_defs(straight) if rename_locals else []
+            for copy_index in range(copies):
+                if rename_locals and copy_index > 0:
+                    new_body.extend(
+                        _rename_replica(straight, locals_, str(copy_index))
+                    )
+                else:
+                    new_body.extend(straight)
+            new_body.append(branch)
+            continue
+        new_body.append(item)
+        idx += 1
+        position += 1
+    out.body = new_body
+    return UnrollResult(out, unrolled, skipped, factor)

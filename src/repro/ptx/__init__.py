@@ -1,0 +1,68 @@
+"""PTX-subset intermediate representation.
+
+The typed IR that CRAT transforms: instruction/operand classes, kernel
+containers, a fluent builder, a textual parser/printer pair that
+round-trips, and a structural verifier.
+"""
+
+from .builder import KernelBuilder
+from .instruction import (
+    BodyItem,
+    Imm,
+    Instruction,
+    Label,
+    MemRef,
+    Operand,
+    Reg,
+    Sreg,
+    Sym,
+    iter_instructions,
+)
+from .isa import (
+    CmpOp,
+    DType,
+    LatencyClass,
+    Opcode,
+    RegClass,
+    Space,
+    SPECIAL_REGISTERS,
+    latency_class,
+)
+from .module import ArrayDecl, Kernel, Module, Param, fresh_register_namer
+from .parser import PTXParseError, parse_kernel, parse_module
+from .printer import print_kernel, print_module
+from .verifier import VerificationError, verify_kernel
+
+__all__ = [
+    "ArrayDecl",
+    "BodyItem",
+    "CmpOp",
+    "DType",
+    "Imm",
+    "Instruction",
+    "Kernel",
+    "KernelBuilder",
+    "Label",
+    "LatencyClass",
+    "MemRef",
+    "Module",
+    "Opcode",
+    "Operand",
+    "PTXParseError",
+    "Param",
+    "Reg",
+    "RegClass",
+    "SPECIAL_REGISTERS",
+    "Space",
+    "Sreg",
+    "Sym",
+    "VerificationError",
+    "fresh_register_namer",
+    "iter_instructions",
+    "latency_class",
+    "parse_kernel",
+    "parse_module",
+    "print_kernel",
+    "print_module",
+    "verify_kernel",
+]

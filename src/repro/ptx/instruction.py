@@ -1,0 +1,259 @@
+"""Instruction and operand classes for the PTX-subset IR.
+
+An :class:`Instruction` is one typed PTX statement, e.g.::
+
+    @%p1 mad.lo.s32 %r4, %r2, %r3, %r1;
+    ld.global.f32 %f2, [%rd3+16];
+    setp.lt.s32 %p1, %r4, %r5;
+
+Operands are :class:`Reg` (virtual or allocated register), :class:`Imm`
+(immediate), :class:`Sreg` (special register such as ``%tid.x``),
+:class:`Sym` (address of a declared array, e.g. the spill stack of paper
+Listing 4), and :class:`MemRef` (``[base+offset]`` addressing, used only
+by ``ld``/``st``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Tuple, Union
+
+from .isa import CmpOp, DType, NO_DST_OPS, Opcode, Space, latency_class
+
+
+@dataclasses.dataclass(frozen=True)
+class Reg:
+    """A (virtual or physical) register operand.
+
+    Names follow the PTX convention of a class prefix plus an index
+    (``%r12``, ``%rd3``, ``%f7``, ``%p1``), but any identifier is
+    accepted; the register class is carried by ``dtype``.
+    """
+
+    name: str
+    dtype: DType
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Imm:
+    """An immediate operand."""
+
+    value: Union[int, float]
+    dtype: DType
+
+    def __str__(self) -> str:
+        if self.dtype.is_float:
+            return repr(float(self.value))
+        return str(int(self.value))
+
+
+@dataclasses.dataclass(frozen=True)
+class Sreg:
+    """A read-only special register (``%tid.x``, ``%ctaid.x``, ...)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Sym:
+    """The address of a declared array or kernel parameter.
+
+    ``mov.u64 %rd0, SpillStack;`` materializes the base address of a
+    local/shared array into an addressing register (paper Listing 4).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Reg, Imm, Sreg, Sym]
+
+
+@dataclasses.dataclass(frozen=True)
+class MemRef:
+    """A ``[base+offset]`` memory reference for ``ld``/``st``."""
+
+    base: Union[Reg, Sym]
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.offset:
+            return f"[{self.base}+{self.offset}]"
+        return f"[{self.base}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class Label:
+    """A branch target pseudo-item in a kernel body."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclasses.dataclass
+class Instruction:
+    """One PTX-subset instruction.
+
+    Attributes:
+        opcode: The operation.
+        dtype: The instruction type suffix (``add.s32`` -> ``S32``).
+            ``None`` only for untyped control flow (``bra``/``bar``/...).
+        dst: Destination register, or ``None`` for stores and control flow.
+        srcs: Source operands in PTX order.
+        mem: Memory reference for ``ld`` (source) / ``st`` (destination).
+        space: State space for ``ld``/``st``.
+        cmp: Comparison operator, only for ``setp``.
+        guard: Predicate register guarding execution (``@%p``), or ``None``.
+        guard_negated: Whether the guard is negated (``@!%p``).
+        target: Branch target label name, only for ``bra``.
+    """
+
+    opcode: Opcode
+    dtype: Optional[DType] = None
+    dst: Optional[Reg] = None
+    srcs: Tuple[Operand, ...] = ()
+    mem: Optional[MemRef] = None
+    space: Optional[Space] = None
+    cmp: Optional[CmpOp] = None
+    guard: Optional[Reg] = None
+    guard_negated: bool = False
+    target: Optional[str] = None
+    #: Cache operator for global loads: "ca" (cache at all levels,
+    #: default) or "cg" (bypass the L1, cache at L2) — PTX's ld.global.cg,
+    #: the hook static cache-bypassing frameworks use.
+    cache_op: str = "ca"
+
+    def __post_init__(self) -> None:
+        if self.dst is not None and self.opcode in NO_DST_OPS:
+            raise ValueError(f"{self.opcode.value} takes no destination")
+        if self.opcode is Opcode.SETP and self.cmp is None:
+            raise ValueError("setp requires a comparison operator")
+        if self.opcode in (Opcode.LD, Opcode.ST):
+            if self.mem is None or self.space is None:
+                raise ValueError(f"{self.opcode.value} requires mem and space")
+        if self.opcode is Opcode.BRA and self.target is None:
+            raise ValueError("bra requires a target label")
+
+    # ------------------------------------------------------------------
+    # Def/use views used by liveness analysis and the allocator.
+    # ------------------------------------------------------------------
+    def defs(self) -> Tuple[Reg, ...]:
+        """Registers written by this instruction."""
+        if self.dst is not None:
+            return (self.dst,)
+        return ()
+
+    def uses(self) -> Tuple[Reg, ...]:
+        """Registers read by this instruction (guard included)."""
+        used = []
+        for src in self.srcs:
+            if isinstance(src, Reg):
+                used.append(src)
+        if self.mem is not None and isinstance(self.mem.base, Reg):
+            used.append(self.mem.base)
+        if self.guard is not None:
+            used.append(self.guard)
+        return tuple(used)
+
+    def regs(self) -> Tuple[Reg, ...]:
+        """All registers referenced (defs then uses)."""
+        return self.defs() + self.uses()
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LD, Opcode.ST)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode is Opcode.BRA
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in (Opcode.BRA, Opcode.RET, Opcode.EXIT)
+
+    @property
+    def latency_class(self):
+        return latency_class(self.opcode)
+
+    # ------------------------------------------------------------------
+    # Rewriting helpers (used by the allocator's renaming pass).
+    # ------------------------------------------------------------------
+    def rewrite_regs(self, mapping) -> "Instruction":
+        """Return a copy with every register replaced via ``mapping``.
+
+        ``mapping`` is a callable ``Reg -> Reg``; registers it returns
+        unchanged are kept as-is.
+        """
+        new_srcs = tuple(
+            mapping(src) if isinstance(src, Reg) else src for src in self.srcs
+        )
+        new_dst = mapping(self.dst) if self.dst is not None else None
+        new_mem = self.mem
+        if self.mem is not None and isinstance(self.mem.base, Reg):
+            new_mem = MemRef(mapping(self.mem.base), self.mem.offset)
+        new_guard = mapping(self.guard) if self.guard is not None else None
+        return dataclasses.replace(
+            self, dst=new_dst, srcs=new_srcs, mem=new_mem, guard=new_guard
+        )
+
+    # ------------------------------------------------------------------
+    # Printing.
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            bang = "!" if self.guard_negated else ""
+            parts.append(f"@{bang}{self.guard}")
+        mnemonic = self.opcode.value
+        if self.opcode is Opcode.SETP:
+            mnemonic += f".{self.cmp.value}"
+        if self.opcode in (Opcode.LD, Opcode.ST):
+            mnemonic += f".{self.space.value}"
+            if self.cache_op != "ca":
+                mnemonic += f".{self.cache_op}"
+        if self.opcode in (Opcode.MUL, Opcode.MAD) and not (
+            self.dtype and self.dtype.is_float
+        ):
+            mnemonic += ".lo"
+        if self.dtype is not None:
+            mnemonic += f".{self.dtype.value}"
+        parts.append(mnemonic)
+
+        operands = []
+        if self.opcode is Opcode.ST:
+            operands.append(str(self.mem))
+            operands.extend(str(s) for s in self.srcs)
+        elif self.opcode is Opcode.LD:
+            operands.append(str(self.dst))
+            operands.append(str(self.mem))
+        elif self.opcode is Opcode.BRA:
+            operands.append(self.target)
+        elif self.opcode is Opcode.BAR:
+            operands.append("0")
+        else:
+            if self.dst is not None:
+                operands.append(str(self.dst))
+            operands.extend(str(s) for s in self.srcs)
+        if operands:
+            return f"{' '.join(parts)} {', '.join(operands)};"
+        return f"{' '.join(parts)};"
+
+
+BodyItem = Union[Instruction, Label]
+
+
+def iter_instructions(body: Iterable[BodyItem]):
+    """Yield only the :class:`Instruction` items of a kernel body."""
+    for item in body:
+        if isinstance(item, Instruction):
+            yield item

@@ -1,0 +1,177 @@
+"""Kernel and module containers for the PTX-subset IR.
+
+A :class:`Kernel` corresponds to one ``.entry`` in a PTX module: its
+parameters, its local/shared array declarations (including spill stacks,
+paper Listing 4), and its body of labels and instructions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+from .instruction import BodyItem, Instruction, Label, Reg, iter_instructions
+from .isa import DType, RegClass, Space
+
+
+@dataclasses.dataclass(frozen=True)
+class Param:
+    """A kernel parameter (always passed in ``.param`` space)."""
+
+    name: str
+    dtype: DType
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayDecl:
+    """A declared array in local or shared memory.
+
+    ``.local .align 4 .b8 SpillStack[40];`` declares a 40-byte spill
+    stack in local memory (paper Listing 4).  Shared arrays model both
+    application shared-memory use and Algorithm 1's shared sub-stacks.
+    """
+
+    name: str
+    space: Space
+    size_bytes: int
+    align: int = 4
+
+    def __post_init__(self) -> None:
+        if self.space not in (Space.LOCAL, Space.SHARED):
+            raise ValueError(f"arrays may only live in local/shared, got {self.space}")
+        if self.size_bytes <= 0:
+            raise ValueError("array size must be positive")
+
+
+@dataclasses.dataclass
+class Kernel:
+    """One GPU kernel in the PTX-subset IR."""
+
+    name: str
+    params: List[Param] = dataclasses.field(default_factory=list)
+    arrays: List[ArrayDecl] = dataclasses.field(default_factory=list)
+    body: List[BodyItem] = dataclasses.field(default_factory=list)
+    block_size: int = 256
+
+    # ------------------------------------------------------------------
+    # Structural queries.
+    # ------------------------------------------------------------------
+    def instructions(self) -> List[Instruction]:
+        """All instructions in body order (labels skipped)."""
+        return list(iter_instructions(self.body))
+
+    def labels(self) -> List[str]:
+        return [item.name for item in self.body if isinstance(item, Label)]
+
+    def registers(self) -> Set[Reg]:
+        """The set of distinct registers referenced anywhere in the body."""
+        regs: Set[Reg] = set()
+        for inst in iter_instructions(self.body):
+            regs.update(inst.regs())
+        return regs
+
+    def register_count(self, reg_class: Optional[RegClass] = None) -> int:
+        """Number of distinct registers, optionally filtered by class."""
+        regs = self.registers()
+        if reg_class is None:
+            return len(regs)
+        return sum(1 for r in regs if r.dtype.reg_class is reg_class)
+
+    def register_slots(self) -> int:
+        """32-bit register-file slots needed to hold every distinct register.
+
+        64-bit registers cost two slots; predicates cost none (they live
+        in a dedicated predicate file, as on hardware).  This is the raw
+        SSA-style demand — the quantity the paper calls the register
+        requirement *before* allocation.
+        """
+        return sum(r.dtype.reg_class.slots for r in self.registers())
+
+    def shared_bytes(self) -> int:
+        """Total declared shared-memory bytes per thread block (ShmSize)."""
+        return sum(a.size_bytes for a in self.arrays if a.space is Space.SHARED)
+
+    def local_bytes(self) -> int:
+        """Total declared local-memory bytes per thread."""
+        return sum(a.size_bytes for a in self.arrays if a.space is Space.LOCAL)
+
+    def find_array(self, name: str) -> Optional[ArrayDecl]:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        return None
+
+    def label_index(self) -> Dict[str, int]:
+        """Map label name -> index of the following instruction slot."""
+        index: Dict[str, int] = {}
+        for i, item in enumerate(self.body):
+            if isinstance(item, Label):
+                index[item.name] = i
+        return index
+
+    def validate_targets(self) -> None:
+        """Raise if any branch targets a label that does not exist."""
+        labels = set(self.labels())
+        for inst in iter_instructions(self.body):
+            if inst.is_branch and inst.target not in labels:
+                raise ValueError(
+                    f"kernel {self.name}: branch to undefined label {inst.target!r}"
+                )
+
+    def copy(self) -> "Kernel":
+        """A shallow-body copy safe for rewriting passes.
+
+        Instructions are immutable in practice (rewrites replace them),
+        so copying the body list is sufficient isolation.
+        """
+        return Kernel(
+            name=self.name,
+            params=list(self.params),
+            arrays=list(self.arrays),
+            body=list(self.body),
+            block_size=self.block_size,
+        )
+
+    def __str__(self) -> str:
+        from .printer import print_kernel
+
+        return print_kernel(self)
+
+
+@dataclasses.dataclass
+class Module:
+    """A PTX module: an ordered collection of kernels."""
+
+    kernels: List[Kernel] = dataclasses.field(default_factory=list)
+
+    def kernel(self, name: str) -> Kernel:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(f"no kernel named {name!r}")
+
+    def __str__(self) -> str:
+        from .printer import print_module
+
+        return print_module(self)
+
+
+def fresh_register_namer(kernel: Kernel, reg_class: RegClass, dtype: DType):
+    """Return a factory for fresh registers not colliding with the kernel.
+
+    Used by spill-code insertion, which needs new addressing registers
+    (paper Listing 4 introduces ``%d0`` for the spill-stack base).
+    """
+    existing = {r.name for r in kernel.registers()}
+    prefix = f"%{reg_class.value}"
+    counter = 0
+
+    def fresh() -> Reg:
+        nonlocal counter
+        while f"{prefix}{counter}" in existing:
+            counter += 1
+        name = f"{prefix}{counter}"
+        existing.add(name)
+        return Reg(name, dtype)
+
+    return fresh

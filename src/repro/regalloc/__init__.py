@@ -1,0 +1,67 @@
+"""Register allocation: Chaitin-Briggs coloring, linear-scan reference
+allocator, spill-code insertion, and the shared-memory spilling
+optimization (paper Algorithm 1)."""
+
+from .allocator import (
+    AllocationResult,
+    DATA_CLASSES,
+    InsufficientRegistersError,
+    allocate,
+    register_demand,
+)
+from .chaitin_briggs import ColoringResult, chromatic_demand, color_graph
+from .interference import InterferenceGraph, build_interference, verify_coloring
+from .linear_scan import allocate_linear_scan
+from .remat import RematResult, remat_candidates, rematerialize
+from .shm_spill import (
+    ShmSpillPlan,
+    SubStack,
+    build_substacks,
+    knapsack,
+    plan_shared_spilling,
+    split_by_type,
+    split_per_variable,
+    split_single,
+)
+from .spill import (
+    SHARED_SPILL_NAME,
+    SPILL_STACK_NAME,
+    SpillCodeResult,
+    SpillSlot,
+    SpillStackLayout,
+    insert_spill_code,
+    layout_stack,
+)
+
+__all__ = [
+    "AllocationResult",
+    "ColoringResult",
+    "DATA_CLASSES",
+    "InsufficientRegistersError",
+    "InterferenceGraph",
+    "SHARED_SPILL_NAME",
+    "SPILL_STACK_NAME",
+    "ShmSpillPlan",
+    "SpillCodeResult",
+    "SpillSlot",
+    "SpillStackLayout",
+    "SubStack",
+    "allocate",
+    "allocate_linear_scan",
+    "build_interference",
+    "build_substacks",
+    "chromatic_demand",
+    "color_graph",
+    "insert_spill_code",
+    "knapsack",
+    "layout_stack",
+    "plan_shared_spilling",
+    "remat_candidates",
+    "rematerialize",
+    "RematResult",
+    "register_demand",
+    "split_by_type",
+    "split_per_variable",
+    "split_single",
+    "verify_coloring",
+]

@@ -1,0 +1,205 @@
+"""Set-associative cache with LRU replacement and a finite MSHR table.
+
+This is the L1 data cache of paper Table 2 (32 KB, 4-way, 128 B lines,
+LRU, 32 MSHR entries) and, with different geometry, the per-SM slice of
+the L2.  Two behaviours matter for reproducing the paper:
+
+* **capacity contention** — more concurrent thread blocks enlarge the
+  aggregate working set past 32 KB and the hit rate collapses (Figure
+  5a), which is why thread throttling helps;
+* **MSHR congestion** — when every miss-status register is busy, new
+  misses cannot even be issued and the pipeline stalls (Figure 5b's
+  "stall caused by the congestion of cache requests").
+
+The cache is timing-aware but event-free: a probe at time ``now``
+returns when the data will be ready.  A missed line enters the MSHR
+table and is promoted into the tag store only once its fill time has
+passed, so back-to-back accesses to an in-flight line merge into the
+outstanding request instead of fake-hitting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import OrderedDict
+from typing import Callable, Dict, List, Tuple
+
+from ..arch.config import CacheConfig
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    mshr_merges: int = 0
+    mshr_full_events: int = 0
+    evictions: int = 0
+    write_accesses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one cache probe."""
+
+    ready_at: float  # cycle at which the data is available
+    hit: bool
+    filled_by_mshr: bool = False
+
+
+class MSHRFullError(Exception):
+    """No miss-status register is free; the request cannot be accepted.
+
+    Carries the earliest cycle at which an entry frees up so the caller
+    can model the stall precisely.
+    """
+
+    def __init__(self, retry_at: float):
+        super().__init__(f"MSHR full until cycle {retry_at}")
+        self.retry_at = retry_at
+
+
+class Cache:
+    """One set-associative, LRU, write-allocate cache level.
+
+    ``next_level`` is a callable ``(line_addr, now) -> ready_at`` that
+    services misses (the L2 probe, or the DRAM model).
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        hit_latency: int,
+        next_level: Callable[[int, float], float],
+        name: str = "cache",
+    ):
+        self.config = config
+        self.hit_latency = hit_latency
+        self.next_level = next_level
+        self.name = name
+        self.stats = CacheStats()
+        self._sets = [OrderedDict() for _ in range(config.num_sets)]
+        self._mshr: Dict[int, float] = {}  # line addr -> fill time
+        self._fill_heap: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    def _set_of(self, line_addr: int) -> OrderedDict:
+        return self._sets[(line_addr // self.config.line_bytes) % self.config.num_sets]
+
+    def line_of(self, addr: int) -> int:
+        return addr - (addr % self.config.line_bytes)
+
+    def _promote_fills(self, now: float) -> None:
+        """Move MSHR entries whose data has arrived into the tag store."""
+        heap = self._fill_heap
+        while heap and heap[0][0] <= now:
+            fill_time, line = heapq.heappop(heap)
+            if self._mshr.get(line) == fill_time:
+                del self._mshr[line]
+                self._fill(line, self._set_of(line))
+
+    # ------------------------------------------------------------------
+    def probe(self, addr: int, now: float, is_write: bool = False) -> ProbeResult:
+        """Access the cache; raises :class:`MSHRFullError` on congestion."""
+        self._promote_fills(now)
+        line = self.line_of(addr)
+        cache_set = self._set_of(line)
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.write_accesses += 1
+
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.stats.hits += 1
+            return ProbeResult(ready_at=now + self.hit_latency, hit=True)
+
+        self.stats.misses += 1
+        pending = self._mshr.get(line)
+        if pending is not None:
+            # Merge into the in-flight request.
+            self.stats.mshr_merges += 1
+            return ProbeResult(ready_at=pending, hit=False, filled_by_mshr=True)
+        if len(self._mshr) >= self.config.mshr_entries:
+            self.stats.mshr_full_events += 1
+            raise MSHRFullError(retry_at=self._fill_heap[0][0])
+
+        ready_at = self.next_level(line, now)
+        self._mshr[line] = ready_at
+        heapq.heappush(self._fill_heap, (ready_at, line))
+        return ProbeResult(ready_at=ready_at, hit=False)
+
+    def probe_no_allocate(self, addr: int, now: float) -> ProbeResult:
+        """Write-evict access (Fermi global stores): hit evicts, miss bypasses."""
+        self._promote_fills(now)
+        line = self.line_of(addr)
+        cache_set = self._set_of(line)
+        self.stats.accesses += 1
+        self.stats.write_accesses += 1
+        if line in cache_set:
+            del cache_set[line]
+            self.stats.evictions += 1
+        ready_at = self.next_level(line, now)
+        return ProbeResult(ready_at=ready_at, hit=False)
+
+    def _fill(self, line: int, cache_set: OrderedDict) -> None:
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[line] = True
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_of(addr)
+        return line in self._set_of(line)
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._mshr.clear()
+        self._fill_heap.clear()
+
+
+class DRAMModel:
+    """Latency + bandwidth model for the DRAM behind the L2.
+
+    Each transaction occupies the channel for ``line_bytes /
+    bytes_per_cycle`` cycles; requests arriving while the channel is
+    busy queue up, which is how bandwidth saturation at high TLP emerges
+    (the paper's Section 4.1 extension: "we extend it by modeling the
+    memory bandwidth").
+    """
+
+    def __init__(self, latency: int, bytes_per_cycle: float, line_bytes: int = 128):
+        self.latency = latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.line_bytes = line_bytes
+        self.busy_until = 0.0
+        self.transactions = 0
+        self.bytes_transferred = 0
+
+    def access(self, line_addr: int, now: float) -> float:
+        service_start = max(now, self.busy_until)
+        transfer = self.line_bytes / self.bytes_per_cycle
+        self.busy_until = service_start + transfer
+        self.transactions += 1
+        self.bytes_transferred += self.line_bytes
+        return service_start + transfer + self.latency
+
+    @property
+    def queue_delay(self) -> float:
+        return self.busy_until
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.transactions = 0
+        self.bytes_transferred = 0

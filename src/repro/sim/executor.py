@@ -1,0 +1,565 @@
+"""Functional SIMT execution of PTX-subset kernels.
+
+One thread block executes with all its lanes vectorized as numpy
+arrays; branches must be block-uniform (the workload generator uses
+predication for lane-divergent behaviour, as GPU compilers do for short
+conditionals).  Execution produces:
+
+* **functional effects** — real values flow through registers and
+  memory, so tests can compare an allocated/spilled kernel's output
+  against the original bit-for-bit;
+* **a timing trace** — per warp, a list of :class:`WarpOp` carrying the
+  dependency names and, for memory operations, the coalesced cache-line
+  addresses that drive the cache/DRAM model.
+
+Local-memory addresses are interleaved across threads the way hardware
+does it (word ``w`` of thread ``t`` sits at ``w * nthreads + t``), so
+same-slot spill accesses from a warp coalesce into few transactions —
+this is what makes spill traffic cache-able and is essential to the
+paper's ``Cost_local`` behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ptx.instruction import Imm, Instruction, Label, Reg, Sreg, Sym
+from ..ptx.isa import CmpOp, DType, LatencyClass, Opcode, Space
+from ..ptx.module import Kernel
+from .memory import BlockMemory, GlobalMemory
+from .values import LOCAL_BASE, cast_lanes, np_dtype
+
+#: Physical base for interleaved local-memory storage (cache addressing).
+LOCAL_PHYS_BASE = 0x8000_0000
+
+_MAX_DYNAMIC_INSTRUCTIONS = 2_000_000
+
+
+class DivergentBranchError(RuntimeError):
+    """A branch guard was not uniform across the block."""
+
+
+@dataclasses.dataclass(frozen=True)
+class WarpOp:
+    """One dynamic instruction of one warp, ready for the timing model.
+
+    ``lines`` holds the coalesced cache-line addresses for global/local
+    accesses (empty for everything else); ``conflict`` is the shared
+    memory bank-serialization factor (1 = conflict-free).
+    """
+
+    kind: LatencyClass
+    opcode: Opcode
+    dst: Optional[str]
+    srcs: Tuple[str, ...]
+    space: Optional[Space] = None
+    is_store: bool = False
+    lines: Tuple[int, ...] = ()
+    bytes: int = 0
+    conflict: int = 1
+    #: ld.global.cg: skip the L1, service from the L2 directly.
+    bypass_l1: bool = False
+
+
+@dataclasses.dataclass
+class BlockTrace:
+    """The execution trace of one thread block, split per warp."""
+
+    block_id: int
+    block_size: int
+    warp_ops: List[List[WarpOp]]
+    instruction_count: int
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warp_ops)
+
+
+class BlockExecutor:
+    """Executes one thread block functionally and collects its trace."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        global_mem: GlobalMemory,
+        block_id: int,
+        grid_blocks: int,
+        warp_size: int = 32,
+        line_bytes: int = 128,
+        shared_banks: int = 32,
+    ):
+        self.kernel = kernel
+        self.global_mem = global_mem
+        self.block_id = block_id
+        self.grid_blocks = grid_blocks
+        self.warp_size = warp_size
+        self.line_bytes = line_bytes
+        self.shared_banks = shared_banks
+        self.block_size = kernel.block_size
+        if self.block_size % warp_size != 0:
+            raise ValueError("block size must be a multiple of the warp size")
+        self.num_warps = self.block_size // warp_size
+        self.block_mem = BlockMemory(kernel, self.block_size)
+        self.regs: Dict[str, np.ndarray] = {}
+        self._lane = np.arange(self.block_size)
+        self._gtid = block_id * self.block_size + self._lane
+        self._total_threads = grid_blocks * self.block_size
+        # Flattened program: instructions plus a label index.
+        self._program: List[Instruction] = []
+        self._label_index: Dict[str, int] = {}
+        for item in kernel.body:
+            if isinstance(item, Label):
+                self._label_index[item.name] = len(self._program)
+            else:
+                self._program.append(item)
+        # SIMT divergence: the reconvergence (immediate post-dominator)
+        # position of every branch, computed lazily on first divergence.
+        self._join_of: Optional[Dict[int, Optional[int]]] = None
+        self._active = np.ones(self.block_size, dtype=bool)
+
+    def _reconvergence_points(self) -> Dict[int, Optional[int]]:
+        """Map each branch's program position to its IPDOM position."""
+        from ..cfg.dominators import immediate_post_dominators
+        from ..cfg.graph import CFG
+
+        cfg = CFG(self.kernel)
+        ipdom = immediate_post_dominators(cfg)
+        joins: Dict[int, Optional[int]] = {}
+        for block in cfg.blocks:
+            target = ipdom.get(block.index)
+            join_pos = cfg.blocks[target].start if target is not None else None
+            for pos, inst in block.positions():
+                if inst.is_branch:
+                    joins[pos] = join_pos
+        return joins
+
+    # ------------------------------------------------------------------
+    def run(self) -> BlockTrace:
+        """Execute the block to completion; returns its warp traces.
+
+        Divergent *forward* branches are handled with the standard
+        SIMT/IPDOM reconvergence stack: the fall-through path runs
+        first under the not-taken mask, then the taken path, and the
+        full mask is restored at the branch's immediate post-dominator.
+        Divergent backward branches (data-dependent trip counts across
+        a block) are out of the modeled subset and raise
+        :class:`DivergentBranchError`.
+        """
+        warp_ops: List[List[WarpOp]] = [[] for _ in range(self.num_warps)]
+        pc = 0
+        executed = 0
+        program = self._program
+        n = len(program)
+        self._active = np.ones(self.block_size, dtype=bool)
+        # Stack entries: [join_pos, other_pc, other_mask, saved_mask, pending]
+        simt_stack: List[list] = []
+        while pc < n:
+            # Reconvergence: switch to the pending path or restore.
+            while simt_stack and pc == simt_stack[-1][0]:
+                entry = simt_stack[-1]
+                if entry[4]:
+                    entry[4] = False
+                    self._active = entry[2]
+                    pc = entry[1]
+                else:
+                    self._active = entry[3]
+                    simt_stack.pop()
+            if pc >= n:
+                break
+            executed += 1
+            if executed > _MAX_DYNAMIC_INSTRUCTIONS:
+                raise RuntimeError(
+                    f"kernel {self.kernel.name} exceeded the dynamic "
+                    f"instruction budget ({_MAX_DYNAMIC_INSTRUCTIONS})"
+                )
+            inst = program[pc]
+            opcode = inst.opcode
+            if opcode in (Opcode.RET, Opcode.EXIT):
+                if simt_stack:
+                    raise DivergentBranchError(
+                        f"kernel {self.kernel.name}: exit inside a divergent "
+                        "region is outside the modeled subset"
+                    )
+                break
+            mask = self._guard_mask(inst)
+            if opcode is Opcode.BRA:
+                pc = self._branch(inst, mask, pc, simt_stack, warp_ops)
+                continue
+            if opcode is Opcode.BAR:
+                if simt_stack:
+                    raise DivergentBranchError(
+                        f"kernel {self.kernel.name}: barrier inside a "
+                        "divergent region would deadlock"
+                    )
+                self._record_simple(warp_ops, inst)
+                pc += 1
+                continue
+            if opcode is Opcode.LD:
+                self._exec_load(inst, mask, warp_ops)
+            elif opcode is Opcode.ST:
+                self._exec_store(inst, mask, warp_ops)
+            else:
+                self._exec_compute(inst, mask)
+                self._record_simple(warp_ops, inst)
+            pc += 1
+        total = sum(len(ops) for ops in warp_ops)
+        return BlockTrace(
+            block_id=self.block_id,
+            block_size=self.block_size,
+            warp_ops=warp_ops,
+            instruction_count=total,
+        )
+
+    def _branch(self, inst, mask, pc, simt_stack, warp_ops) -> int:
+        """Execute one branch; returns the next pc."""
+        self._record_simple(warp_ops, inst)
+        target = self._label_index[inst.target]
+        active = self._active
+        taken = mask  # guard mask already restricted to active lanes
+        n_taken = int(taken.sum())
+        n_active = int(active.sum())
+        if n_taken == n_active:
+            return target
+        if n_taken == 0:
+            return pc + 1
+        # Divergence.
+        if target <= pc:
+            raise DivergentBranchError(
+                f"kernel {self.kernel.name}: divergent backward branch at "
+                f"{inst} (data-dependent trip counts are outside the "
+                "modeled subset; use predication)"
+            )
+        if self._join_of is None:
+            self._join_of = self._reconvergence_points()
+        join = self._join_of.get(pc)
+        if join is None:
+            raise DivergentBranchError(
+                f"kernel {self.kernel.name}: divergent branch at {inst} "
+                "has no reconvergence point"
+            )
+        simt_stack.append([join, target, taken.copy(), active.copy(), True])
+        self._active = active & ~taken
+        return pc + 1
+
+    # ------------------------------------------------------------------
+    # Operand evaluation.
+    # ------------------------------------------------------------------
+    def _read(self, operand, dtype: Optional[DType]) -> np.ndarray:
+        if isinstance(operand, Reg):
+            value = self.regs.get(operand.name)
+            if value is None:
+                value = np.zeros(self.block_size, dtype=np_dtype(operand.dtype))
+                self.regs[operand.name] = value
+            return value
+        if isinstance(operand, Imm):
+            nd = np_dtype(dtype or operand.dtype)
+            return np.full(self.block_size, operand.value, dtype=nd)
+        if isinstance(operand, Sreg):
+            return self._special(operand.name)
+        if isinstance(operand, Sym):
+            base = self._sym_base(operand.name)
+            return np.full(self.block_size, base, dtype=np.uint64)
+        raise TypeError(f"cannot evaluate operand {operand!r}")
+
+    def _sym_base(self, name: str) -> int:
+        if name in self.block_mem.sym_base:
+            return self.block_mem.sym_base[name]
+        if name in self.global_mem.param_base:
+            return self.global_mem.param_base[name]
+        raise KeyError(f"unknown symbol {name!r}")
+
+    def _special(self, name: str) -> np.ndarray:
+        if name == "%tid.x":
+            return self._lane.astype(np.uint32)
+        if name == "%ctaid.x":
+            return np.full(self.block_size, self.block_id, dtype=np.uint32)
+        if name == "%ntid.x":
+            return np.full(self.block_size, self.block_size, dtype=np.uint32)
+        if name == "%nctaid.x":
+            return np.full(self.block_size, self.grid_blocks, dtype=np.uint32)
+        if name == "%laneid":
+            return (self._lane % self.warp_size).astype(np.uint32)
+        if name == "%warpid":
+            return (self._lane // self.warp_size).astype(np.uint32)
+        if name in ("%tid.y", "%ctaid.y", "%ntid.y", "%nctaid.y"):
+            return np.zeros(self.block_size, dtype=np.uint32)
+        raise KeyError(f"unknown special register {name!r}")
+
+    def _guard_mask(self, inst: Instruction) -> np.ndarray:
+        if inst.guard is None:
+            return self._active
+        mask = self._read(inst.guard, DType.PRED).astype(bool)
+        if inst.guard_negated:
+            mask = ~mask
+        return mask & self._active
+
+    def _uniform(self, mask: np.ndarray, inst: Instruction) -> bool:
+        if mask.all():
+            return True
+        if not mask.any():
+            return False
+        raise DivergentBranchError(
+            f"kernel {self.kernel.name}: divergent branch at {inst} "
+            "(the IR subset requires block-uniform branches; use "
+            "predication/selp for lane-dependent behaviour)"
+        )
+
+    def _write(self, dst: Reg, value: np.ndarray, mask: np.ndarray) -> None:
+        nd = np_dtype(dst.dtype)
+        value = cast_lanes(np.asarray(value), dst.dtype)
+        if mask.all():
+            self.regs[dst.name] = value.copy()
+            return
+        old = self.regs.get(dst.name)
+        if old is None:
+            old = np.zeros(self.block_size, dtype=nd)
+        self.regs[dst.name] = np.where(mask, value, old)
+
+    # ------------------------------------------------------------------
+    # Instruction semantics.
+    # ------------------------------------------------------------------
+    def _exec_compute(self, inst: Instruction, mask: np.ndarray) -> None:
+        opcode = inst.opcode
+        dtype = inst.dtype
+        nd = np_dtype(dtype) if dtype else None
+
+        def src(i: int) -> np.ndarray:
+            value = self._read(inst.srcs[i], dtype)
+            if nd is not None and opcode is not Opcode.SELP and value.dtype != nd:
+                if opcode in (Opcode.SHL, Opcode.SHR) and i == 1:
+                    return value  # shift amounts keep their own type
+                value = cast_lanes(value, dtype)
+            return value
+
+        with np.errstate(all="ignore"):
+            if opcode is Opcode.MOV:
+                result = src(0)
+            elif opcode is Opcode.CVT:
+                result = cast_lanes(self._read(inst.srcs[0], None), dtype)
+            elif opcode is Opcode.ADD:
+                result = src(0) + src(1)
+            elif opcode is Opcode.SUB:
+                result = src(0) - src(1)
+            elif opcode is Opcode.MUL:
+                result = src(0) * src(1)
+            elif opcode in (Opcode.MAD, Opcode.FMA):
+                result = src(0) * src(1) + src(2)
+            elif opcode is Opcode.DIV:
+                a, b = src(0), src(1)
+                if dtype.is_float:
+                    result = a / b
+                else:
+                    safe = np.where(b == 0, 1, b)
+                    result = np.where(b == 0, 0, a // safe)
+            elif opcode is Opcode.REM:
+                a, b = src(0), src(1)
+                safe = np.where(b == 0, 1, b)
+                result = np.where(b == 0, 0, a % safe)
+            elif opcode is Opcode.MIN:
+                result = np.minimum(src(0), src(1))
+            elif opcode is Opcode.MAX:
+                result = np.maximum(src(0), src(1))
+            elif opcode is Opcode.NEG:
+                result = -src(0)
+            elif opcode is Opcode.ABS:
+                result = np.abs(src(0))
+            elif opcode is Opcode.AND:
+                result = src(0) & src(1)
+            elif opcode is Opcode.OR:
+                result = src(0) | src(1)
+            elif opcode is Opcode.XOR:
+                result = src(0) ^ src(1)
+            elif opcode is Opcode.NOT:
+                result = ~src(0)
+            elif opcode is Opcode.SHL:
+                result = src(0) << cast_lanes(src(1), DType.U32).astype(np.uint32) % np.uint32(dtype.bits)
+            elif opcode is Opcode.SHR:
+                result = src(0) >> cast_lanes(src(1), DType.U32).astype(np.uint32) % np.uint32(dtype.bits)
+            elif opcode is Opcode.SQRT:
+                result = np.sqrt(src(0))
+            elif opcode is Opcode.RSQRT:
+                result = 1.0 / np.sqrt(src(0))
+            elif opcode is Opcode.RCP:
+                result = 1.0 / src(0)
+            elif opcode is Opcode.SIN:
+                result = np.sin(src(0))
+            elif opcode is Opcode.COS:
+                result = np.cos(src(0))
+            elif opcode is Opcode.LG2:
+                result = np.log2(np.abs(src(0)) + 1e-30)
+            elif opcode is Opcode.EX2:
+                result = np.exp2(src(0))
+            elif opcode is Opcode.SETP:
+                result = self._compare(inst.cmp, src(0), src(1))
+            elif opcode is Opcode.SELP:
+                pred = self._read(inst.srcs[2], DType.PRED).astype(bool)
+                result = np.where(pred, src(0), src(1))
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(f"opcode {opcode}")
+        self._write(inst.dst, result, mask)
+
+    @staticmethod
+    def _compare(cmp: CmpOp, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if cmp is CmpOp.EQ:
+            return a == b
+        if cmp is CmpOp.NE:
+            return a != b
+        if cmp is CmpOp.LT:
+            return a < b
+        if cmp is CmpOp.LE:
+            return a <= b
+        if cmp is CmpOp.GT:
+            return a > b
+        return a >= b
+
+    # ------------------------------------------------------------------
+    # Memory semantics + address capture.
+    # ------------------------------------------------------------------
+    def _addresses(self, inst: Instruction) -> np.ndarray:
+        base = inst.mem.base
+        if isinstance(base, Sym):
+            addrs = np.full(
+                self.block_size, self._sym_base(base.name), dtype=np.uint64
+            )
+        else:
+            addrs = cast_lanes(self._read(base, DType.U64), DType.U64)
+        if inst.mem.offset:
+            addrs = addrs + np.uint64(inst.mem.offset)
+        return addrs
+
+    def _exec_load(self, inst, mask, warp_ops) -> None:
+        addrs = self._addresses(inst)
+        dtype = inst.dtype
+        if inst.space is Space.GLOBAL or inst.space is Space.CONST:
+            values = self.global_mem.load(addrs, dtype, mask)
+        elif inst.space is Space.SHARED:
+            values = self.block_mem.load_shared(addrs, dtype, mask)
+        elif inst.space is Space.LOCAL:
+            values = self.block_mem.load_local(addrs, dtype, mask)
+        elif inst.space is Space.PARAM:
+            values = self.global_mem.load(addrs, dtype, mask)
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(f"load from {inst.space}")
+        self._write(inst.dst, values, mask)
+        self._record_memory(warp_ops, inst, addrs, mask, is_store=False)
+
+    def _exec_store(self, inst, mask, warp_ops) -> None:
+        addrs = self._addresses(inst)
+        dtype = inst.dtype
+        values = cast_lanes(self._read(inst.srcs[0], dtype), dtype)
+        if inst.space is Space.GLOBAL:
+            self.global_mem.store(addrs, values, dtype, mask)
+        elif inst.space is Space.SHARED:
+            self.block_mem.store_shared(addrs, values, dtype, mask)
+        elif inst.space is Space.LOCAL:
+            self.block_mem.store_local(addrs, values, dtype, mask)
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(f"store to {inst.space}")
+        self._record_memory(warp_ops, inst, addrs, mask, is_store=True)
+
+    # ------------------------------------------------------------------
+    # Trace recording.
+    # ------------------------------------------------------------------
+    def _record_simple(self, warp_ops, inst: Instruction) -> None:
+        kind = inst.latency_class
+        dst = inst.dst.name if inst.dst is not None else None
+        srcs = tuple(r.name for r in inst.uses())
+        op = WarpOp(kind=kind, opcode=inst.opcode, dst=dst, srcs=srcs)
+        for ops in warp_ops:
+            ops.append(op)
+
+    def _record_memory(self, warp_ops, inst, addrs, mask, is_store) -> None:
+        dst = inst.dst.name if inst.dst is not None else None
+        srcs = tuple(r.name for r in inst.uses())
+        width = inst.dtype.bytes if inst.dtype else 4
+        space = inst.space
+        ws = self.warp_size
+        if space is Space.LOCAL:
+            cache_addrs = self._interleave_local(addrs)
+        elif space in (Space.GLOBAL, Space.CONST, Space.PARAM):
+            cache_addrs = addrs.astype(np.int64)
+        else:
+            cache_addrs = None
+
+        for w, ops in enumerate(warp_ops):
+            lanes = slice(w * ws, (w + 1) * ws)
+            wmask = mask[lanes]
+            if not wmask.any():
+                # Fully predicated-off warps still issue the instruction.
+                ops.append(
+                    WarpOp(
+                        kind=LatencyClass.ALU,
+                        opcode=inst.opcode,
+                        dst=dst,
+                        srcs=srcs,
+                    )
+                )
+                continue
+            conflict = 1
+            lines: Tuple[int, ...] = ()
+            if cache_addrs is not None:
+                active = cache_addrs[lanes][wmask]
+                line_ids = np.unique(active // self.line_bytes) * self.line_bytes
+                lines = tuple(int(x) for x in line_ids)
+            elif space is Space.SHARED:
+                active = addrs[lanes][wmask].astype(np.int64)
+                words = active // 4
+                banks = words % self.shared_banks
+                # Serialization factor: max distinct words mapping to one bank.
+                if len(words):
+                    uniq = np.unique(np.stack([banks, words]), axis=1)
+                    counts = np.bincount(
+                        uniq[0].astype(np.int64), minlength=self.shared_banks
+                    )
+                    conflict = max(1, int(counts.max()))
+            ops.append(
+                WarpOp(
+                    kind=LatencyClass.MEM,
+                    opcode=inst.opcode,
+                    dst=dst,
+                    srcs=srcs,
+                    space=space,
+                    is_store=is_store,
+                    lines=lines,
+                    bytes=int(wmask.sum()) * width,
+                    conflict=conflict,
+                    bypass_l1=(inst.cache_op == "cg"),
+                )
+            )
+
+    def _interleave_local(self, addrs: np.ndarray) -> np.ndarray:
+        """Map per-thread local offsets to interleaved physical addresses."""
+        words = (addrs.astype(np.int64) - int(LOCAL_BASE)) // 4
+        return (
+            LOCAL_PHYS_BASE
+            + (words * self._total_threads + self._gtid) * 4
+        ).astype(np.int64)
+
+
+def run_grid(
+    kernel: Kernel,
+    global_mem: GlobalMemory,
+    grid_blocks: int,
+    warp_size: int = 32,
+    line_bytes: int = 128,
+) -> List[BlockTrace]:
+    """Execute every block of a grid sequentially; returns all traces.
+
+    Blocks in the modeled subset do not communicate, so sequential
+    functional execution is equivalent to any interleaving.
+    """
+    traces = []
+    for block_id in range(grid_blocks):
+        executor = BlockExecutor(
+            kernel,
+            global_mem,
+            block_id=block_id,
+            grid_blocks=grid_blocks,
+            warp_size=warp_size,
+            line_bytes=line_bytes,
+        )
+        traces.append(executor.run())
+    return traces

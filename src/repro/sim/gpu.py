@@ -1,0 +1,72 @@
+"""Top-level simulation entry points.
+
+``simulate(kernel, config, tlp)`` runs the whole pipeline: build the
+global-memory image, execute every block functionally to produce warp
+traces, then replay the traces through the SM timing model at the given
+TLP.  Because the traces depend only on the kernel and grid (not on the
+TLP), :func:`trace_grid` exposes the expensive functional step so TLP
+sweeps (OptTLP profiling, design-space exploration) can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..arch.config import GPUConfig
+from ..ptx.module import Kernel
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel, attach_energy
+from .executor import BlockTrace, run_grid
+from .memory import GlobalMemory
+from .sm import SMSimulator
+from .stats import SimResult
+
+
+def trace_grid(
+    kernel: Kernel,
+    config: GPUConfig,
+    grid_blocks: int,
+    param_sizes: Optional[Dict[str, int]] = None,
+    global_mem: Optional[GlobalMemory] = None,
+) -> List[BlockTrace]:
+    """Functionally execute the grid once, returning per-block traces."""
+    if global_mem is None:
+        global_mem = GlobalMemory(kernel, param_sizes)
+    return run_grid(
+        kernel,
+        global_mem,
+        grid_blocks,
+        warp_size=config.warp_size,
+        line_bytes=config.l1.line_bytes,
+    )
+
+
+def simulate_traces(
+    traces: List[BlockTrace],
+    config: GPUConfig,
+    tlp: int,
+    scheduler: str = "gto",
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> SimResult:
+    """Replay pre-computed traces through the SM timing model."""
+    sim = SMSimulator(config, traces, tlp=tlp, scheduler=scheduler)
+    result = sim.run()
+    return attach_energy(result, energy_model)
+
+
+def simulate(
+    kernel: Kernel,
+    config: GPUConfig,
+    tlp: int,
+    grid_blocks: Optional[int] = None,
+    param_sizes: Optional[Dict[str, int]] = None,
+    scheduler: str = "gto",
+) -> SimResult:
+    """Simulate ``kernel`` at a given TLP (blocks per SM).
+
+    ``grid_blocks`` defaults to two waves at the hardware block limit,
+    enough for steady-state behaviour without simulating a full app.
+    """
+    if grid_blocks is None:
+        grid_blocks = 2 * config.max_blocks_per_sm
+    traces = trace_grid(kernel, config, grid_blocks, param_sizes)
+    return simulate_traces(traces, config, tlp, scheduler=scheduler)

@@ -1,0 +1,110 @@
+"""Multi-SM simulation: N SMs sharing the L2 and the DRAM channel.
+
+The paper simulates 15 SMs; the per-figure benchmarks here simulate one
+SM with an interference-discounted L2 slice, which is far cheaper.
+This module provides the full-chip mode used to *validate* that the
+single-SM model is representative: every SM runs the same kernel at the
+same TLP, blocks are distributed round-robin, the L2 is the whole
+768 KB chip cache contended by everyone, and the DRAM channel carries
+``num_sms`` times the per-SM bandwidth share.
+
+SMs advance in lock-step over a global clock; when no SM can issue, the
+clock jumps to the earliest pending event.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arch.config import GPUConfig
+from .cache import Cache, DRAMModel
+from .executor import BlockTrace
+from .sm import SMSimulator, make_l2_slice_config
+from .stats import SimResult
+
+
+def simulate_multi_sm(
+    traces: List[BlockTrace],
+    config: GPUConfig,
+    tlp: int,
+    num_sms: Optional[int] = None,
+    scheduler: str = "gto",
+) -> List[SimResult]:
+    """Simulate ``num_sms`` SMs (default: the config's count) sharing
+    the chip-level L2 and DRAM; returns one :class:`SimResult` per SM.
+
+    The block list is dealt round-robin across SMs, mirroring the
+    hardware block scheduler's greedy distribution.
+    """
+    if tlp <= 0:
+        raise ValueError("tlp must be positive")
+    n = config.num_sms if num_sms is None else num_sms
+    if n <= 0:
+        raise ValueError("num_sms must be positive")
+    lat = config.latency
+
+    dram = DRAMModel(
+        latency=lat.dram - lat.l2_hit,
+        bytes_per_cycle=config.dram_bytes_per_cycle * n,
+        line_bytes=config.l1.line_bytes,
+    )
+    l2 = Cache(
+        make_l2_slice_config(config, whole=True),
+        hit_latency=lat.l2_hit - lat.l1_hit,
+        next_level=dram.access,
+        name="l2-shared",
+    )
+
+    sms = []
+    for sm_index in range(n):
+        sm_traces = traces[sm_index::n]
+        if not sm_traces:
+            continue
+        sms.append(
+            SMSimulator(
+                config,
+                sm_traces,
+                tlp=tlp,
+                scheduler=scheduler,
+                shared_l2=l2,
+                shared_dram=dram,
+            )
+        )
+
+    now = 0.0
+    for sm in sms:
+        sm.start(now)
+    finish_at = [0.0] * len(sms)
+    while any(sm.active() for sm in sms):
+        issued = False
+        for idx, sm in enumerate(sms):
+            if not sm.active():
+                continue
+            if sm.step(now):
+                issued = True
+            if not sm.active():
+                finish_at[idx] = now
+        if issued:
+            now += 1
+            continue
+        times = [
+            t
+            for sm in sms
+            if sm.active()
+            for t in [sm.next_event_time()]
+            if t is not None
+        ]
+        if not times:
+            break
+        now = max(now + 1, min(times))
+
+    results = []
+    for idx, sm in enumerate(sms):
+        cycles = finish_at[idx] if finish_at[idx] > 0 else now
+        results.append(sm.result(cycles))
+    return results
+
+
+def makespan(results: List[SimResult]) -> float:
+    """Chip-level completion time: the slowest SM."""
+    return max(r.cycles for r in results) if results else 0.0

@@ -1,0 +1,129 @@
+"""Warp schedulers: greedy-then-oldest (GTO) and loose round-robin.
+
+The paper's configuration uses two GTO schedulers per SM (Table 2), and
+its static OptTLP analysis mimics GTO (Section 4.1): a greedy scheduler
+keeps issuing from the same warp until it stalls, then falls back to
+the *oldest* ready warp.  GTO naturally concentrates progress in few
+warps, which is what makes "TLP at first block completion" a good
+OptTLP estimator.
+
+Schedulers are event-driven: warps park in a time-ordered pending heap
+and become *eligible* when their next instruction's dependencies are
+satisfied; picking among eligibles is O(log W).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+
+class WarpScheduler:
+    """Base class: event-driven ready-warp bookkeeping."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._pending: List[Tuple[float, int]] = []  # (ready time, warp id)
+        self._eligible: List[int] = []  # min-heap of warp ids
+        self._eligible_set: Set[int] = set()
+
+    def add(self, warp_id: int, ready_at: float, now: float) -> None:
+        """Register a warp that may issue at ``ready_at``."""
+        if ready_at <= now:
+            if warp_id not in self._eligible_set:
+                heapq.heappush(self._eligible, warp_id)
+                self._eligible_set.add(warp_id)
+        else:
+            heapq.heappush(self._pending, (ready_at, warp_id))
+
+    def refill(self, now: float) -> None:
+        """Promote pending warps whose ready time has arrived."""
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _, warp_id = heapq.heappop(pending)
+            if warp_id not in self._eligible_set:
+                heapq.heappush(self._eligible, warp_id)
+                self._eligible_set.add(warp_id)
+
+    def next_event(self) -> Optional[float]:
+        """Earliest future time at which a parked warp becomes ready."""
+        if self._eligible_set:
+            return 0.0
+        if self._pending:
+            return self._pending[0][0]
+        return None
+
+    def has_work(self) -> bool:
+        return bool(self._eligible_set or self._pending)
+
+    def _pop_oldest(self) -> Optional[int]:
+        while self._eligible:
+            warp_id = heapq.heappop(self._eligible)
+            if warp_id in self._eligible_set:
+                self._eligible_set.discard(warp_id)
+                return warp_id
+        return None
+
+    def _take(self, warp_id: int) -> None:
+        self._eligible_set.discard(warp_id)
+        # Lazy deletion: the heap entry is skipped when popped later.
+
+    def pick(self, now: float) -> Optional[int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def forget(self, warp_id: int) -> None:
+        """Drop any preference for this warp (finished/stalled); no-op here."""
+
+
+class GTOScheduler(WarpScheduler):
+    """Greedy-then-oldest: stick with the last warp, else oldest ready."""
+
+    def __init__(self, name: str = "gto"):
+        super().__init__(name)
+        self._greedy: Optional[int] = None
+
+    def pick(self, now: float) -> Optional[int]:
+        self.refill(now)
+        if self._greedy is not None and self._greedy in self._eligible_set:
+            warp_id = self._greedy
+            self._take(warp_id)
+            return warp_id
+        warp_id = self._pop_oldest()
+        if warp_id is not None:
+            self._greedy = warp_id
+        return warp_id
+
+    def forget(self, warp_id: int) -> None:
+        """Drop greedy preference (warp finished or hit a barrier)."""
+        if self._greedy == warp_id:
+            self._greedy = None
+
+
+class LRRScheduler(WarpScheduler):
+    """Loose round-robin: rotate through ready warps."""
+
+    def __init__(self, name: str = "lrr"):
+        super().__init__(name)
+        self._last: int = -1
+
+    def pick(self, now: float) -> Optional[int]:
+        self.refill(now)
+        if not self._eligible_set:
+            return None
+        # Choose the smallest id greater than the last issued, wrapping.
+        above = [w for w in self._eligible_set if w > self._last]
+        warp_id = min(above) if above else min(self._eligible_set)
+        self._take(warp_id)
+        self._last = warp_id
+        return warp_id
+
+    def forget(self, warp_id: int) -> None:
+        pass
+
+
+def make_scheduler(kind: str) -> WarpScheduler:
+    if kind == "gto":
+        return GTOScheduler()
+    if kind == "lrr":
+        return LRRScheduler()
+    raise ValueError(f"unknown scheduler kind {kind!r}")

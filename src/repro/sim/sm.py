@@ -1,0 +1,419 @@
+"""SM timing simulation: warp scheduling over pre-executed traces.
+
+One streaming multiprocessor runs ``tlp`` thread blocks concurrently;
+when a block retires, the next block of the grid launches into its
+slot.  Each of the two GTO schedulers (Table 2) issues at most one warp
+instruction per cycle.  Per-warp dependencies are tracked with a
+register scoreboard: an instruction issues when its source registers'
+producing instructions have completed, so independent instructions of
+one warp pipeline back-to-back while dependent chains pay full latency
+— the behaviour that makes extra spill *loads* expensive and lets TLP
+hide them.
+
+Memory instructions walk the L1 -> L2 -> DRAM hierarchy with real
+addresses from the trace; MSHR exhaustion stalls the warp until an
+entry frees (counted as ``mshr_stall_cycles``, the paper's congestion
+stalls of Figure 5b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..arch.config import CacheConfig, GPUConfig
+from ..ptx.isa import LatencyClass, Space
+from .cache import Cache, DRAMModel, MSHRFullError
+from .executor import BlockTrace, WarpOp
+from .scheduler import WarpScheduler, make_scheduler
+from .stats import SimResult
+
+
+@dataclasses.dataclass
+class _WarpState:
+    warp_id: int
+    slot: int
+    ops: List[WarpOp]
+    pc: int = 0
+    reg_ready: Dict[str, float] = dataclasses.field(default_factory=dict)
+    barrier_arrival: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.ops)
+
+
+def make_l2_slice_config(config: GPUConfig, whole: bool = False) -> CacheConfig:
+    """The L2 geometry one SM's misses effectively see.
+
+    ``whole=True`` returns the full chip-level L2 (for multi-SM
+    simulation, where contention is explicit rather than modeled by the
+    interference divisor).
+    """
+    if whole:
+        size = config.l2_size_bytes
+    else:
+        size = max(
+            config.l2_size_bytes // (config.num_sms * config.l2_interference),
+            4 * 1024,
+        )
+    return CacheConfig(
+        size_bytes=size,
+        associativity=8,
+        line_bytes=config.l1.line_bytes,
+        mshr_entries=1 << 16,  # effectively unbounded at L2
+    )
+
+
+@dataclasses.dataclass
+class _BlockSlot:
+    block_index: int = -1
+    live_warps: int = 0
+    barrier_count: int = 0
+    barrier_waiters: List[int] = dataclasses.field(default_factory=list)
+
+
+class SMSimulator:
+    """Cycle-approximate timing model of one SM."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        traces: List[BlockTrace],
+        tlp: int,
+        scheduler: str = "gto",
+        first_block_callback=None,
+        shared_l2: "Cache" = None,
+        shared_dram: "DRAMModel" = None,
+        warp_limit: int = None,
+    ):
+        if tlp <= 0:
+            raise ValueError("tlp must be positive")
+        if warp_limit is not None and warp_limit <= 0:
+            raise ValueError("warp_limit must be positive")
+        self.config = config
+        self.traces = traces
+        self.tlp = min(tlp, len(traces)) if traces else tlp
+        self.requested_tlp = tlp
+        lat = config.latency
+
+        if shared_l2 is not None and shared_dram is not None:
+            # Multi-SM mode: the L2 and DRAM channel are shared objects
+            # contended by every SM (see repro.sim.multisim).
+            self.dram = shared_dram
+            self.l2 = shared_l2
+        else:
+            self.dram = DRAMModel(
+                latency=lat.dram - lat.l2_hit,
+                bytes_per_cycle=config.dram_bytes_per_cycle,
+                line_bytes=config.l1.line_bytes,
+            )
+            self.l2 = Cache(
+                make_l2_slice_config(config),
+                hit_latency=lat.l2_hit - lat.l1_hit,
+                next_level=self.dram.access,
+                name="l2",
+            )
+
+        def l2_path(line: int, now: float) -> float:
+            return self.l2.probe(line, now).ready_at
+
+        self.l1 = Cache(config.l1, hit_latency=lat.l1_hit, next_level=l2_path, name="l1")
+
+        self.schedulers: List[WarpScheduler] = [
+            make_scheduler(scheduler) for _ in range(config.num_schedulers)
+        ]
+        self._first_block_callback = first_block_callback
+        self._first_block_done = False
+
+        # Stats.
+        self.instructions = 0
+        self.mshr_stall_events = 0
+        self.mshr_stall_cycles = 0.0
+        self.barrier_stall_cycles = 0.0
+        self.idle_cycles = 0.0
+        self.local_load_insts = 0
+        self.local_store_insts = 0
+        self.shared_insts = 0
+        self.global_insts = 0
+        self.bypassed_insts = 0
+        self.issued_by_class: Dict[str, int] = {}
+
+        # Warp/block state.
+        self.warps: Dict[int, _WarpState] = {}
+        self.slots = [_BlockSlot() for _ in range(self.tlp)]
+        self._next_block = 0
+        self._next_warp_id = 0
+        self._active_warps = 0
+        self.blocks_executed = 0
+        # Warp-level throttling (fine-grained, paper ref [2]): at most
+        # this many warps are schedulable at once; the rest park until
+        # an active warp retires.
+        self.warp_limit = warp_limit
+        self._scheduled_warps = 0
+        self._parked: List[tuple] = []  # (warp_id, launch_at)
+
+    # ------------------------------------------------------------------
+    def start(self, now: float = 0.0) -> None:
+        """Launch the initial wave of blocks."""
+        for slot_idx in range(self.tlp):
+            if self._next_block < len(self.traces):
+                self._launch_block(slot_idx, now)
+
+    def active(self) -> bool:
+        return self._active_warps > 0
+
+    def step(self, now: float) -> bool:
+        """Issue up to one instruction per scheduler at cycle ``now``."""
+        issued = False
+        for sched in self.schedulers:
+            warp_id = sched.pick(now)
+            if warp_id is None:
+                continue
+            self._issue(warp_id, now, sched)
+            issued = True
+        return issued
+
+    def run(self) -> SimResult:
+        now = 0.0
+        self.start(now)
+        while self._active_warps > 0:
+            issued = self.step(now)
+            if self._active_warps == 0:
+                break
+            if issued:
+                now += 1
+            else:
+                next_time = self._next_event_time()
+                if next_time is None and self._parked:
+                    # Warp-limit deadlock guard: every schedulable warp
+                    # waits at a barrier for a parked sibling — admit one.
+                    self._unpark(now)
+                    continue
+                if next_time is None:
+                    raise RuntimeError(
+                        "simulation deadlock: active warps but no pending events "
+                        "(mismatched barriers?)"
+                    )
+                self.idle_cycles += max(0.0, next_time - now)
+                now = max(now + 1, next_time)
+        return self._result(now)
+
+    def next_event_time(self) -> Optional[float]:
+        return self._next_event_time()
+
+    def _next_event_time(self) -> Optional[float]:
+        times = []
+        for sched in self.schedulers:
+            t = sched.next_event()
+            if t is not None:
+                times.append(t)
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    def _launch_block(self, slot_idx: int, now: float) -> None:
+        trace = self.traces[self._next_block]
+        slot = self.slots[slot_idx]
+        slot.block_index = self._next_block
+        slot.live_warps = trace.num_warps
+        slot.barrier_count = 0
+        slot.barrier_waiters = []
+        self._next_block += 1
+        launch_at = now + self.config.latency.block_launch
+        for ops in trace.warp_ops:
+            warp_id = self._next_warp_id
+            self._next_warp_id += 1
+            state = _WarpState(warp_id=warp_id, slot=slot_idx, ops=ops)
+            self.warps[warp_id] = state
+            self._active_warps += 1
+            if (
+                self.warp_limit is not None
+                and self._scheduled_warps >= self.warp_limit
+            ):
+                self._parked.append((warp_id, launch_at))
+                continue
+            self._scheduled_warps += 1
+            sched = self.schedulers[warp_id % len(self.schedulers)]
+            sched.add(warp_id, launch_at, now)
+
+    def _issue(self, warp_id: int, now: float, sched: WarpScheduler) -> None:
+        warp = self.warps[warp_id]
+        op = warp.ops[warp.pc]
+        kind = op.kind
+
+        if kind is LatencyClass.MEM:
+            try:
+                complete = self._issue_memory(op, now)
+            except MSHRFullError as stall:
+                retry = max(stall.retry_at, now + 1)
+                self.mshr_stall_events += 1
+                self.mshr_stall_cycles += retry - now
+                sched.add(warp_id, retry, now)
+                sched.forget(warp_id)
+                return
+            self._count(op)
+            if op.dst is not None:
+                warp.reg_ready[op.dst] = complete
+            self._advance(warp, sched, now)
+            return
+
+        if kind is LatencyClass.BARRIER:
+            self._count(op)
+            warp.pc += 1
+            self._arrive_barrier(warp, sched, now)
+            return
+
+        lat = self.config.latency
+        if kind is LatencyClass.ALU:
+            latency = lat.alu
+        elif kind is LatencyClass.SFU:
+            latency = lat.sfu
+        else:  # CTRL
+            latency = lat.ctrl
+        self._count(op)
+        if op.dst is not None:
+            warp.reg_ready[op.dst] = now + latency
+        extra = lat.ctrl if kind is LatencyClass.CTRL else 0
+        self._advance(warp, sched, now, extra_delay=extra)
+
+    def _issue_memory(self, op: WarpOp, now: float) -> float:
+        lat = self.config.latency
+        space = op.space
+        if space is Space.SHARED:
+            return now + lat.shared_mem + 2 * (op.conflict - 1)
+        # Global / local / const / param all go through L1.
+        if op.is_store and space is Space.GLOBAL:
+            # Write-evict, fire-and-forget through the write buffer.
+            for i, line in enumerate(op.lines):
+                self.l1.probe_no_allocate(line, now + i)
+            return now + 1 + len(op.lines)
+        if op.bypass_l1 and not op.is_store:
+            # ld.global.cg: service each line from the L2 slice without
+            # touching L1 tags or MSHRs (static cache bypassing).
+            ready = now
+            for i, line in enumerate(op.lines):
+                ready = max(ready, self.l2.probe(line, now + i).ready_at)
+            self.bypassed_insts += 1
+            return ready
+        ready = now
+        is_write = op.is_store
+        for i, line in enumerate(op.lines):
+            result = self.l1.probe(line, now + i, is_write=is_write)
+            ready = max(ready, result.ready_at)
+        if op.is_store:
+            # Stores complete into the write queue; the warp moves on
+            # once the transactions are injected.
+            return now + 1 + len(op.lines)
+        return ready
+
+    def _count(self, op: WarpOp) -> None:
+        self.instructions += 1
+        key = op.kind.value
+        self.issued_by_class[key] = self.issued_by_class.get(key, 0) + 1
+        if op.kind is LatencyClass.MEM:
+            if op.space is Space.LOCAL:
+                if op.is_store:
+                    self.local_store_insts += 1
+                else:
+                    self.local_load_insts += 1
+            elif op.space is Space.SHARED:
+                self.shared_insts += 1
+            else:
+                self.global_insts += 1
+
+    def _advance(
+        self,
+        warp: _WarpState,
+        sched: WarpScheduler,
+        now: float,
+        extra_delay: float = 0.0,
+    ) -> None:
+        warp.pc += 1
+        if warp.done:
+            self._retire_warp(warp, sched, now)
+            return
+        dep = self._next_ready(warp, now + 1 + extra_delay)
+        sched.add(warp.warp_id, dep, now)
+
+    @staticmethod
+    def _next_ready(warp: _WarpState, base: float) -> float:
+        next_op = warp.ops[warp.pc]
+        dep = base
+        reg_ready = warp.reg_ready
+        for src in next_op.srcs:
+            t = reg_ready.get(src)
+            if t is not None and t > dep:
+                dep = t
+        return dep
+
+    def _retire_warp(self, warp: _WarpState, sched: WarpScheduler, now: float) -> None:
+        self._active_warps -= 1
+        sched.forget(warp.warp_id)
+        self._scheduled_warps -= 1
+        self._unpark(now)
+        slot = self.slots[warp.slot]
+        slot.live_warps -= 1
+        if slot.live_warps == 0:
+            self.blocks_executed += 1
+            if not self._first_block_done:
+                self._first_block_done = True
+                if self._first_block_callback is not None:
+                    self._first_block_callback(self, now)
+            if self._next_block < len(self.traces):
+                self._launch_block(warp.slot, now)
+
+    def _arrive_barrier(self, warp: _WarpState, sched: WarpScheduler, now: float) -> None:
+        slot = self.slots[warp.slot]
+        sched.forget(warp.warp_id)
+        warp.barrier_arrival = now
+        slot.barrier_count += 1
+        slot.barrier_waiters.append(warp.warp_id)
+        # Warps that already finished never arrive; require full blocks.
+        if slot.barrier_count < slot.live_warps:
+            return
+        release = now + 1
+        for waiting_id in slot.barrier_waiters:
+            waiting = self.warps[waiting_id]
+            self.barrier_stall_cycles += release - waiting.barrier_arrival
+            if waiting.done:
+                wsched = self.schedulers[waiting_id % len(self.schedulers)]
+                self._retire_warp(waiting, wsched, now)
+            else:
+                wsched = self.schedulers[waiting_id % len(self.schedulers)]
+                wsched.add(waiting_id, self._next_ready(waiting, release), now)
+        slot.barrier_count = 0
+        slot.barrier_waiters = []
+
+    def _unpark(self, now: float) -> None:
+        if not self._parked:
+            return
+        warp_id, launch_at = self._parked.pop(0)
+        self._scheduled_warps += 1
+        sched = self.schedulers[warp_id % len(self.schedulers)]
+        sched.add(warp_id, max(launch_at, now + 1), now)
+
+    # ------------------------------------------------------------------
+    def result(self, cycles: float) -> SimResult:
+        return self._result(cycles)
+
+    def _result(self, cycles: float) -> SimResult:
+        return SimResult(
+            cycles=cycles,
+            instructions=self.instructions,
+            tlp=self.requested_tlp,
+            blocks_executed=self.blocks_executed,
+            l1=self.l1.stats,
+            l2=self.l2.stats,
+            mshr_stall_events=self.mshr_stall_events,
+            mshr_stall_cycles=self.mshr_stall_cycles,
+            barrier_stall_cycles=self.barrier_stall_cycles,
+            idle_cycles=self.idle_cycles,
+            local_load_insts=self.local_load_insts,
+            local_store_insts=self.local_store_insts,
+            shared_insts=self.shared_insts,
+            global_insts=self.global_insts,
+            bypassed_insts=self.bypassed_insts,
+            dram_transactions=self.dram.transactions,
+            dram_bytes=self.dram.bytes_transferred,
+            issued_by_class=dict(self.issued_by_class),
+        )

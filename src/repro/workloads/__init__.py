@@ -1,0 +1,38 @@
+"""Benchmark substrate: the 22 kernels of paper Table 3 as synthetic
+PTX workloads generated from per-app resource signatures."""
+
+from .characteristics import (
+    ALL_APPS,
+    AppCharacteristics,
+    BY_ABBR,
+    RESOURCE_INSENSITIVE,
+    RESOURCE_SENSITIVE,
+    get_app,
+)
+from .generator import generate_kernel, param_sizes
+from .inputs import INPUT_SETS, inputs_for
+from .suite import (
+    Workload,
+    full_suite,
+    insensitive_suite,
+    load_workload,
+    sensitive_suite,
+)
+
+__all__ = [
+    "ALL_APPS",
+    "AppCharacteristics",
+    "BY_ABBR",
+    "INPUT_SETS",
+    "RESOURCE_INSENSITIVE",
+    "RESOURCE_SENSITIVE",
+    "Workload",
+    "full_suite",
+    "generate_kernel",
+    "get_app",
+    "inputs_for",
+    "insensitive_suite",
+    "load_workload",
+    "param_sizes",
+    "sensitive_suite",
+]

@@ -1,0 +1,297 @@
+"""Synthetic kernel generation from app signatures.
+
+Turns an :class:`AppCharacteristics` into an executable PTX-subset
+kernel with the described resource behaviour:
+
+* ``live_values`` values live across the whole kernel; ``hot_values``
+  of them are updated in the *inner* loop every iteration, the rest
+  only once per *outer* iteration — so a pressured allocator spills
+  the cold ones first at modest dynamic cost, as in real kernels;
+* ``frozen_values`` are initialized once and consumed only by the
+  final reduction — capacity ballast that is nearly free to spill.
+  Cold and frozen values cycle through f32/s32/f64 types, so the spill
+  stack splits into several typed sub-stacks (paper Algorithm 1) and
+  partial shared-memory placement can emerge;
+* a per-block working-set segment of the input buffer, rescanned every
+  inner iteration through one loop-carried offset register with static
+  per-load displacements (shallow dependence chains, as compilers
+  produce) — the block-level data locality thread throttling protects;
+* streaming loads from a large buffer at never-repeated addresses —
+  the bandwidth/MSHR pressure component;
+* optional SFU work, shared-memory tile traffic, and barriers.
+
+The kernel is ordinary IR: the allocator spills it, the simulator runs
+it, and every reported number (spills, hit rates, stalls) is emergent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ptx.builder import KernelBuilder
+from ..ptx.instruction import Reg
+from ..ptx.isa import CmpOp, DType, Space
+from ..ptx.module import Kernel
+from .characteristics import AppCharacteristics
+
+#: dtype rotation for cold/frozen ballast values: mostly f32 with some
+#: integer and double state, so by-type sub-stacks are non-trivial.
+_BALLAST_TYPES = (DType.F32, DType.F32, DType.S32, DType.F32, DType.F64)
+
+
+def _pow2_floor(value: int) -> int:
+    return 1 << (value.bit_length() - 1)
+
+
+def _ws_segment_bytes(app: AppCharacteristics, input_scale: float) -> int:
+    """Per-load-slot working-set segment (power of two, >= one stride).
+
+    Each of the ``loads_per_iter`` slots scans its own segment through
+    a shared masked offset; the block's true working set is
+    ``loads_per_iter * segment``.
+    """
+    raw = max(
+        app.block_size * 4,
+        int(
+            app.ws_elems_per_thread
+            * app.block_size
+            * 4
+            * input_scale
+            / max(1, app.loads_per_iter)
+        ),
+    )
+    lower = _pow2_floor(raw)
+    upper = lower << 1
+    return lower if raw - lower <= upper - raw else upper
+
+
+def effective_ws_bytes(app: AppCharacteristics, input_scale: float = 1.0) -> int:
+    """The block's actual reused working-set bytes."""
+    return _ws_segment_bytes(app, input_scale) * max(1, app.loads_per_iter)
+
+
+def _ballast(b: KernelBuilder, count: int, base: float) -> List[Reg]:
+    """Typed long-lived values (see ``_BALLAST_TYPES``)."""
+    values = []
+    for j in range(count):
+        dtype = _BALLAST_TYPES[j % len(_BALLAST_TYPES)]
+        if dtype is DType.S32:
+            values.append(b.mov(b.imm(j + 1, DType.S32)))
+        else:
+            values.append(b.mov(b.imm(base + 0.01 * j, dtype)))
+    return values
+
+
+def _touch(b: KernelBuilder, value: Reg, partner: Reg) -> None:
+    """One update of a cold value, respecting its type."""
+    if value.dtype is DType.S32:
+        b.add(value, b.imm(1, DType.S32), dst=value)
+    elif value.dtype is DType.F64:
+        b.mad(value, b.imm(0.999, DType.F64), b.imm(0.001, DType.F64), dst=value)
+    else:
+        b.mad(value, b.imm(0.99, DType.F32), partner, dst=value)
+
+
+def _reduce_to_f32(b: KernelBuilder, total: Reg, value: Reg) -> Reg:
+    if value.dtype is DType.F32:
+        return b.add(total, value)
+    return b.add(total, b.cvt(value, DType.F32))
+
+
+def generate_kernel(app: AppCharacteristics, input_scale: float = 1.0) -> Kernel:
+    """Build the synthetic kernel for one app signature.
+
+    ``input_scale`` scales the per-block working set (the knob the
+    input-sensitivity study of Figure 18 turns).
+    """
+    b = KernelBuilder(app.kernel, block_size=app.block_size)
+    input_sym = b.param("input", DType.U64)
+    stream_sym = b.param("stream", DType.U64)
+    output_sym = b.param("output", DType.U64)
+    coeff_sym = b.param("coeffs", DType.U64)
+
+    shm = None
+    if app.shm_elems_per_thread:
+        shm = b.shared_array("tile", app.shm_bytes_per_block)
+
+    tid = b.special("%tid.x")
+    ctaid = b.special("%ctaid.x")
+    ntid = b.special("%ntid.x")
+    gid = b.mad(ctaid, ntid, tid)
+
+    segment = _ws_segment_bytes(app, input_scale)
+    ws_bytes_block = segment * max(1, app.loads_per_iter)
+
+    # Per-block working-set base: input + ctaid * ws_bytes + tid*4.
+    ctaid64 = b.cvt(ctaid, DType.U64)
+    ws_base = b.mad(
+        ctaid64,
+        b.imm(ws_bytes_block, DType.U64),
+        b.addr_of(input_sym),
+        dtype=DType.U64,
+    )
+    tid64 = b.cvt(tid, DType.U64)
+    lane_off = b.mul(tid64, b.imm(4, DType.U64), DType.U64)
+    ws_thread_base = b.add(ws_base, lane_off, DType.U64)
+
+    # Streaming pointer: starts at stream + gid*4, strides by the grid.
+    gid64 = b.cvt(gid, DType.U64)
+    stream_ptr = b.mad(
+        gid64, b.imm(4, DType.U64), b.addr_of(stream_sym), dtype=DType.U64
+    )
+    grid_stride = app.grid_blocks * app.block_size * 4
+
+    shm_ptr = None
+    if shm is not None:
+        shm_ptr = b.add(b.addr_of(shm), lane_off, DType.U64)
+        b.st(Space.SHARED, shm_ptr, b.imm(1.0, DType.F32), dtype=DType.F32)
+        if app.uses_barrier:
+            b.bar()
+
+    # Long-lived values: hot (inner-loop, f32), cold (outer-loop only),
+    # frozen (init + final reduce only).  Cold/frozen are typed.
+    hot = [b.mov(b.imm(0.5 + 0.01 * j, DType.F32)) for j in range(app.hot_values)]
+    cold = _ballast(b, app.live_values - app.hot_values, base=0.25)
+    frozen = _ballast(b, app.frozen_values, base=0.125)
+    # Coefficients: loaded once from memory (not rematerializable).
+    coeffs = []
+    if app.coeff_values:
+        coeff_base = b.add(b.addr_of(coeff_sym), lane_off, DType.U64)
+        for j in range(app.coeff_values):
+            dtype = _BALLAST_TYPES[j % len(_BALLAST_TYPES)]
+            coeffs.append(
+                b.ld(
+                    Space.GLOBAL,
+                    coeff_base,
+                    offset=j * app.block_size * 8,
+                    dtype=dtype,
+                )
+            )
+
+    decay = b.mov(b.imm(0.99, DType.F32))
+    # Loop-carried working-set offset (one per kernel, masked wrap).
+    ws_off = b.mov(b.imm(0, DType.U64))
+    seg_mask = segment - 1
+
+    o = b.mov(b.imm(0, DType.S32))
+    outer = b.label("outer")
+    outer_done = b.label("outer_done")
+    b.place(outer)
+    po = b.setp(CmpOp.GE, o, b.imm(app.outer_iters, DType.S32))
+    b.bra(outer_done, guard=po)
+
+    # Touch every cold value once per outer iteration.
+    for j, c in enumerate(cold):
+        partner = hot[j % len(hot)] if hot else decay
+        _touch(b, c, partner)
+
+    i = b.mov(b.imm(0, DType.S32))
+    inner = b.label("inner")
+    inner_done = b.label("inner_done")
+    b.place(inner)
+    pi = b.setp(CmpOp.GE, i, b.imm(app.inner_iters, DType.S32))
+    b.bra(inner_done, guard=pi)
+
+    loaded = []
+    # Reused loads: one shared offset register, static per-slot
+    # displacements; each slot scans its own power-of-two segment.
+    if app.loads_per_iter:
+        addr = b.add(ws_thread_base, ws_off, DType.U64)
+        for k in range(app.loads_per_iter):
+            loaded.append(
+                b.ld(Space.GLOBAL, addr, offset=k * segment, dtype=DType.F32)
+            )
+        step = b.add(ws_off, b.imm(app.block_size * 4, DType.U64), DType.U64)
+        b.and_(step, b.imm(seg_mask, DType.U64), DType.U64, dst=ws_off)
+
+    # Streaming loads: strictly advancing addresses, never reused.
+    for s in range(app.stream_loads):
+        loaded.append(
+            b.ld(Space.GLOBAL, stream_ptr, offset=s * grid_stride, dtype=DType.F32)
+        )
+    if app.stream_loads:
+        b.add(
+            stream_ptr,
+            b.imm(app.stream_loads * grid_stride, DType.U64),
+            DType.U64,
+            dst=stream_ptr,
+        )
+
+    # Shared-memory tile traffic.
+    if shm_ptr is not None and app.shm_accesses_per_iter:
+        for _ in range(app.shm_accesses_per_iter):
+            tval = b.ld(Space.SHARED, shm_ptr, dtype=DType.F32)
+            loaded.append(tval)
+            b.st(Space.SHARED, shm_ptr, tval, dtype=DType.F32)
+
+    # Update the hot values with loaded data.
+    for j, h in enumerate(hot):
+        operand = loaded[j % len(loaded)] if loaded else b.imm(0.01, DType.F32)
+        b.mad(h, decay, operand, dst=h)
+
+    # Extra dependent arithmetic (compute intensity).
+    if hot:
+        chain = hot[0]
+        for a in range(app.alu_per_iter):
+            chain = b.add(chain, hot[(a + 1) % len(hot)])
+        b.mad(chain, b.imm(0.001, DType.F32), hot[0], dst=hot[0])
+
+    # SFU work.
+    for s in range(app.sfu_per_iter):
+        target = hot[s % len(hot)] if hot else b.mov(b.imm(1.0, DType.F32))
+        b.sin(target, dst=target)
+
+    # Irregular apps: a real divergent if/else — a quarter of the lanes
+    # take an extra-work path each iteration (SIMT reconvergence).
+    if app.divergent and hot:
+        low = b.and_(tid, b.imm(3, DType.U32))
+        pd = b.setp(CmpOp.EQ, low, b.imm(0, DType.U32))
+        div_then = b.label("div_then")
+        div_join = b.label("div_join")
+        b.bra(div_then, guard=pd)
+        b.mad(hot[0], b.imm(1.001, DType.F32), b.imm(0.002, DType.F32),
+              dst=hot[0])
+        b.bra(div_join)
+        b.place(div_then)
+        b.mad(hot[0], b.imm(0.999, DType.F32), b.imm(0.001, DType.F32),
+              dst=hot[0])
+        b.mad(hot[-1], b.imm(0.999, DType.F32), b.imm(0.003, DType.F32),
+              dst=hot[-1])
+        b.place(div_join)
+
+    b.add(i, b.imm(1, DType.S32), dst=i)
+    b.bra(inner)
+    b.place(inner_done)
+
+    b.add(o, b.imm(1, DType.S32), dst=o)
+    b.bra(outer)
+    b.place(outer_done)
+
+    if app.uses_barrier:
+        b.bar()
+
+    # Reduce and store.
+    values = hot + cold + frozen + coeffs
+    total = b.mov(b.imm(0.0, DType.F32))
+    for v in values:
+        total = _reduce_to_f32(b, total, v)
+    out_addr = b.mad(
+        gid64, b.imm(4, DType.U64), b.addr_of(output_sym), dtype=DType.U64
+    )
+    b.st(Space.GLOBAL, out_addr, total, dtype=DType.F32)
+    return b.build()
+
+
+def param_sizes(app: AppCharacteristics, input_scale: float = 1.0) -> Dict[str, int]:
+    """Buffer sizes matching :func:`generate_kernel`'s address ranges."""
+    grid_threads = app.grid_blocks * app.block_size
+    iters = app.outer_iters * app.inner_iters
+    return {
+        "input": app.grid_blocks * effective_ws_bytes(app, input_scale),
+        "stream": max(
+            4096,
+            grid_threads * 4 * max(1, app.stream_loads) * (iters + 1),
+        ),
+        "output": grid_threads * 4,
+        "coeffs": max(4096, (app.coeff_values + 1) * app.block_size * 8),
+    }

@@ -1,0 +1,41 @@
+"""Alternative inputs for the input-sensitivity study (paper Fig 18).
+
+The paper evaluates CFD and BLK with 3-4 inputs each, using any one
+input for profiling and testing across all of them; OptTLP turns out to
+be input-stable because "the behaviors of different thread blocks in
+one application tend to be stable" (Section 7.4).  Inputs here scale
+the per-block working set and the grid, which is what dataset size
+changes in the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .suite import Workload, load_workload
+
+#: (input name, working-set scale) per studied app.
+INPUT_SETS: Dict[str, List[Tuple[str, float]]] = {
+    "CFD": [
+        ("fvcorr.097K", 0.75),
+        ("fvcorr.193K", 1.0),
+        ("missile.0.2M", 1.25),
+    ],
+    "BLK": [
+        ("options-1M", 0.75),
+        ("options-4M", 1.0),
+        ("options-8M", 1.25),
+        ("options-16M", 1.5),
+    ],
+}
+
+
+def inputs_for(abbr: str) -> List[Tuple[str, Workload]]:
+    """All (input name, workload) pairs for one studied app."""
+    try:
+        variants = INPUT_SETS[abbr]
+    except KeyError:
+        raise KeyError(
+            f"no input-sensitivity set for {abbr!r}; available: {sorted(INPUT_SETS)}"
+        ) from None
+    return [(name, load_workload(abbr, scale)) for name, scale in variants]

@@ -1,0 +1,101 @@
+"""Shared fixtures: small kernels used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ptx import CmpOp, DType, KernelBuilder, Space
+
+
+def build_tid_kernel():
+    """Paper Listing 1-3: compute the global thread id and store it."""
+    b = KernelBuilder("kernel", block_size=128)
+    out = b.param("output", DType.U64)
+    tid = b.special("%tid.x")
+    ctaid = b.special("%ctaid.x")
+    ntid = b.special("%ntid.x")
+    gid = b.mad(ctaid, ntid, tid)
+    g64 = b.cvt(gid, DType.U64)
+    addr = b.mad(g64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+    b.st(Space.GLOBAL, addr, gid, dtype=DType.U32)
+    return b.build()
+
+
+def build_loop_kernel(trip=8, nvars=6):
+    """A loop kernel with ``nvars`` loop-carried f32 accumulators."""
+    b = KernelBuilder("loop_kernel", block_size=64)
+    inp = b.param("input", DType.U64)
+    out = b.param("output", DType.U64)
+    tid = b.special("%tid.x")
+    t64 = b.cvt(tid, DType.U64)
+    off = b.mul(t64, b.imm(4, DType.U64), DType.U64)
+    base = b.add(b.addr_of(inp), off, DType.U64)
+    accs = [b.mov(b.imm(0.1 * (j + 1), DType.F32)) for j in range(nvars)]
+    i = b.mov(b.imm(0, DType.S32))
+    loop = b.label("loop")
+    done = b.label("done")
+    b.place(loop)
+    p = b.setp(CmpOp.GE, i, b.imm(trip, DType.S32))
+    b.bra(done, guard=p)
+    v = b.ld(Space.GLOBAL, base, dtype=DType.F32)
+    for acc in accs:
+        b.mad(acc, b.imm(0.5, DType.F32), v, dst=acc)
+    b.add(i, b.imm(1, DType.S32), dst=i)
+    b.bra(loop)
+    b.place(done)
+    total = accs[0]
+    for acc in accs[1:]:
+        total = b.add(total, acc)
+    oaddr = b.add(b.addr_of(out), off, DType.U64)
+    b.st(Space.GLOBAL, oaddr, total)
+    return b.build()
+
+
+def build_pressure_kernel(nvars=20, trip=6):
+    """High register pressure: ``nvars`` values all live across a loop."""
+    b = KernelBuilder("pressure", block_size=64)
+    inp = b.param("input", DType.U64)
+    out = b.param("output", DType.U64)
+    tid = b.special("%tid.x")
+    t64 = b.cvt(tid, DType.U64)
+    off = b.mul(t64, b.imm(4, DType.U64), DType.U64)
+    addr = b.add(b.addr_of(inp), off, DType.U64)
+    vals = [
+        b.ld(Space.GLOBAL, addr, offset=4 * i, dtype=DType.F32)
+        for i in range(nvars)
+    ]
+    i = b.mov(b.imm(0, DType.S32))
+    loop = b.label("loop")
+    done = b.label("done")
+    b.place(loop)
+    p = b.setp(CmpOp.GE, i, b.imm(trip, DType.S32))
+    b.bra(done, guard=p)
+    acc = vals[0]
+    for v in vals[1:]:
+        acc = b.add(acc, v)
+    for j in range(len(vals)):
+        b.add(vals[j], acc, dst=vals[j])
+    b.add(i, b.imm(1, DType.S32), dst=i)
+    b.bra(loop)
+    b.place(done)
+    acc2 = vals[0]
+    for v in vals[1:]:
+        acc2 = b.add(acc2, v)
+    oaddr = b.add(b.addr_of(out), off, DType.U64)
+    b.st(Space.GLOBAL, oaddr, acc2)
+    return b.build()
+
+
+@pytest.fixture
+def tid_kernel():
+    return build_tid_kernel()
+
+
+@pytest.fixture
+def loop_kernel():
+    return build_loop_kernel()
+
+
+@pytest.fixture
+def pressure_kernel():
+    return build_pressure_kernel()

@@ -1,0 +1,167 @@
+"""Architecture model tests: configs, occupancy, measured costs."""
+
+import pytest
+
+from repro.arch import (
+    FERMI,
+    KEPLER,
+    LimitingResource,
+    compute_occupancy,
+    get_config,
+    max_reg_at_tlp,
+    max_tlp,
+    measure_costs,
+    register_utilization,
+    shared_memory_utilization,
+    spare_shm_per_block,
+)
+
+
+class TestConfigs:
+    def test_fermi_matches_table2(self):
+        assert FERMI.num_sms == 15
+        assert FERMI.cores_per_sm == 32
+        assert FERMI.registers_per_sm == 32768  # 128 KB
+        assert FERMI.shared_mem_per_sm == 48 * 1024
+        assert FERMI.max_threads_per_sm == 1536
+        assert FERMI.max_blocks_per_sm == 8
+        assert FERMI.num_schedulers == 2
+        assert FERMI.l1.size_bytes == 32 * 1024
+        assert FERMI.l1.associativity == 4
+        assert FERMI.l1.line_bytes == 128
+        assert FERMI.l1.mshr_entries == 32
+        assert FERMI.l2_size_bytes == 768 * 1024
+
+    def test_kepler_scaling(self):
+        # Section 7.3: register file doubled, thread limit 1536 -> 2048.
+        assert KEPLER.registers_per_sm == 2 * FERMI.registers_per_sm
+        assert KEPLER.max_threads_per_sm == 2048
+
+    def test_min_reg(self):
+        assert FERMI.min_reg_per_thread == 32768 // 1536  # 21
+        assert KEPLER.min_reg_per_thread == 65536 // 2048  # 32 (paper's GTX680)
+
+    def test_lookup(self):
+        assert get_config("fermi") is FERMI
+        with pytest.raises(KeyError):
+            get_config("volta")
+
+    def test_scaled_copy(self):
+        tweaked = FERMI.scaled(max_blocks_per_sm=16)
+        assert tweaked.max_blocks_per_sm == 16
+        assert FERMI.max_blocks_per_sm == 8
+
+
+class TestOccupancy:
+    def test_register_limited(self):
+        occ = compute_occupancy(FERMI, reg_per_thread=63, shm_per_block=0,
+                                block_size=256)
+        # 63*256 = 16128 regs/block -> 2 blocks.
+        assert occ.blocks == 2
+        assert occ.limiting is LimitingResource.REGISTERS
+
+    def test_thread_limited(self):
+        occ = compute_occupancy(FERMI, 16, 0, 512)
+        assert occ.blocks == 3
+        assert occ.limiting is LimitingResource.THREADS
+
+    def test_block_limited(self):
+        occ = compute_occupancy(FERMI, 8, 0, 64)
+        assert occ.blocks == 8
+        assert occ.limiting is LimitingResource.BLOCKS
+
+    def test_shm_limited(self):
+        occ = compute_occupancy(FERMI, 16, 20 * 1024, 128)
+        assert occ.blocks == 2
+        assert occ.limiting is LimitingResource.SHARED_MEMORY
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(FERMI, 300, 0, 512)
+
+    def test_block_size_over_limit(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(FERMI, 16, 0, 2048)
+
+    def test_monotone_in_registers(self):
+        blocks = [max_tlp(FERMI, reg, 0, 128) for reg in range(16, 64, 4)]
+        assert blocks == sorted(blocks, reverse=True)
+
+    def test_monotone_in_shm(self):
+        blocks = [max_tlp(FERMI, 21, shm, 128) for shm in range(0, 32768, 4096)]
+        assert blocks == sorted(blocks, reverse=True)
+
+
+class TestStaircase:
+    def test_max_reg_at_tlp_round_trip(self):
+        # The rightmost stair point must actually sustain its TLP.
+        for tlp in range(1, 9):
+            reg = max_reg_at_tlp(FERMI, tlp, 0, 128)
+            assert max_tlp(FERMI, reg, 0, 128) >= tlp
+            # And one more register must not (when regs bind).
+            if reg + 1 <= 256:
+                assert max_tlp(FERMI, reg + 1, 0, 128) <= tlp or tlp == 8
+
+    def test_known_fermi_stairs_bs128(self):
+        stairs = {t: max_reg_at_tlp(FERMI, t, 0, 128) for t in range(1, 9)}
+        assert stairs[8] == 32
+        assert stairs[7] == 36
+        assert stairs[6] == 42
+        assert stairs[5] == 51
+        assert stairs[4] == 64
+
+    def test_unachievable_tlp_raises(self):
+        with pytest.raises(ValueError):
+            max_reg_at_tlp(FERMI, 4, 0, 512)  # threads cap at 3
+
+
+class TestUtilization:
+    def test_full_register_file(self):
+        assert register_utilization(FERMI, 32, 256, 4) == pytest.approx(1.0)
+
+    def test_paper_fdtd_example(self):
+        # Paper Section 7.2: 42 regs x 512 threads x 1 block ~ 66%.
+        util = register_utilization(FERMI, 42, 512, 1)
+        assert util == pytest.approx(42 * 512 / 32768)
+
+    def test_shared_memory_utilization(self):
+        assert shared_memory_utilization(FERMI, 12 * 1024, 4) == pytest.approx(1.0)
+        assert shared_memory_utilization(FERMI, 0, 8) == 0.0
+
+
+class TestSpareShm:
+    def test_full_budget_when_no_app_usage(self):
+        assert spare_shm_per_block(FERMI, 0, 4) == FERMI.shared_mem_per_sm // 4
+
+    def test_app_usage_subtracted(self):
+        spare = spare_shm_per_block(FERMI, 8 * 1024, 4)
+        assert spare == FERMI.shared_mem_per_sm // 4 - 8 * 1024
+
+    def test_never_negative(self):
+        assert spare_shm_per_block(FERMI, 48 * 1024, 2) == 0
+
+    def test_budget_preserves_tlp(self):
+        # Claiming the spare budget must not reduce occupancy.
+        for tlp in (1, 2, 4, 8):
+            app = 4096
+            spare = spare_shm_per_block(FERMI, app, tlp)
+            occ = compute_occupancy(FERMI, 16, app + spare, 128)
+            assert occ.blocks >= min(
+                tlp, compute_occupancy(FERMI, 16, app, 128).blocks
+            )
+
+
+class TestMeasuredCosts:
+    def test_local_costs_more_than_shared(self):
+        costs = measure_costs(FERMI)
+        assert costs.cost_local >= costs.cost_shared
+
+    def test_memory_costs_exceed_alu(self):
+        costs = measure_costs(FERMI)
+        assert costs.cost_shared >= costs.cost_other
+        assert costs.cost_other == FERMI.latency.alu
+
+    def test_cached_per_config(self):
+        a = measure_costs(FERMI)
+        b = measure_costs(FERMI)
+        assert a is b

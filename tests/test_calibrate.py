@@ -1,0 +1,45 @@
+"""Calibration-report tool tests."""
+
+import pytest
+
+from repro.workloads import load_workload
+from repro.workloads.calibrate import calibrate, format_report
+
+
+@pytest.fixture(scope="module")
+def hst_report():
+    return calibrate(load_workload("HST"), step=6, profile_tlp_curve=True)
+
+
+class TestCalibration:
+    def test_sweep_starts_spill_free(self, hst_report):
+        top = max(hst_report.spill_sweep, key=lambda r: r.reg_limit)
+        assert top.reg_limit == hst_report.demand
+        assert top.spilled == 0
+        assert top.local_insts == 0
+
+    def test_spills_monotone_in_pressure(self, hst_report):
+        rows = sorted(hst_report.spill_sweep, key=lambda r: -r.reg_limit)
+        spilled = [r.spilled for r in rows]
+        assert spilled == sorted(spilled)
+
+    def test_knee_detection(self, hst_report):
+        knee = hst_report.knee
+        if knee is not None:
+            assert knee < hst_report.default_reg
+
+    def test_tlp_profile_covers_range(self, hst_report):
+        assert set(hst_report.tlp_profile) == set(
+            range(1, hst_report.max_tlp + 1)
+        )
+
+    def test_format_is_printable(self, hst_report):
+        text = format_report(hst_report)
+        assert "calibration: HST" in text
+        assert "TLP profile" in text
+        assert str(hst_report.demand) in text
+
+    def test_no_profile_mode(self):
+        report = calibrate(load_workload("GAU"), profile_tlp_curve=False)
+        assert report.tlp_profile == {}
+        assert report.spill_sweep

@@ -1,0 +1,150 @@
+"""CFG construction, dominators, and loop detection tests."""
+
+import pytest
+
+from repro.cfg import (
+    CFG,
+    dominates,
+    dominator_tree,
+    find_loops,
+    immediate_dominators,
+    loop_depths,
+)
+from repro.ptx import CmpOp, DType, KernelBuilder, parse_kernel
+
+
+def nested_loop_kernel(depth=2):
+    b = KernelBuilder("nested")
+    b.param("output", DType.U64)
+    counters = []
+    loops = []
+    for d in range(depth):
+        i = b.mov(b.imm(0, DType.S32))
+        counters.append(i)
+        head = b.label(f"head{d}")
+        done = b.label(f"done{d}")
+        b.place(head)
+        p = b.setp(CmpOp.GE, i, b.imm(4, DType.S32))
+        b.bra(done, guard=p)
+        loops.append((head, done, i))
+    for head, done, i in reversed(loops):
+        b.add(i, b.imm(1, DType.S32), dst=i)
+        b.bra(head)
+        b.place(done)
+    return b.build()
+
+
+class TestCFGConstruction:
+    def test_straightline_single_block(self, tid_kernel):
+        cfg = CFG(tid_kernel)
+        assert len(cfg) == 1
+        assert cfg.entry.successors == []
+
+    def test_loop_kernel_blocks(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        # preheader, header(+test), body, exit
+        assert len(cfg) == 4
+        header = cfg.blocks[1]
+        assert sorted(header.successors) in ([2, 3], [2, 3])
+        assert 1 in cfg.blocks[2].successors  # back edge
+
+    def test_instruction_count_matches(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        assert cfg.instruction_count() == len(loop_kernel.instructions())
+
+    def test_positions_are_global_and_unique(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        seen = set()
+        for block in cfg.blocks:
+            for pos, _ in block.positions():
+                assert pos not in seen
+                seen.add(pos)
+        assert seen == set(range(cfg.instruction_count()))
+
+    def test_reverse_postorder_starts_at_entry(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        order = cfg.reverse_postorder()
+        assert order[0] == 0
+        assert sorted(order) == list(range(len(cfg)))
+
+    def test_predecessors_inverse_of_successors(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        for block in cfg.blocks:
+            for succ in block.successors:
+                assert block.index in cfg.blocks[succ].predecessors
+
+    def test_exits(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        exits = cfg.exits()
+        assert len(exits) == 1
+        assert exits[0].terminator.opcode.value == "exit"
+
+    def test_unconditional_diamond(self):
+        text = """
+.entry k ()
+{
+    mov.u32 %r0, %tid.x;
+    setp.eq.u32 %p0, %r0, 0;
+    @%p0 bra $then;
+    mov.u32 %r1, 1;
+    bra $join;
+$then:
+    mov.u32 %r1, 2;
+$join:
+    add.u32 %r2, %r1, %r0;
+    exit;
+}
+"""
+        cfg = CFG(parse_kernel(text))
+        assert len(cfg) == 4
+        join = [b for b in cfg.blocks if b.label == "$join"][0]
+        assert len(join.predecessors) == 2
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        idom = immediate_dominators(cfg)
+        assert idom[0] is None
+
+    def test_header_dominates_body(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        idom = immediate_dominators(cfg)
+        assert dominates(idom, 1, 2)
+        assert dominates(idom, 0, 3)
+        assert not dominates(idom, 2, 1)
+
+    def test_every_block_dominates_itself(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        idom = immediate_dominators(cfg)
+        for block_idx in idom:
+            assert dominates(idom, block_idx, block_idx)
+
+    def test_dominator_tree_children(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        tree = dominator_tree(cfg)
+        assert 1 in tree[0]  # entry dominates header
+
+
+class TestLoops:
+    def test_single_loop_detected(self, loop_kernel):
+        cfg = CFG(loop_kernel)
+        loops = find_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].header == 1
+        assert loops[0].body == {1, 2}
+
+    def test_no_loops_in_straightline(self, tid_kernel):
+        assert find_loops(CFG(tid_kernel)) == []
+
+    def test_nested_loop_depths(self):
+        kernel = nested_loop_kernel(depth=2)
+        cfg = CFG(kernel)
+        depths = loop_depths(cfg)
+        assert max(depths.values()) == 2
+        assert min(depths.values()) == 0
+
+    def test_triple_nesting(self):
+        kernel = nested_loop_kernel(depth=3)
+        depths = loop_depths(CFG(kernel))
+        assert max(depths.values()) == 3

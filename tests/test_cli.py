@@ -1,0 +1,62 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.ptx import parse_kernel, print_kernel
+from repro.workloads import load_workload
+
+
+class TestInfo:
+    def test_info_app(self, capsys):
+        assert main(["info", "GAU"]) == 0
+        out = capsys.readouterr().out
+        assert "MaxReg" in out
+        assert "MaxTLP" in out
+
+    def test_info_file(self, tmp_path, capsys):
+        kernel = load_workload("GAU").kernel
+        path = tmp_path / "k.ptx"
+        path.write_text(print_kernel(kernel) + "\n")
+        assert main(["info", str(path)]) == 0
+        assert "Fan1" in capsys.readouterr().out
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["info", "NOT_AN_APP"])
+
+
+class TestAllocate:
+    def test_emits_parseable_ptx(self, capsys):
+        assert main(["allocate", "GAU", "--reg", "18"]) == 0
+        out = capsys.readouterr().out
+        kernel = parse_kernel(out)
+        assert kernel.name == "Fan1"
+
+    def test_spill_stack_appears_under_pressure(self, capsys):
+        assert main(["allocate", "HST", "--reg", "26"]) == 0
+        out = capsys.readouterr().out
+        assert "SpillStack" in out
+
+    def test_shared_spill_budget(self, capsys):
+        assert main(["allocate", "HST", "--reg", "26", "--spare-shm", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "ShmSpill" in out
+
+
+class TestSimulate:
+    def test_simulate_app(self, capsys):
+        assert main(["simulate", "GAU", "--tlp", "2", "--grid", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "L1 hit rate" in out
+
+
+class TestCrat:
+    def test_crat_static_and_emit(self, tmp_path, capsys):
+        emit = tmp_path / "out.ptx"
+        assert main(["crat", "GAU", "--static", "--emit", str(emit)]) == 0
+        out = capsys.readouterr().out
+        assert "chosen" in out
+        assert emit.exists()
+        parse_kernel(emit.read_text())

@@ -1,0 +1,107 @@
+"""Generic dataflow-solver unit tests."""
+
+import pytest
+
+from repro.cfg import BackwardMaySolver, CFG, ForwardMaySolver
+from repro.ptx import parse_kernel
+
+DIAMOND = """
+.entry k ()
+{
+    mov.u32 %r0, %tid.x;
+    setp.eq.u32 %p0, %r0, 0;
+    @%p0 bra $then;
+    mov.u32 %r1, 1;
+    bra $join;
+$then:
+    mov.u32 %r2, 2;
+$join:
+    add.u32 %r3, %r0, %r0;
+    exit;
+}
+"""
+
+LOOP = """
+.entry k ()
+{
+    mov.u32 %r0, %tid.x;
+$head:
+    setp.eq.u32 %p0, %r0, 0;
+    @%p0 bra $exit;
+    add.u32 %r0, %r0, %r0;
+    bra $head;
+$exit:
+    exit;
+}
+"""
+
+
+def gen_kill_transfer(gen):
+    """A transfer that unions a per-block GEN set into the flow value."""
+
+    def transfer(idx, flowing):
+        return frozenset(gen.get(idx, set())) | flowing
+
+    return transfer
+
+
+class TestBackwardSolver:
+    def test_gen_propagates_to_predecessors(self):
+        cfg = CFG(parse_kernel(DIAMOND))
+        exit_block = cfg.exits()[0].index
+        solver = BackwardMaySolver(cfg, gen_kill_transfer({exit_block: {"x"}}))
+        solver.solve()
+        assert "x" in solver.in_sets[exit_block]
+        # Every block reaches the exit, so "x" flows everywhere.
+        for block in cfg.blocks:
+            assert "x" in solver.in_sets[block.index]
+
+    def test_loop_reaches_fixed_point(self):
+        cfg = CFG(parse_kernel(LOOP))
+        gen = {b.index: {f"g{b.index}"} for b in cfg.blocks}
+        solver = BackwardMaySolver(cfg, gen_kill_transfer(gen))
+        solver.solve()
+        # Loop head's in-set accumulates facts from the whole loop.
+        head = cfg.blocks[1]
+        assert f"g{head.index}" in solver.in_sets[head.index]
+        # Solving again changes nothing (fixed point).
+        before = dict(solver.in_sets)
+        solver.solve()
+        assert solver.in_sets == before
+
+    def test_union_meet_on_branches(self):
+        cfg = CFG(parse_kernel(DIAMOND))
+        then_block = next(b.index for b in cfg.blocks if b.label == "$then")
+        fall_block = 1  # the untaken path after the conditional branch
+        solver = BackwardMaySolver(
+            cfg, gen_kill_transfer({then_block: {"t"}, fall_block: {"f"}})
+        )
+        solver.solve()
+        entry = cfg.entry.index
+        assert {"t", "f"} <= set(solver.in_sets[entry])
+
+
+class TestForwardSolver:
+    def test_gen_propagates_to_successors(self):
+        cfg = CFG(parse_kernel(DIAMOND))
+        solver = ForwardMaySolver(cfg, gen_kill_transfer({0: {"d"}}))
+        solver.solve()
+        for block in cfg.blocks:
+            assert "d" in solver.out_sets[block.index]
+
+    def test_facts_merge_at_join(self):
+        cfg = CFG(parse_kernel(DIAMOND))
+        then_block = next(b.index for b in cfg.blocks if b.label == "$then")
+        solver = ForwardMaySolver(
+            cfg, gen_kill_transfer({1: {"a"}, then_block: {"b"}})
+        )
+        solver.solve()
+        join = next(b.index for b in cfg.blocks if b.label == "$join")
+        assert {"a", "b"} <= set(solver.in_sets[join])
+
+    def test_loop_converges(self):
+        cfg = CFG(parse_kernel(LOOP))
+        solver = ForwardMaySolver(cfg, gen_kill_transfer({2: {"body"}}))
+        solver.solve()
+        head = 1
+        assert "body" in solver.in_sets[head]

@@ -1,0 +1,247 @@
+"""SIMT divergence (IPDOM reconvergence stack) tests."""
+
+import numpy as np
+import pytest
+
+from repro.cfg import CFG, immediate_post_dominators
+from repro.ptx import CmpOp, DType, KernelBuilder, Space, parse_kernel
+from repro.sim import DivergentBranchError, GlobalMemory, run_grid
+
+
+def run_kernel(kernel, count=None):
+    count = count or kernel.block_size
+    mem = GlobalMemory(kernel, {p.name: 1 << 13 for p in kernel.params})
+    run_grid(kernel, mem, grid_blocks=1)
+    return mem.read_buffer("output", DType.S32, count)
+
+
+def store_per_thread(b, out, tid, val):
+    t64 = b.cvt(tid, DType.U64)
+    addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+    b.st(Space.GLOBAL, addr, val, dtype=DType.S32)
+
+
+class TestIfThen:
+    def test_skipped_lanes_keep_old_value(self):
+        # if (tid >= 24) val += 100;
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        val = b.mov(b.imm(1, DType.S32))
+        p = b.setp(CmpOp.LT, tid, b.imm(24, DType.U32))
+        skip = b.label("skip")
+        b.bra(skip, guard=p)  # lanes < 24 jump over the then-body
+        b.add(val, b.imm(100, DType.S32), dst=val)
+        b.place(skip)
+        store_per_thread(b, out, tid, val)
+        out_vals = run_kernel(b.build())
+        assert np.all(out_vals[:24] == 1)
+        assert np.all(out_vals[24:] == 101)
+
+    def test_matches_predicated_version(self):
+        def build(use_branch):
+            b = KernelBuilder("k", block_size=32)
+            out = b.param("output", DType.U64)
+            tid = b.special("%tid.x")
+            val = b.mov(b.imm(5, DType.S32))
+            p = b.setp(CmpOp.GE, tid, b.imm(10, DType.U32))
+            if use_branch:
+                skip = b.label("skip")
+                b.bra(skip, guard=p, negated=True)
+                b.add(val, b.imm(7, DType.S32), dst=val)
+                b.place(skip)
+            else:
+                from repro.ptx import Instruction, Opcode
+
+                b.emit(
+                    Instruction(
+                        Opcode.ADD,
+                        dtype=DType.S32,
+                        dst=val,
+                        srcs=(val, b.imm(7, DType.S32)),
+                        guard=p,
+                    )
+                )
+            store_per_thread(b, out, tid, val)
+            return b.build()
+
+        assert np.array_equal(run_kernel(build(True)), run_kernel(build(False)))
+
+
+class TestIfElse:
+    def _diamond(self, threshold=16):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        val = b.mov(b.imm(0, DType.S32))
+        p = b.setp(CmpOp.LT, tid, b.imm(threshold, DType.U32))
+        then = b.label("then")
+        join = b.label("join")
+        b.bra(then, guard=p)
+        b.mov_to(val, b.imm(30, DType.S32))  # else path
+        b.bra(join)
+        b.place(then)
+        b.mov_to(val, b.imm(70, DType.S32))  # then path
+        b.place(join)
+        b.add(val, b.imm(1, DType.S32), dst=val)  # post-join, all lanes
+        store_per_thread(b, out, tid, val)
+        return b.build()
+
+    def test_both_paths_execute(self):
+        out_vals = run_kernel(self._diamond())
+        assert np.all(out_vals[:16] == 71)
+        assert np.all(out_vals[16:] == 31)
+
+    @pytest.mark.parametrize("threshold", [1, 8, 31])
+    def test_any_split(self, threshold):
+        out_vals = run_kernel(self._diamond(threshold))
+        assert np.all(out_vals[:threshold] == 71)
+        assert np.all(out_vals[threshold:] == 31)
+
+
+class TestNested:
+    def test_nested_divergence(self):
+        # if (tid < 16) { if (tid < 8) v=1; else v=2; } else v=3;
+        text = """
+.entry k (.param .u64 output)
+{
+    mov.u32 %r0, %tid.x;
+    mov.s32 %r1, 0;
+    setp.lt.u32 %p0, %r0, 16;
+    @%p0 bra $outer_then;
+    mov.s32 %r1, 3;
+    bra $outer_join;
+$outer_then:
+    setp.lt.u32 %p1, %r0, 8;
+    @%p1 bra $inner_then;
+    mov.s32 %r1, 2;
+    bra $inner_join;
+$inner_then:
+    mov.s32 %r1, 1;
+$inner_join:
+$outer_join:
+    cvt.u64 %rd0, %r0;
+    mov.u64 %rd1, output;
+    mad.lo.u64 %rd2, %rd0, 4, %rd1;
+    st.global.s32 [%rd2], %r1;
+    exit;
+}
+"""
+        out_vals = run_kernel(parse_kernel(text))
+        assert np.all(out_vals[:8] == 1)
+        assert np.all(out_vals[8:16] == 2)
+        assert np.all(out_vals[16:] == 3)
+
+
+class TestDivergenceInsideLoop:
+    def test_uniform_loop_with_divergent_body(self):
+        # for i in range(4): if (tid < 16) v += 2 else v += 5
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        val = b.mov(b.imm(0, DType.S32))
+        i = b.mov(b.imm(0, DType.S32))
+        loop = b.label("loop")
+        done = b.label("done")
+        b.place(loop)
+        ploop = b.setp(CmpOp.GE, i, b.imm(4, DType.S32))
+        b.bra(done, guard=ploop)
+        p = b.setp(CmpOp.LT, tid, b.imm(16, DType.U32))
+        then = b.label(f"then")
+        join = b.label(f"join")
+        b.bra(then, guard=p)
+        b.add(val, b.imm(5, DType.S32), dst=val)
+        b.bra(join)
+        b.place(then)
+        b.add(val, b.imm(2, DType.S32), dst=val)
+        b.place(join)
+        b.add(i, b.imm(1, DType.S32), dst=i)
+        b.bra(loop)
+        b.place(done)
+        store_per_thread(b, out, tid, val)
+        out_vals = run_kernel(b.build())
+        assert np.all(out_vals[:16] == 8)
+        assert np.all(out_vals[16:] == 20)
+
+
+class TestDivergentMemory:
+    def test_divergent_loads_and_stores(self):
+        # Only even lanes load+store through the divergent path.
+        b = KernelBuilder("k", block_size=32)
+        inp = b.param("input", DType.U64)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        even = b.and_(tid, b.imm(1, DType.U32))
+        p = b.setp(CmpOp.EQ, even, b.imm(0, DType.U32))
+        val = b.mov(b.imm(-1, DType.S32))
+        skip = b.label("skip")
+        b.bra(skip, guard=p, negated=True)
+        t64 = b.cvt(tid, DType.U64)
+        iaddr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(inp), dtype=DType.U64)
+        loaded = b.ld(Space.GLOBAL, iaddr, dtype=DType.S32)
+        b.mov_to(val, loaded)
+        b.place(skip)
+        store_per_thread(b, out, tid, val)
+        kernel = b.build()
+        mem = GlobalMemory(kernel, {"input": 4096, "output": 4096})
+        mem.write_buffer("input", np.arange(100, 132, dtype=np.int32))
+        run_grid(kernel, mem, 1)
+        out_vals = mem.read_buffer("output", DType.S32, 32)
+        lanes = np.arange(32)
+        assert np.all(out_vals[lanes % 2 == 0] == (100 + lanes)[lanes % 2 == 0])
+        assert np.all(out_vals[lanes % 2 == 1] == -1)
+
+    def test_divergent_path_records_partial_warp_ops(self):
+        from repro.ptx.isa import LatencyClass, Space as Sp
+        from repro.sim import BlockExecutor
+
+        b = KernelBuilder("k", block_size=32)
+        inp = b.param("input", DType.U64)
+        b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        p = b.setp(CmpOp.LT, tid, b.imm(4, DType.U32))
+        skip = b.label("skip")
+        b.bra(skip, guard=p, negated=True)
+        t64 = b.cvt(tid, DType.U64)
+        iaddr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(inp), dtype=DType.U64)
+        b.ld(Space.GLOBAL, iaddr, dtype=DType.S32)
+        b.place(skip)
+        kernel = b.build()
+        mem = GlobalMemory(kernel, {"input": 4096, "output": 4096})
+        trace = BlockExecutor(kernel, mem, 0, 1).run()
+        loads = [
+            op for op in trace.warp_ops[0]
+            if op.kind is LatencyClass.MEM and op.space is Sp.GLOBAL
+        ]
+        # Four active lanes, contiguous words: exactly one line touched.
+        assert len(loads) == 1
+        assert len(loads[0].lines) == 1
+        assert loads[0].bytes == 4 * 4
+
+
+class TestLimits:
+    def test_barrier_in_divergent_region_rejected(self):
+        b = KernelBuilder("k", block_size=32)
+        b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        p = b.setp(CmpOp.LT, tid, b.imm(16, DType.U32))
+        skip = b.label("skip")
+        b.bra(skip, guard=p)
+        b.bar()
+        b.place(skip)
+        with pytest.raises(DivergentBranchError, match="barrier"):
+            run_kernel(b.build())
+
+
+class TestIPDomHelper:
+    def test_straightline_has_no_ipdom_entries_for_nonbranches(self):
+        text = """
+.entry k ()
+{
+    mov.u32 %r0, %tid.x;
+    exit;
+}
+"""
+        cfg = CFG(parse_kernel(text))
+        ipdom = immediate_post_dominators(cfg)
+        assert ipdom == {0: None}

@@ -1,0 +1,101 @@
+"""Energy model and bench-utility tests."""
+
+import os
+
+import pytest
+
+from repro.bench import format_table, geomean, results_dir, write_result
+from repro.sim import DEFAULT_ENERGY_MODEL, EnergyModel, SimResult
+from repro.sim.cache import CacheStats
+
+
+def make_result(**overrides):
+    defaults = dict(
+        cycles=1000.0,
+        instructions=500,
+        tlp=4,
+        blocks_executed=4,
+        l1=CacheStats(accesses=100, hits=80, misses=20),
+        l2=CacheStats(accesses=20, hits=10, misses=10),
+        mshr_stall_events=0,
+        mshr_stall_cycles=0.0,
+        barrier_stall_cycles=0.0,
+        idle_cycles=0.0,
+        local_load_insts=10,
+        local_store_insts=5,
+        shared_insts=7,
+        global_insts=80,
+        bypassed_insts=0,
+        dram_transactions=10,
+        dram_bytes=1280,
+        issued_by_class={"alu": 400, "mem": 97, "sfu": 3},
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestEnergyModel:
+    def test_positive(self):
+        assert DEFAULT_ENERGY_MODEL.energy_nj(make_result()) > 0
+
+    def test_dram_dominates_alu(self):
+        quiet = make_result(dram_transactions=0)
+        noisy = make_result(dram_transactions=1000)
+        model = DEFAULT_ENERGY_MODEL
+        assert model.energy_nj(noisy) > model.energy_nj(quiet) + 900 * model.dram_access * 0.9
+
+    def test_static_scales_with_cycles(self):
+        short = make_result(cycles=1000.0)
+        long = make_result(cycles=100000.0)
+        model = EnergyModel(static_watts=5.0)
+        assert model.energy_nj(long) > model.energy_nj(short)
+
+    def test_custom_model(self):
+        model = EnergyModel(alu_op=0.0, register_access=0.0, l1_access=0.0,
+                            l2_access=0.0, dram_access=0.0, sfu_op=0.0,
+                            shared_access=0.0, static_watts=0.0)
+        assert model.energy_nj(make_result()) == 0.0
+
+
+class TestSimResultProps:
+    def test_ipc(self):
+        r = make_result(cycles=250.0, instructions=500)
+        assert r.ipc == 2.0
+
+    def test_zero_cycles(self):
+        r = make_result(cycles=0.0)
+        assert r.ipc == 0.0
+
+    def test_local_insts(self):
+        r = make_result(local_load_insts=3, local_store_insts=4)
+        assert r.local_insts == 7
+
+    def test_summary_string(self):
+        text = make_result().summary()
+        assert "ipc" in text and "l1_hit" in text
+
+
+class TestBenchUtils:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("xyz", 3)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows padded equally
+
+    def test_write_result_creates_file(self, tmp_path, monkeypatch):
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "results_dir", lambda: str(tmp_path))
+        path = report.write_result("unit", "hello")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"

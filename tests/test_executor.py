@@ -1,0 +1,223 @@
+"""Functional SIMT executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.ptx import CmpOp, DType, KernelBuilder, Space
+from repro.sim import BlockExecutor, DivergentBranchError, GlobalMemory, run_grid
+from repro.sim.executor import LOCAL_PHYS_BASE
+from repro.ptx.isa import LatencyClass
+
+
+def execute(kernel, param_sizes=None, block_id=0, grid_blocks=1):
+    mem = GlobalMemory(kernel, param_sizes or {p.name: 1 << 14 for p in kernel.params})
+    executor = BlockExecutor(kernel, mem, block_id, grid_blocks)
+    trace = executor.run()
+    return mem, executor, trace
+
+
+class TestBasicExecution:
+    def test_tid_kernel_stores_global_ids(self, tid_kernel):
+        mem, _, _ = execute(tid_kernel, {"output": 1 << 12}, block_id=1,
+                            grid_blocks=4)
+        out = mem.read_buffer("output", DType.U32, 512)
+        block = tid_kernel.block_size
+        expected = np.arange(block, 2 * block, dtype=np.uint32)
+        assert np.array_equal(out[block : 2 * block], expected)
+
+    def test_loop_executes_trip_count(self):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        acc = b.mov(b.imm(0, DType.S32))
+        i = b.mov(b.imm(0, DType.S32))
+        loop = b.label("loop")
+        done = b.label("done")
+        b.place(loop)
+        p = b.setp(CmpOp.GE, i, b.imm(10, DType.S32))
+        b.bra(done, guard=p)
+        b.add(acc, b.imm(3, DType.S32), dst=acc)
+        b.add(i, b.imm(1, DType.S32), dst=i)
+        b.bra(loop)
+        b.place(done)
+        tid = b.special("%tid.x")
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, acc, dtype=DType.S32)
+        kernel = b.build()
+        mem, _, _ = execute(kernel)
+        out_vals = mem.read_buffer("output", DType.S32, 32)
+        assert np.all(out_vals == 30)
+
+    def test_predicated_write(self):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        p = b.setp(CmpOp.LT, tid, b.imm(16, DType.U32))
+        one = b.mov(b.imm(1, DType.S32))
+        val = b.mov(b.imm(0, DType.S32))
+        b.emit(
+            __import__("repro.ptx.instruction", fromlist=["Instruction"]).Instruction(
+                __import__("repro.ptx.isa", fromlist=["Opcode"]).Opcode.ADD,
+                dtype=DType.S32,
+                dst=val,
+                srcs=(val, one),
+                guard=p,
+            )
+        )
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, val, dtype=DType.S32)
+        kernel = b.build()
+        mem, _, _ = execute(kernel)
+        out_vals = mem.read_buffer("output", DType.S32, 32)
+        assert np.all(out_vals[:16] == 1)
+        assert np.all(out_vals[16:] == 0)
+
+    def test_selp(self):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        p = b.setp(CmpOp.GE, tid, b.imm(16, DType.U32))
+        val = b.selp(b.imm(7, DType.S32), b.imm(3, DType.S32), p)
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, val, dtype=DType.S32)
+        mem, _, _ = execute(b.build())
+        out_vals = mem.read_buffer("output", DType.S32, 32)
+        assert np.all(out_vals[:16] == 3)
+        assert np.all(out_vals[16:] == 7)
+
+    def test_divergent_backward_branch_rejected(self):
+        # Data-dependent trip counts (divergent *backward* branches)
+        # stay outside the modeled subset.
+        b = KernelBuilder("k", block_size=32)
+        b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        head = b.label("head")
+        b.place(head)
+        counter = b.add(tid, b.imm(1, DType.U32))
+        p = b.setp(CmpOp.LT, counter, b.imm(16, DType.U32))
+        b.bra(head, guard=p)
+        with pytest.raises(DivergentBranchError):
+            execute(b.build())
+
+    def test_divergent_forward_branch_supported(self):
+        # if (tid < 16) val = 7; else val = 3;  via real branches.
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        val = b.mov(b.imm(0, DType.S32))
+        p = b.setp(CmpOp.LT, tid, b.imm(16, DType.U32))
+        then = b.label("then")
+        join = b.label("join")
+        b.bra(then, guard=p)
+        b.mov_to(val, b.imm(3, DType.S32))
+        b.bra(join)
+        b.place(then)
+        b.mov_to(val, b.imm(7, DType.S32))
+        b.place(join)
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, val, dtype=DType.S32)
+        mem, _, _ = execute(b.build())
+        out_vals = mem.read_buffer("output", DType.S32, 32)
+        assert np.all(out_vals[:16] == 7)
+        assert np.all(out_vals[16:] == 3)
+
+
+class TestMemorySpaces:
+    def test_shared_round_trip(self):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tile = b.shared_array("tile", 128)
+        tid = b.special("%tid.x")
+        t64 = b.cvt(tid, DType.U64)
+        off = b.mul(t64, b.imm(4, DType.U64), DType.U64)
+        taddr = b.add(b.addr_of(tile), off, DType.U64)
+        b.st(Space.SHARED, taddr, tid, dtype=DType.U32)
+        back = b.ld(Space.SHARED, taddr, dtype=DType.U32)
+        oaddr = b.add(b.addr_of(out), off, DType.U64)
+        b.st(Space.GLOBAL, oaddr, back, dtype=DType.U32)
+        mem, _, _ = execute(b.build())
+        out_vals = mem.read_buffer("output", DType.U32, 32)
+        assert np.array_equal(out_vals, np.arange(32, dtype=np.uint32))
+
+    def test_local_is_thread_private(self):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        stack = b.local_array("Stack", 8)
+        tid = b.special("%tid.x")
+        base = b.addr_of(stack)
+        b.st(Space.LOCAL, base, tid, dtype=DType.U32)
+        back = b.ld(Space.LOCAL, base, dtype=DType.U32)
+        t64 = b.cvt(tid, DType.U64)
+        oaddr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, oaddr, back, dtype=DType.U32)
+        mem, _, _ = execute(b.build())
+        out_vals = mem.read_buffer("output", DType.U32, 32)
+        # Every thread reads back its own tid despite the shared address.
+        assert np.array_equal(out_vals, np.arange(32, dtype=np.uint32))
+
+
+class TestTraces:
+    def test_trace_kinds(self, loop_kernel):
+        _, _, trace = execute(
+            loop_kernel, {"input": 1 << 12, "output": 1 << 12}
+        )
+        kinds = {op.kind for ops in trace.warp_ops for op in ops}
+        assert LatencyClass.ALU in kinds
+        assert LatencyClass.MEM in kinds
+
+    def test_memory_ops_carry_lines(self, loop_kernel):
+        _, _, trace = execute(loop_kernel, {"input": 1 << 12, "output": 1 << 12})
+        mem_ops = [
+            op
+            for ops in trace.warp_ops
+            for op in ops
+            if op.kind is LatencyClass.MEM and op.space is Space.GLOBAL
+        ]
+        assert mem_ops
+        for op in mem_ops:
+            assert op.lines
+            for line in op.lines:
+                assert line % 128 == 0
+
+    def test_coalesced_warp_load_is_one_line(self, tid_kernel):
+        _, _, trace = execute(tid_kernel, {"output": 1 << 12})
+        stores = [
+            op
+            for ops in trace.warp_ops
+            for op in ops
+            if op.is_store and op.space is Space.GLOBAL
+        ]
+        # One consecutive 4B store per lane = exactly one 128B line.
+        assert all(len(op.lines) == 1 for op in stores)
+
+    def test_local_addresses_interleave(self):
+        b = KernelBuilder("k", block_size=32)
+        b.param("output", DType.U64)
+        stack = b.local_array("Stack", 8)
+        base = b.addr_of(stack)
+        b.st(Space.LOCAL, base, b.imm(1, DType.S32), dtype=DType.S32)
+        _, _, trace = execute(b.build())
+        store = next(
+            op for op in trace.warp_ops[0] if op.space is Space.LOCAL
+        )
+        # All 32 lanes' words interleave into one 128-byte line.
+        assert len(store.lines) == 1
+        assert store.lines[0] >= LOCAL_PHYS_BASE
+
+    def test_instruction_counts_match(self, tid_kernel):
+        _, _, trace = execute(tid_kernel, {"output": 1 << 12})
+        per_warp = {len(ops) for ops in trace.warp_ops}
+        assert len(per_warp) == 1  # uniform kernel: same count per warp
+        assert trace.instruction_count == sum(len(o) for o in trace.warp_ops)
+
+
+class TestGridExecution:
+    def test_blocks_write_disjoint_outputs(self, tid_kernel):
+        mem = GlobalMemory(tid_kernel, {"output": 1 << 14})
+        run_grid(tid_kernel, mem, grid_blocks=4)
+        out = mem.read_buffer("output", DType.U32, 4 * tid_kernel.block_size)
+        expected = np.arange(4 * tid_kernel.block_size, dtype=np.uint32)
+        assert np.array_equal(out, expected)

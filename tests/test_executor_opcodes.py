@@ -1,0 +1,193 @@
+"""Functional semantics of every executor opcode, checked against numpy."""
+
+import numpy as np
+import pytest
+
+from repro.ptx import CmpOp, DType, KernelBuilder, Space
+from repro.sim import GlobalMemory, run_grid
+
+
+def eval_unary(op_name, values, dtype=DType.F32, out_dtype=None):
+    """Run one unary op over a 32-wide input vector; return results."""
+    out_dtype = out_dtype or dtype
+    b = KernelBuilder("k", block_size=32)
+    inp = b.param("input", DType.U64)
+    out = b.param("output", DType.U64)
+    tid = b.special("%tid.x")
+    t64 = b.cvt(tid, DType.U64)
+    width = dtype.bytes
+    addr = b.mad(t64, b.imm(width, DType.U64), b.addr_of(inp), dtype=DType.U64)
+    v = b.ld(Space.GLOBAL, addr, dtype=dtype)
+    r = getattr(b, op_name)(v)
+    oaddr = b.mad(
+        t64, b.imm(out_dtype.bytes, DType.U64), b.addr_of(out), dtype=DType.U64
+    )
+    b.st(Space.GLOBAL, oaddr, r, dtype=out_dtype)
+    kernel = b.build()
+    mem = GlobalMemory(kernel, {"input": 4096, "output": 4096})
+    mem.write_buffer("input", values)
+    run_grid(kernel, mem, 1)
+    return mem.read_buffer("output", out_dtype, 32)
+
+
+def eval_binary(op_name, a_vals, b_vals, dtype=DType.F32):
+    b = KernelBuilder("k", block_size=32)
+    pa = b.param("a", DType.U64)
+    pb = b.param("b", DType.U64)
+    out = b.param("output", DType.U64)
+    tid = b.special("%tid.x")
+    t64 = b.cvt(tid, DType.U64)
+    width = dtype.bytes
+    a_addr = b.mad(t64, b.imm(width, DType.U64), b.addr_of(pa), dtype=DType.U64)
+    b_addr = b.mad(t64, b.imm(width, DType.U64), b.addr_of(pb), dtype=DType.U64)
+    va = b.ld(Space.GLOBAL, a_addr, dtype=dtype)
+    vb = b.ld(Space.GLOBAL, b_addr, dtype=dtype)
+    r = getattr(b, op_name)(va, vb)
+    oaddr = b.mad(t64, b.imm(width, DType.U64), b.addr_of(out), dtype=DType.U64)
+    b.st(Space.GLOBAL, oaddr, r, dtype=dtype)
+    kernel = b.build()
+    mem = GlobalMemory(kernel, {"a": 4096, "b": 4096, "output": 4096})
+    mem.write_buffer("a", a_vals)
+    mem.write_buffer("b", b_vals)
+    run_grid(kernel, mem, 1)
+    return mem.read_buffer("output", dtype, 32)
+
+
+F32 = np.linspace(0.5, 4.0, 32, dtype=np.float32)
+F32B = np.linspace(0.25, 2.0, 32, dtype=np.float32)
+S32 = np.arange(-16, 16, dtype=np.int32)
+S32B = np.arange(1, 33, dtype=np.int32)
+
+
+class TestFloatBinary:
+    def test_add(self):
+        assert np.allclose(eval_binary("add", F32, F32B), F32 + F32B)
+
+    def test_sub(self):
+        assert np.allclose(eval_binary("sub", F32, F32B), F32 - F32B)
+
+    def test_mul(self):
+        assert np.allclose(eval_binary("mul", F32, F32B), F32 * F32B)
+
+    def test_div(self):
+        assert np.allclose(eval_binary("div", F32, F32B), F32 / F32B, rtol=1e-6)
+
+    def test_min_max(self):
+        assert np.allclose(eval_binary("min", F32, F32B), np.minimum(F32, F32B))
+        assert np.allclose(eval_binary("max", F32, F32B), np.maximum(F32, F32B))
+
+
+class TestIntBinary:
+    def test_add_wraps(self):
+        big = np.full(32, 2**31 - 1, dtype=np.int32)
+        one = np.ones(32, dtype=np.int32)
+        out = eval_binary("add", big, one, DType.S32)
+        assert np.all(out == np.int32(-(2**31)))
+
+    def test_integer_div_truncates(self):
+        out = eval_binary("div", S32, S32B, DType.S32)
+        assert np.array_equal(out, S32 // S32B)
+
+    def test_div_by_zero_yields_zero(self):
+        zeros = np.zeros(32, dtype=np.int32)
+        out = eval_binary("div", S32, zeros, DType.S32)
+        assert np.all(out == 0)
+
+    def test_rem(self):
+        out = eval_binary("rem", np.abs(S32), S32B, DType.S32)
+        assert np.array_equal(out, np.abs(S32) % S32B)
+
+    def test_bitwise(self):
+        a = np.arange(32, dtype=np.int32)
+        m = np.full(32, 0b1010, dtype=np.int32)
+        assert np.array_equal(eval_binary("and_", a, m, DType.S32), a & m)
+        assert np.array_equal(eval_binary("or_", a, m, DType.S32), a | m)
+        assert np.array_equal(eval_binary("xor", a, m, DType.S32), a ^ m)
+
+    def test_shifts(self):
+        a = np.arange(32, dtype=np.uint32)
+        two = np.full(32, 2, dtype=np.uint32)
+        assert np.array_equal(
+            eval_binary("shl", a, two, DType.U32), a << 2
+        )
+        assert np.array_equal(
+            eval_binary("shr", a, two, DType.U32), a >> 2
+        )
+
+
+class TestUnary:
+    def test_neg_abs(self):
+        assert np.allclose(eval_unary("neg", F32), -F32)
+        vals = np.linspace(-2, 2, 32, dtype=np.float32)
+        out = eval_unary("abs", vals)
+        assert np.allclose(out, np.abs(vals))
+
+    def test_sqrt(self):
+        assert np.allclose(eval_unary("sqrt", F32), np.sqrt(F32), rtol=1e-6)
+
+    def test_rsqrt(self):
+        assert np.allclose(eval_unary("rsqrt", F32), 1 / np.sqrt(F32), rtol=1e-6)
+
+    def test_rcp(self):
+        assert np.allclose(eval_unary("rcp", F32), 1 / F32, rtol=1e-6)
+
+    def test_sin_cos(self):
+        assert np.allclose(eval_unary("sin", F32), np.sin(F32), rtol=1e-5)
+        assert np.allclose(eval_unary("cos", F32), np.cos(F32), rtol=1e-5)
+
+
+class TestCvt:
+    def test_f32_to_s32_truncates(self):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        f = b.cvt(tid, DType.F32)
+        f2 = b.mul(f, b.imm(1.75, DType.F32))
+        back = b.cvt(f2, DType.S32)
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, back, dtype=DType.S32)
+        kernel = b.build()
+        mem = GlobalMemory(kernel, {"output": 4096})
+        run_grid(kernel, mem, 1)
+        out_vals = mem.read_buffer("output", DType.S32, 32)
+        expected = (np.arange(32, dtype=np.float32) * np.float32(1.75)).astype(
+            np.int32
+        )
+        assert np.array_equal(out_vals, expected)
+
+
+class TestSetpAllComparisons:
+    @pytest.mark.parametrize(
+        "cmp,npop",
+        [
+            (CmpOp.EQ, np.equal),
+            (CmpOp.NE, np.not_equal),
+            (CmpOp.LT, np.less),
+            (CmpOp.LE, np.less_equal),
+            (CmpOp.GT, np.greater),
+            (CmpOp.GE, np.greater_equal),
+        ],
+    )
+    def test_comparison(self, cmp, npop):
+        b = KernelBuilder("k", block_size=32)
+        out = b.param("output", DType.U64)
+        tid = b.special("%tid.x")
+        p = b.setp(cmp, tid, b.imm(16, DType.U32))
+        val = b.selp(b.imm(1, DType.S32), b.imm(0, DType.S32), p)
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, val, dtype=DType.S32)
+        kernel = b.build()
+        mem = GlobalMemory(kernel, {"output": 4096})
+        run_grid(kernel, mem, 1)
+        got = mem.read_buffer("output", DType.S32, 32).astype(bool)
+        expected = npop(np.arange(32, dtype=np.uint32), 16)
+        assert np.array_equal(got, expected)
+
+
+class TestF64:
+    def test_f64_arithmetic(self):
+        vals = np.linspace(0.5, 2.0, 32, dtype=np.float64)
+        out = eval_binary("mul", vals, vals, DType.F64)
+        assert np.allclose(out, vals * vals)

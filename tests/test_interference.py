@@ -1,0 +1,122 @@
+"""Interference-graph construction tests."""
+
+import pytest
+
+from repro.cfg import LivenessInfo
+from repro.ptx import DType, RegClass, parse_kernel
+from repro.regalloc import build_interference, verify_coloring
+from repro.regalloc.interference import InterferenceGraph
+
+
+def graphs_of(text):
+    kernel = parse_kernel(text)
+    return build_interference(LivenessInfo(kernel))
+
+
+class TestConstruction:
+    def test_simultaneously_live_interfere(self):
+        graphs = graphs_of(
+            ".entry k ()\n{\n"
+            "    mov.u32 %r0, %tid.x;\n"
+            "    mov.u32 %r1, %ctaid.x;\n"
+            "    add.u32 %r2, %r0, %r1;\n"
+            "    add.u32 %r3, %r0, %r1;\n"
+            "    add.u32 %r4, %r2, %r3;\n"
+            "    exit;\n}"
+        )
+        g = graphs[RegClass.R32]
+        assert g.interferes("%r0", "%r1")
+        assert g.interferes("%r2", "%r3")
+
+    def test_sequential_lives_do_not_interfere(self):
+        graphs = graphs_of(
+            ".entry k ()\n{\n"
+            "    mov.u32 %r0, %tid.x;\n"
+            "    add.u32 %r1, %r0, %r0;\n"
+            "    add.u32 %r2, %r1, %r1;\n"
+            "    exit;\n}"
+        )
+        g = graphs[RegClass.R32]
+        assert not g.interferes("%r0", "%r2")
+
+    def test_classes_are_separate_graphs(self):
+        graphs = graphs_of(
+            ".entry k ()\n{\n"
+            "    mov.u32 %r0, %tid.x;\n"
+            "    mov.f32 %f0, 1.0;\n"
+            "    add.u32 %r1, %r0, %r0;\n"
+            "    add.f32 %f1, %f0, %f0;\n"
+            "    add.u32 %r2, %r1, %r0;\n"
+            "    add.f32 %f2, %f1, %f0;\n"
+            "    exit;\n}"
+        )
+        assert "%f0" in graphs[RegClass.F32]
+        assert "%f0" not in graphs[RegClass.R32]
+        assert "%r0" in graphs[RegClass.R32]
+
+    def test_move_related_pairs_not_edges(self):
+        graphs = graphs_of(
+            ".entry k ()\n{\n"
+            "    mov.u32 %r0, %tid.x;\n"
+            "    mov.u32 %r1, %r0;\n"
+            "    add.u32 %r2, %r1, %r1;\n"
+            "    exit;\n}"
+        )
+        g = graphs[RegClass.R32]
+        assert not g.interferes("%r0", "%r1")
+        assert frozenset(("%r0", "%r1")) in g.move_pairs
+
+    def test_pinned_interferes_with_all(self):
+        text = (
+            ".entry k ()\n{\n"
+            "    mov.u32 %r0, %tid.x;\n"
+            "    add.u32 %r1, %r0, %r0;\n"
+            "    add.u32 %r2, %r1, %r1;\n"
+            "    exit;\n}"
+        )
+        kernel = parse_kernel(text)
+        graphs = build_interference(LivenessInfo(kernel), pinned={"%r2"})
+        g = graphs[RegClass.R32]
+        assert g.interferes("%r2", "%r0")
+        assert g.interferes("%r2", "%r1")
+
+    def test_weights_come_from_ranges(self, loop_kernel):
+        info = LivenessInfo(loop_kernel)
+        graphs = build_interference(info)
+        for rc, graph in graphs.items():
+            for name, node in graph.nodes.items():
+                assert node.weight == pytest.approx(info.ranges[name].weight)
+
+
+class TestVerifyColoring:
+    def test_detects_conflict(self):
+        g = InterferenceGraph(RegClass.R32)
+        g.add_edge("a", "b")
+        assert verify_coloring(g, {"a": 0, "b": 0}) == [("a", "b")]
+        assert verify_coloring(g, {"a": 0, "b": 1}) == []
+
+    def test_partial_coloring_ok(self):
+        g = InterferenceGraph(RegClass.R32)
+        g.add_edge("a", "b")
+        assert verify_coloring(g, {"a": 0}) == []
+
+
+class TestGraphOps:
+    def test_degree(self):
+        g = InterferenceGraph(RegClass.F32)
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        assert g.degree("a") == 2
+        assert g.degree("b") == 1
+
+    def test_self_edge_ignored(self):
+        g = InterferenceGraph(RegClass.F32)
+        g.add_edge("a", "a")
+        assert "a" not in g or g.degree("a") == 0
+
+    def test_spill_metric_prefers_cheap_high_degree(self):
+        g = InterferenceGraph(RegClass.F32)
+        g.add_node("cheap", weight=1.0)
+        g.add_node("dear", weight=100.0)
+        g.add_edge("cheap", "dear")
+        assert g.nodes["cheap"].spill_metric() < g.nodes["dear"].spill_metric()

@@ -1,0 +1,93 @@
+"""Kernel/Module container tests."""
+
+import pytest
+
+from repro.ptx import (
+    ArrayDecl,
+    DType,
+    Kernel,
+    KernelBuilder,
+    Module,
+    RegClass,
+    Space,
+    fresh_register_namer,
+    parse_module,
+    print_module,
+)
+
+
+def small_kernel():
+    b = KernelBuilder("k", block_size=64)
+    b.param("output", DType.U64)
+    b.shared_array("tile", 128)
+    b.local_array("stack", 16)
+    tid = b.special("%tid.x")
+    f = b.cvt(tid, DType.F32)
+    d = b.cvt(tid, DType.F64)
+    p = b.setp(__import__("repro.ptx", fromlist=["CmpOp"]).CmpOp.EQ, tid,
+               b.imm(0, DType.U32))
+    b.selp(f, f, p)
+    b.cvt(d, DType.F32)
+    return b.build()
+
+
+class TestKernelQueries:
+    def test_register_count_by_class(self):
+        kernel = small_kernel()
+        assert kernel.register_count(RegClass.F64) == 1
+        assert kernel.register_count(RegClass.PRED) == 1
+        assert kernel.register_count() == len(kernel.registers())
+
+    def test_register_slots_weighting(self):
+        kernel = small_kernel()
+        # f64 weighs 2 slots, predicates 0.
+        slots = kernel.register_slots()
+        count = kernel.register_count()
+        preds = kernel.register_count(RegClass.PRED)
+        wides = kernel.register_count(RegClass.F64) + kernel.register_count(
+            RegClass.R64
+        )
+        assert slots == count - preds + wides
+
+    def test_memory_totals(self):
+        kernel = small_kernel()
+        assert kernel.shared_bytes() == 128
+        assert kernel.local_bytes() == 16
+
+    def test_find_array(self):
+        kernel = small_kernel()
+        assert kernel.find_array("tile").space is Space.SHARED
+        assert kernel.find_array("nope") is None
+
+    def test_copy_isolates_body(self):
+        kernel = small_kernel()
+        clone = kernel.copy()
+        clone.body.append(clone.body[0])
+        assert len(clone.body) == len(kernel.body) + 1
+
+    def test_array_decl_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", Space.GLOBAL, 16)
+        with pytest.raises(ValueError):
+            ArrayDecl("a", Space.LOCAL, 0)
+
+    def test_fresh_register_namer_avoids_collisions(self):
+        kernel = small_kernel()
+        namer = fresh_register_namer(kernel, RegClass.R64, DType.U64)
+        existing = {r.name for r in kernel.registers()}
+        produced = {namer().name for _ in range(5)}
+        assert not produced & existing
+        assert len(produced) == 5
+
+
+class TestModule:
+    def test_print_parse_module_roundtrip(self):
+        module = Module(kernels=[small_kernel()])
+        module.kernels[0].name = "one"
+        second = small_kernel()
+        second.name = "two"
+        module.kernels.append(second)
+        text = print_module(module)
+        again = parse_module(text)
+        assert [k.name for k in again.kernels] == ["one", "two"]
+        assert print_module(again) == text

@@ -1,0 +1,131 @@
+"""Live-variable analysis tests."""
+
+import pytest
+
+from repro.cfg import CFG, LivenessInfo
+from repro.ptx import DType, RegClass, parse_kernel
+from tests.conftest import build_loop_kernel, build_pressure_kernel
+
+LISTING_3 = """
+.entry kernel (.param .u64 output)
+{
+    mov.u32 %r0, %tid.x;
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mul.lo.u32 %r1, %r1, %r2;
+    add.u32 %r0, %r0, %r1;
+    exit;
+}
+"""
+
+
+class TestPaperListing3:
+    """Paper Listing 3: with register reuse only 3 registers are needed."""
+
+    def test_peak_pressure_is_three(self):
+        kernel = parse_kernel(LISTING_3)
+        info = LivenessInfo(kernel)
+        assert info.max_pressure(RegClass.R32) == 3
+
+    def test_r2_dies_at_mul(self):
+        kernel = parse_kernel(LISTING_3)
+        info = LivenessInfo(kernel)
+        # After the mul (position 3), %r2 is dead.
+        assert "%r2" not in info.live_out[3]
+        assert "%r2" in info.live_out[2]
+
+    def test_nothing_live_at_exit(self):
+        kernel = parse_kernel(LISTING_3)
+        info = LivenessInfo(kernel)
+        assert info.live_out[len(kernel.instructions()) - 1] == frozenset()
+
+
+class TestLoopLiveness:
+    def test_accumulators_live_across_loop(self):
+        kernel = build_loop_kernel(nvars=4)
+        info = LivenessInfo(kernel)
+        cfg = info.cfg
+        # Find the loop-header block; accumulators must be live into it.
+        header = cfg.blocks[1]
+        first_pos = header.start
+        f32_live = {
+            n for n in info.live_in[first_pos]
+            if info.dtype_of[n].reg_class is RegClass.F32
+        }
+        assert len(f32_live) >= 4
+
+    def test_loop_counter_live_through_body(self):
+        kernel = build_loop_kernel()
+        info = LivenessInfo(kernel)
+        counter_candidates = [
+            n for n, rng in info.ranges.items()
+            if info.dtype_of[n] is DType.S32 and rng.defs >= 2
+        ]
+        assert counter_candidates  # the i += 1 register
+        name = counter_candidates[0]
+        rng = info.ranges[name]
+        assert rng.length > 3
+
+    def test_use_counts(self):
+        kernel = build_loop_kernel(nvars=2)
+        info = LivenessInfo(kernel)
+        # Every range has at least one def.
+        for name, rng in info.ranges.items():
+            assert rng.defs >= 1, name
+
+    def test_loop_weights_exceed_straightline(self):
+        kernel = build_loop_kernel(nvars=2)
+        info = LivenessInfo(kernel)
+        in_loop = max(rng.weight for rng in info.ranges.values())
+        assert in_loop >= 10  # at least one range touched inside the loop
+
+
+class TestPressure:
+    def test_pressure_scales_with_variables(self):
+        small = LivenessInfo(build_pressure_kernel(nvars=6)).max_pressure()
+        large = LivenessInfo(build_pressure_kernel(nvars=18)).max_pressure()
+        assert large > small
+
+    def test_pressure_counts_slots(self):
+        kernel = build_pressure_kernel(nvars=8)
+        info = LivenessInfo(kernel)
+        # u64 address registers weigh 2 slots, so total > f32 count.
+        assert info.max_pressure() > info.max_pressure(RegClass.F32)
+
+    def test_class_filter(self):
+        kernel = build_pressure_kernel(nvars=8)
+        info = LivenessInfo(kernel)
+        assert info.max_pressure(RegClass.F32) >= 8
+        assert info.max_pressure(RegClass.PRED) >= 1
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("builder", [build_loop_kernel, build_pressure_kernel])
+    def test_every_use_is_live_in(self, builder):
+        kernel = builder()
+        info = LivenessInfo(kernel)
+        for pos, inst in enumerate(info.instructions):
+            for reg in inst.uses():
+                assert reg.name in info.live_in[pos], (pos, reg.name)
+
+    @pytest.mark.parametrize("builder", [build_loop_kernel, build_pressure_kernel])
+    def test_live_out_is_successor_live_in(self, builder):
+        kernel = builder()
+        info = LivenessInfo(kernel)
+        cfg = info.cfg
+        for block in cfg.blocks:
+            if not block.instructions:
+                continue
+            last = block.start + len(block.instructions) - 1
+            expected = frozenset()
+            for succ in block.successors:
+                expected |= info.live_in[cfg.blocks[succ].start]
+            assert info.live_out[last] == expected
+
+    def test_range_spans_all_uses(self):
+        kernel = build_loop_kernel()
+        info = LivenessInfo(kernel)
+        for pos, inst in enumerate(info.instructions):
+            for reg in inst.regs():
+                rng = info.ranges[reg.name]
+                assert rng.start <= pos <= rng.end

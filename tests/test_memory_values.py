@@ -1,0 +1,121 @@
+"""GlobalMemory / BlockMemory / lane-value helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.ptx import DType, KernelBuilder, Space
+from repro.sim import BlockMemory, GlobalMemory
+from repro.sim.values import GLOBAL_BASE, cast_lanes, np_dtype
+
+
+def make_kernel():
+    b = KernelBuilder("k", block_size=64)
+    b.param("a", DType.U64)
+    b.param("b", DType.U64)
+    b.shared_array("tile", 256)
+    b.local_array("stack", 16)
+    return b.build()
+
+
+class TestGlobalMemory:
+    def test_param_buffers_disjoint(self):
+        kernel = make_kernel()
+        mem = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        assert mem.base_of("b") >= mem.base_of("a") + 4096
+
+    def test_write_then_read_buffer(self):
+        kernel = make_kernel()
+        mem = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        data = np.arange(16, dtype=np.float32)
+        mem.write_buffer("a", data)
+        assert np.array_equal(mem.read_buffer("a", DType.F32, 16), data)
+
+    def test_vectorized_load_store(self):
+        kernel = make_kernel()
+        mem = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        addrs = np.uint64(mem.base_of("a")) + np.arange(8, dtype=np.uint64) * np.uint64(4)
+        values = np.linspace(1, 2, 8, dtype=np.float32)
+        mask = np.ones(8, dtype=bool)
+        mem.store(addrs, values, DType.F32, mask)
+        out = mem.load(addrs, DType.F32, mask)
+        assert np.allclose(out, values)
+
+    def test_masked_store_skips_lanes(self):
+        kernel = make_kernel()
+        mem = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        addrs = np.uint64(mem.base_of("a")) + np.arange(4, dtype=np.uint64) * np.uint64(4)
+        mask_all = np.ones(4, dtype=bool)
+        mem.store(addrs, np.full(4, 1.0, np.float32), DType.F32, mask_all)
+        mask_half = np.array([True, False, True, False])
+        mem.store(addrs, np.full(4, 9.0, np.float32), DType.F32, mask_half)
+        out = mem.load(addrs, DType.F32, mask_all)
+        assert np.allclose(out, [9.0, 1.0, 9.0, 1.0])
+
+    def test_deterministic_fill(self):
+        kernel = make_kernel()
+        a = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        b = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        assert np.array_equal(a.data, b.data)
+
+    def test_u64_width_access(self):
+        kernel = make_kernel()
+        mem = GlobalMemory(kernel, {"a": 4096, "b": 4096})
+        addrs = np.uint64(mem.base_of("a")) + np.arange(4, dtype=np.uint64) * np.uint64(8)
+        values = np.arange(4, dtype=np.uint64) * np.uint64(1 << 40)
+        mask = np.ones(4, dtype=bool)
+        mem.store(addrs, values, DType.U64, mask)
+        assert np.array_equal(mem.load(addrs, DType.U64, mask), values)
+
+
+class TestBlockMemory:
+    def test_local_rows_are_private(self):
+        kernel = make_kernel()
+        block = BlockMemory(kernel, 64)
+        base = block.sym_base["stack"]
+        addrs = np.full(64, base, dtype=np.uint64)
+        values = np.arange(64, dtype=np.int32)
+        mask = np.ones(64, dtype=bool)
+        block.store_local(addrs, values, DType.S32, mask)
+        out = block.load_local(addrs, DType.S32, mask)
+        assert np.array_equal(out, values)
+
+    def test_shared_is_block_wide(self):
+        kernel = make_kernel()
+        block = BlockMemory(kernel, 64)
+        base = block.sym_base["tile"]
+        addrs = np.uint64(base) + np.arange(64, dtype=np.uint64) * np.uint64(4)
+        values = np.arange(64, dtype=np.float32)
+        mask = np.ones(64, dtype=bool)
+        block.store_shared(addrs, values, DType.F32, mask)
+        # Reading lane i from lane j's slot sees lane j's value: one image.
+        swapped = addrs[::-1].copy()
+        out = block.load_shared(swapped, DType.F32, mask)
+        assert np.allclose(out, values[::-1])
+
+    def test_sym_bases_distinct_spaces(self):
+        kernel = make_kernel()
+        block = BlockMemory(kernel, 64)
+        assert block.sym_base["tile"] != block.sym_base["stack"]
+
+
+class TestValues:
+    def test_np_dtype_mapping(self):
+        assert np_dtype(DType.F32) == np.float32
+        assert np_dtype(DType.U64) == np.uint64
+        assert np_dtype(DType.PRED) == np.bool_
+
+    def test_cast_lanes_truncates(self):
+        wide = np.array([1 << 40, 5], dtype=np.uint64)
+        narrow = cast_lanes(wide, DType.U32)
+        assert narrow.dtype == np.uint32
+        assert narrow[1] == 5
+
+    def test_cast_float_to_int(self):
+        vals = np.array([1.9, -2.9], dtype=np.float32)
+        out = cast_lanes(vals, DType.S32)
+        assert out.dtype == np.int32
+        assert list(out) == [1, -2]
+
+    def test_cast_identity_fast_path(self):
+        vals = np.zeros(4, dtype=np.float32)
+        assert cast_lanes(vals, DType.F32) is vals

@@ -1,0 +1,92 @@
+"""Coverage for smaller surfaces: specials, stats invariants, latency."""
+
+import numpy as np
+import pytest
+
+from repro.arch import FERMI, KEPLER, compute_occupancy, measure_costs
+from repro.ptx import DType, KernelBuilder, Space
+from repro.sim import BlockExecutor, GlobalMemory, simulate
+from repro.workloads import load_workload
+
+
+class TestSpecialRegisters:
+    def _read_special(self, name, block_id=1, grid=4):
+        b = KernelBuilder("k", block_size=64)
+        out = b.param("output", DType.U64)
+        v = b.special(name)
+        tid = b.special("%tid.x")
+        t64 = b.cvt(tid, DType.U64)
+        addr = b.mad(t64, b.imm(4, DType.U64), b.addr_of(out), dtype=DType.U64)
+        b.st(Space.GLOBAL, addr, v, dtype=DType.U32)
+        kernel = b.build()
+        mem = GlobalMemory(kernel, {"output": 4096})
+        BlockExecutor(kernel, mem, block_id, grid).run()
+        return mem.read_buffer("output", DType.U32, 64)
+
+    def test_ctaid(self):
+        assert np.all(self._read_special("%ctaid.x", block_id=3) == 3)
+
+    def test_ntid(self):
+        assert np.all(self._read_special("%ntid.x") == 64)
+
+    def test_nctaid(self):
+        assert np.all(self._read_special("%nctaid.x", grid=7) == 7)
+
+    def test_laneid_and_warpid(self):
+        lanes = self._read_special("%laneid")
+        warps = self._read_special("%warpid")
+        assert np.array_equal(lanes, np.arange(64) % 32)
+        assert np.array_equal(warps, np.arange(64) // 32)
+
+    def test_y_dimensions_are_zero(self):
+        assert np.all(self._read_special("%tid.y") == 0)
+
+    def test_unknown_special_rejected(self):
+        with pytest.raises(KeyError):
+            self._read_special("%smid")
+
+
+class TestStatsInvariants:
+    @pytest.fixture(scope="class")
+    def result(self):
+        workload = load_workload("HST")
+        return simulate(
+            workload.kernel, FERMI, tlp=2, grid_blocks=4,
+            param_sizes=workload.param_sizes,
+        )
+
+    def test_class_counts_sum_to_instructions(self, result):
+        assert sum(result.issued_by_class.values()) == result.instructions
+
+    def test_memory_counters_consistent(self, result):
+        mem_class = result.issued_by_class.get("mem", 0)
+        accounted = (
+            result.local_insts + result.shared_insts + result.global_insts
+        )
+        assert accounted == mem_class
+
+    def test_l1_accesses_at_most_transactions(self, result):
+        # Every L1 access is a coalesced line transaction; loads can
+        # touch several lines, so accesses >= global load instructions.
+        assert result.l1.accesses >= result.global_insts * 0.5
+
+    def test_dram_bytes_are_line_multiples(self, result):
+        assert result.dram_bytes % FERMI.l1.line_bytes == 0
+
+    def test_hit_rate_in_unit_interval(self, result):
+        assert 0.0 <= result.l1_hit_rate <= 1.0
+        assert 0.0 <= result.l2.hit_rate <= 1.0
+
+
+class TestLatencyAcrossConfigs:
+    def test_kepler_costs_measured_independently(self):
+        fermi = measure_costs(FERMI)
+        kepler = measure_costs(KEPLER)
+        # Same latency table -> same per-access costs, but the cache is
+        # keyed per config name (no accidental sharing).
+        assert fermi is not kepler
+        assert kepler.cost_local >= kepler.cost_other
+
+    def test_occupancy_str(self):
+        occ = compute_occupancy(FERMI, 32, 0, 128)
+        assert "blocks/SM" in str(occ)

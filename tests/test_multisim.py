@@ -1,0 +1,65 @@
+"""Multi-SM simulation tests (chip-level validation mode)."""
+
+import pytest
+
+from repro.arch import FERMI
+from repro.sim import makespan, simulate_multi_sm, simulate_traces, trace_grid
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def hst_traces():
+    workload = load_workload("HST")
+    return workload, trace_grid(
+        workload.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+    )
+
+
+class TestMultiSM:
+    def test_all_blocks_execute_once(self, hst_traces):
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces, FERMI, tlp=2, num_sms=4)
+        assert sum(r.blocks_executed for r in results) == len(traces)
+
+    def test_all_instructions_issue(self, hst_traces):
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces, FERMI, tlp=2, num_sms=4)
+        expected = sum(t.instruction_count for t in traces)
+        assert sum(r.instructions for r in results) == expected
+
+    def test_sm_balance(self, hst_traces):
+        """Identical blocks dealt round-robin: SMs finish near each other."""
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces, FERMI, tlp=2, num_sms=4)
+        cycles = [r.cycles for r in results]
+        assert max(cycles) <= min(cycles) * 1.25
+
+    def test_more_sms_never_slower(self, hst_traces):
+        workload, traces = hst_traces
+        two = makespan(simulate_multi_sm(traces, FERMI, tlp=2, num_sms=2))
+        four = makespan(simulate_multi_sm(traces, FERMI, tlp=2, num_sms=4))
+        assert four <= two * 1.05
+
+    def test_single_sm_mode_is_representative(self, hst_traces):
+        """The per-SM throughput of the chip-level model must be within
+        2x of the single-SM + interference-slice model's — the claim the
+        per-figure benchmarks rely on."""
+        workload, traces = hst_traces
+        single = simulate_traces(traces, FERMI, tlp=2)
+        multi = simulate_multi_sm(traces, FERMI, tlp=2, num_sms=4)
+        per_block_single = single.cycles / single.blocks_executed
+        per_block_multi = makespan(multi) / (len(traces) / 4)
+        ratio = per_block_multi / per_block_single
+        assert 0.5 <= ratio <= 2.0, ratio
+
+    def test_invalid_args(self, hst_traces):
+        workload, traces = hst_traces
+        with pytest.raises(ValueError):
+            simulate_multi_sm(traces, FERMI, tlp=0, num_sms=2)
+        with pytest.raises(ValueError):
+            simulate_multi_sm(traces, FERMI, tlp=2, num_sms=0)
+
+    def test_fewer_blocks_than_sms(self, hst_traces):
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces[:2], FERMI, tlp=2, num_sms=8)
+        assert sum(r.blocks_executed for r in results) == 2

@@ -1,0 +1,207 @@
+"""Unit tests for instructions and operands."""
+
+import pytest
+
+from repro.ptx import (
+    CmpOp,
+    DType,
+    Imm,
+    Instruction,
+    MemRef,
+    Opcode,
+    Reg,
+    Space,
+    Sym,
+)
+
+
+def _r(name, dtype=DType.U32):
+    return Reg(name, dtype)
+
+
+class TestConstruction:
+    def test_store_rejects_destination(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.ST,
+                dtype=DType.U32,
+                dst=_r("%r0"),
+                srcs=(_r("%r1"),),
+                mem=MemRef(_r("%rd0", DType.U64)),
+                space=Space.GLOBAL,
+            )
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.SETP,
+                dtype=DType.S32,
+                dst=Reg("%p0", DType.PRED),
+                srcs=(_r("%r0"), _r("%r1")),
+            )
+
+    def test_load_requires_mem_and_space(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LD, dtype=DType.U32, dst=_r("%r0"))
+
+    def test_bra_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRA)
+
+
+class TestDefsUses:
+    def test_add_defs_and_uses(self):
+        inst = Instruction(
+            Opcode.ADD, dtype=DType.U32, dst=_r("%r2"), srcs=(_r("%r0"), _r("%r1"))
+        )
+        assert inst.defs() == (_r("%r2"),)
+        assert inst.uses() == (_r("%r0"), _r("%r1"))
+
+    def test_imm_not_in_uses(self):
+        inst = Instruction(
+            Opcode.ADD,
+            dtype=DType.U32,
+            dst=_r("%r1"),
+            srcs=(_r("%r0"), Imm(1, DType.U32)),
+        )
+        assert inst.uses() == (_r("%r0"),)
+
+    def test_memref_base_is_used(self):
+        base = Reg("%rd0", DType.U64)
+        inst = Instruction(
+            Opcode.LD,
+            dtype=DType.F32,
+            dst=Reg("%f0", DType.F32),
+            mem=MemRef(base, 16),
+            space=Space.GLOBAL,
+        )
+        assert base in inst.uses()
+
+    def test_guard_is_used(self):
+        guard = Reg("%p0", DType.PRED)
+        inst = Instruction(
+            Opcode.ADD,
+            dtype=DType.U32,
+            dst=_r("%r1"),
+            srcs=(_r("%r0"), _r("%r0")),
+            guard=guard,
+        )
+        assert guard in inst.uses()
+
+    def test_store_has_no_defs(self):
+        inst = Instruction(
+            Opcode.ST,
+            dtype=DType.U32,
+            srcs=(_r("%r0"),),
+            mem=MemRef(Reg("%rd0", DType.U64)),
+            space=Space.GLOBAL,
+        )
+        assert inst.defs() == ()
+
+
+class TestRewrite:
+    def test_rewrite_replaces_everywhere(self):
+        base = Reg("%rd0", DType.U64)
+        inst = Instruction(
+            Opcode.LD,
+            dtype=DType.F32,
+            dst=Reg("%f0", DType.F32),
+            mem=MemRef(base, 8),
+            space=Space.GLOBAL,
+            guard=Reg("%p0", DType.PRED),
+        )
+
+        def remap(reg):
+            return Reg(reg.name + "x", reg.dtype)
+
+        out = inst.rewrite_regs(remap)
+        assert out.dst.name == "%f0x"
+        assert out.mem.base.name == "%rd0x"
+        assert out.guard.name == "%p0x"
+        assert out.mem.offset == 8
+        # Original untouched.
+        assert inst.dst.name == "%f0"
+
+    def test_rewrite_preserves_immediates(self):
+        inst = Instruction(
+            Opcode.ADD,
+            dtype=DType.U32,
+            dst=_r("%r1"),
+            srcs=(_r("%r0"), Imm(7, DType.U32)),
+        )
+        out = inst.rewrite_regs(lambda r: Reg("%r9", r.dtype))
+        assert out.srcs[1] == Imm(7, DType.U32)
+
+
+class TestPrinting:
+    def test_mad_lo_suffix_for_int(self):
+        inst = Instruction(
+            Opcode.MAD,
+            dtype=DType.U32,
+            dst=_r("%r3"),
+            srcs=(_r("%r0"), _r("%r1"), _r("%r2")),
+        )
+        assert str(inst) == "mad.lo.u32 %r3, %r0, %r1, %r2;"
+
+    def test_no_lo_suffix_for_float(self):
+        inst = Instruction(
+            Opcode.MUL,
+            dtype=DType.F32,
+            dst=Reg("%f2", DType.F32),
+            srcs=(Reg("%f0", DType.F32), Reg("%f1", DType.F32)),
+        )
+        assert str(inst) == "mul.f32 %f2, %f0, %f1;"
+
+    def test_guarded_branch(self):
+        inst = Instruction(
+            Opcode.BRA, target="$L0", guard=Reg("%p0", DType.PRED)
+        )
+        assert str(inst) == "@%p0 bra $L0;"
+
+    def test_negated_guard(self):
+        inst = Instruction(
+            Opcode.BRA,
+            target="$L0",
+            guard=Reg("%p0", DType.PRED),
+            guard_negated=True,
+        )
+        assert str(inst) == "@!%p0 bra $L0;"
+
+    def test_store_syntax(self):
+        inst = Instruction(
+            Opcode.ST,
+            dtype=DType.U32,
+            srcs=(_r("%r0"),),
+            mem=MemRef(Reg("%rd0", DType.U64), 4),
+            space=Space.LOCAL,
+        )
+        assert str(inst) == "st.local.u32 [%rd0+4], %r0;"
+
+    def test_setp_includes_cmp(self):
+        inst = Instruction(
+            Opcode.SETP,
+            dtype=DType.S32,
+            dst=Reg("%p0", DType.PRED),
+            srcs=(_r("%r0"), Imm(3, DType.S32)),
+            cmp=CmpOp.LT,
+        )
+        assert str(inst) == "setp.lt.s32 %p0, %r0, 3;"
+
+
+class TestClassification:
+    def test_terminators(self):
+        assert Instruction(Opcode.EXIT).is_terminator
+        assert Instruction(Opcode.RET).is_terminator
+        assert Instruction(Opcode.BRA, target="x").is_terminator
+        assert not Instruction(Opcode.BAR).is_terminator
+
+    def test_memory_flag(self):
+        ld = Instruction(
+            Opcode.LD,
+            dtype=DType.F32,
+            dst=Reg("%f0", DType.F32),
+            mem=MemRef(Sym("arr")),
+            space=Space.SHARED,
+        )
+        assert ld.is_memory
+        assert not Instruction(Opcode.BAR).is_memory

@@ -1,0 +1,158 @@
+"""Algorithm 1 tests: sub-stack split, gain estimation, knapsack."""
+
+import itertools
+
+import pytest
+
+from repro.cfg import LivenessInfo
+from repro.ptx import DType
+from repro.regalloc import (
+    build_substacks,
+    knapsack,
+    plan_shared_spilling,
+    split_by_type,
+    split_per_variable,
+    split_single,
+)
+from tests.conftest import build_pressure_kernel
+
+
+def brute_force_knapsack(sizes, gains, capacity):
+    best = 0
+    for mask in itertools.product([False, True], repeat=len(sizes)):
+        size = sum(s for s, m in zip(sizes, mask) if m)
+        gain = sum(g for g, m in zip(gains, mask) if m)
+        if size <= capacity:
+            best = max(best, gain)
+    return best
+
+
+class TestKnapsack:
+    def test_trivial(self):
+        gain, chosen = knapsack([10], [5], 10)
+        assert gain == 5
+        assert chosen == [True]
+
+    def test_zero_capacity(self):
+        gain, chosen = knapsack([10, 20], [5, 9], 0)
+        assert gain == 0
+        assert chosen == [False, False]
+
+    def test_classic_example(self):
+        sizes = [1, 3, 4, 5]
+        gains = [1, 4, 5, 7]
+        gain, chosen = knapsack(sizes, gains, 7)
+        assert gain == 9  # items of sizes 3 and 4
+        assert chosen == [False, True, True, False]
+
+    def test_chosen_fits_capacity(self):
+        sizes = [512, 1024, 2048, 4096]
+        gains = [3, 10, 12, 20]
+        gain, chosen = knapsack(sizes, gains, 3000)
+        assert sum(s for s, c in zip(sizes, chosen) if c) <= 3000
+        assert gain == sum(g for g, c in zip(gains, chosen) if c)
+
+    @pytest.mark.parametrize("capacity", [0, 100, 1500, 5000, 10000])
+    def test_matches_brute_force(self, capacity):
+        sizes = [512, 768, 1280, 2048, 4096]
+        gains = [4, 7, 6, 15, 11]
+        gain, chosen = knapsack(sizes, gains, capacity)
+        assert gain == brute_force_knapsack(sizes, gains, capacity)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            knapsack([1, 2], [1], 10)
+
+    def test_gcd_scaling_handles_large_capacity(self):
+        # Byte-granular capacity with block-sized items must stay fast.
+        sizes = [1024 * (i + 1) for i in range(8)]
+        gains = [i + 1 for i in range(8)]
+        gain, chosen = knapsack(sizes, gains, 48 * 1024)
+        assert gain == brute_force_knapsack(sizes, gains, 48 * 1024)
+
+
+class TestSubstacks:
+    def _spilled(self):
+        return {
+            "%f0": DType.F32,
+            "%f1": DType.F32,
+            "%r0": DType.S32,
+            "%rd0": DType.U64,
+            "%fd0": DType.F64,
+        }
+
+    def _liveness(self):
+        return LivenessInfo(build_pressure_kernel())
+
+    def test_split_by_type_groups_width_and_kind(self):
+        subs = build_substacks(self._spilled(), self._liveness(), split_by_type)
+        keys = {s.key for s in subs}
+        assert keys == {"f32", "i32", "i64", "f64"}
+        f32 = next(s for s in subs if s.key == "f32")
+        assert sorted(f32.variables) == ["%f0", "%f1"]
+        assert f32.thread_bytes == 8
+
+    def test_split_single_one_group(self):
+        subs = build_substacks(self._spilled(), self._liveness(), split_single)
+        assert len(subs) == 1
+        assert subs[0].thread_bytes == 4 + 4 + 4 + 8 + 8
+
+    def test_split_per_variable(self):
+        subs = build_substacks(self._spilled(), self._liveness(), split_per_variable)
+        assert len(subs) == 5
+
+    def test_gains_are_access_counts(self):
+        info = self._liveness()
+        real = {
+            name: info.dtype_of[name]
+            for name in list(info.ranges)
+            if info.dtype_of[name] is DType.F32
+        }
+        subs = build_substacks(real, info, split_by_type)
+        total_gain = sum(s.gain for s in subs)
+        expected = sum(info.ranges[n].accesses for n in real)
+        assert total_gain == expected
+
+
+class TestPlan:
+    def test_plan_respects_budget(self):
+        kernel = build_pressure_kernel(nvars=16)
+        info = LivenessInfo(kernel)
+        spilled = {
+            n: info.dtype_of[n]
+            for n in info.ranges
+            if info.dtype_of[n] is DType.F32
+        }
+        plan = plan_shared_spilling(
+            spilled, info, spare_shm_bytes=2048, block_size=kernel.block_size
+        )
+        assert plan.shared_block_bytes <= 2048
+
+    def test_zero_budget_keeps_all_local(self):
+        kernel = build_pressure_kernel(nvars=8)
+        info = LivenessInfo(kernel)
+        spilled = {n: info.dtype_of[n] for n in list(info.ranges)[:4]}
+        plan = plan_shared_spilling(spilled, info, 0, kernel.block_size)
+        assert plan.shared_variables == []
+        assert sorted(plan.local_variables) == sorted(spilled)
+
+    def test_huge_budget_moves_everything(self):
+        kernel = build_pressure_kernel(nvars=8)
+        info = LivenessInfo(kernel)
+        spilled = {
+            n: info.dtype_of[n]
+            for n in info.ranges
+            if info.dtype_of[n] is DType.F32
+        }
+        plan = plan_shared_spilling(spilled, info, 1 << 24, kernel.block_size)
+        assert sorted(plan.shared_variables) == sorted(spilled)
+        assert plan.total_gain == sum(s.gain for s in plan.substacks)
+
+    def test_partition_is_exact(self):
+        kernel = build_pressure_kernel(nvars=10)
+        info = LivenessInfo(kernel)
+        spilled = {n: info.dtype_of[n] for n in list(info.ranges)[:8]}
+        plan = plan_shared_spilling(spilled, info, 1024, kernel.block_size)
+        assert sorted(plan.shared_variables + plan.local_variables) == sorted(
+            spilled
+        )

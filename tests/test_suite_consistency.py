@@ -1,0 +1,87 @@
+"""Cross-cutting consistency checks over the whole 22-app suite."""
+
+import pytest
+
+from repro.arch import FERMI, compute_occupancy
+from repro.core import collect_resource_usage
+from repro.regalloc import allocate, register_demand
+from repro.workloads import ALL_APPS, load_workload
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return {app.abbr: load_workload(app.abbr) for app in ALL_APPS}
+
+
+class TestCharacteristicsInvariants:
+    def test_block_sizes_are_warp_multiples(self):
+        for app in ALL_APPS:
+            assert app.block_size % FERMI.warp_size == 0, app.abbr
+
+    def test_hot_within_live(self):
+        for app in ALL_APPS:
+            assert 0 < app.hot_values <= app.live_values, app.abbr
+
+    def test_iteration_counts_positive(self):
+        for app in ALL_APPS:
+            assert app.outer_iters >= 1 and app.inner_iters >= 1, app.abbr
+
+    def test_grid_covers_at_least_one_wave(self, loaded):
+        for app in ALL_APPS:
+            workload = loaded[app.abbr]
+            usage = collect_resource_usage(
+                workload.kernel, FERMI, default_reg=workload.default_reg
+            )
+            assert app.grid_blocks >= usage.max_tlp, app.abbr
+
+    def test_construction_rejects_hot_above_live(self):
+        from repro.workloads.characteristics import _app
+
+        with pytest.raises(ValueError):
+            _app("X", "x", "k", "S", True, 128, live=4, hot=5,
+                 default_reg=None, ws=2, outer=1, inner=1, loads=1,
+                 stream=0, alu=1)
+
+
+class TestResourceFeasibility:
+    def test_every_app_fits_at_default(self, loaded):
+        for app in ALL_APPS:
+            workload = loaded[app.abbr]
+            usage = collect_resource_usage(
+                workload.kernel, FERMI, default_reg=workload.default_reg
+            )
+            occ = compute_occupancy(
+                FERMI, usage.default_reg, usage.shm_size, usage.block_size
+            )
+            assert occ.blocks >= 1, app.abbr
+
+    def test_default_never_exceeds_demand(self, loaded):
+        for app in ALL_APPS:
+            workload = loaded[app.abbr]
+            demand = register_demand(workload.kernel)
+            if workload.default_reg is not None:
+                assert workload.default_reg <= demand, app.abbr
+
+    def test_every_app_allocates_at_min_reg(self, loaded):
+        for app in ALL_APPS:
+            workload = loaded[app.abbr]
+            result = allocate(workload.kernel, FERMI.min_reg_per_thread,
+                              enable_shm_spill=False)
+            assert result.reg_per_thread <= FERMI.min_reg_per_thread, app.abbr
+
+    def test_sensitive_apps_have_pressure_or_contention(self, loaded):
+        """Every resource-sensitive app must actually be sensitive:
+        register demand above its default, or a working set near L1."""
+        from repro.workloads import RESOURCE_SENSITIVE
+        from repro.workloads.generator import effective_ws_bytes
+
+        for app in RESOURCE_SENSITIVE:
+            workload = loaded[app.abbr]
+            demand = register_demand(workload.kernel)
+            pressured = (
+                workload.default_reg is not None
+                and demand > workload.default_reg
+            )
+            cache_bound = effective_ws_bytes(app) * 3 >= FERMI.l1.size_bytes
+            bandwidth_bound = app.stream_loads >= 2
+            assert pressured or cache_bound or bandwidth_bound, app.abbr

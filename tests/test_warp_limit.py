@@ -1,0 +1,70 @@
+"""Warp-level throttling (paper ref [2] granularity) tests."""
+
+import pytest
+
+from repro.arch import FERMI
+from repro.core import collect_resource_usage, default_allocation
+from repro.sim import trace_grid
+from repro.sim.sm import SMSimulator
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def kmn_traces():
+    workload = load_workload("KMN")
+    usage = collect_resource_usage(
+        workload.kernel, FERMI, default_reg=workload.default_reg
+    )
+    allocation = default_allocation(workload.kernel, usage)
+    return trace_grid(
+        allocation.kernel, FERMI, workload.grid_blocks, workload.param_sizes
+    )
+
+
+@pytest.fixture(scope="module")
+def hst_traces():
+    workload = load_workload("HST")  # uses barriers
+    return trace_grid(workload.kernel, FERMI, workload.grid_blocks,
+                      workload.param_sizes)
+
+
+class TestWarpLimit:
+    def test_all_instructions_still_issue(self, kmn_traces):
+        free = SMSimulator(FERMI, kmn_traces, tlp=4).run()
+        limited = SMSimulator(FERMI, kmn_traces, tlp=4, warp_limit=6).run()
+        assert limited.instructions == free.instructions
+        assert limited.blocks_executed == free.blocks_executed
+
+    def test_limit_preserves_semantics_of_trace(self, kmn_traces):
+        a = SMSimulator(FERMI, kmn_traces, tlp=4, warp_limit=8).run()
+        b = SMSimulator(FERMI, kmn_traces, tlp=4, warp_limit=8).run()
+        assert a.cycles == b.cycles  # deterministic
+
+    def test_limit_improves_cache_locality(self, kmn_traces):
+        free = SMSimulator(FERMI, kmn_traces, tlp=4).run()
+        limited = SMSimulator(FERMI, kmn_traces, tlp=4, warp_limit=8).run()
+        assert limited.l1_hit_rate > free.l1_hit_rate + 0.2
+
+    def test_interior_optimum_exists(self, kmn_traces):
+        cycles = {}
+        for limit in (4, 8, 16, 32):
+            cycles[limit] = SMSimulator(
+                FERMI, kmn_traces, tlp=4, warp_limit=limit
+            ).run().cycles
+        best = min(cycles, key=cycles.get)
+        assert best not in (4, 32)  # neither extreme wins
+
+    def test_invalid_limit(self, kmn_traces):
+        with pytest.raises(ValueError):
+            SMSimulator(FERMI, kmn_traces, tlp=2, warp_limit=0)
+
+    def test_barrier_kernel_does_not_deadlock(self, hst_traces):
+        # HST's blocks synchronize; the deadlock guard must admit parked
+        # warps so every barrier completes.
+        result = SMSimulator(FERMI, hst_traces, tlp=2, warp_limit=4).run()
+        assert result.blocks_executed == len(hst_traces)
+
+    def test_huge_limit_equals_unlimited(self, kmn_traces):
+        free = SMSimulator(FERMI, kmn_traces, tlp=2).run()
+        huge = SMSimulator(FERMI, kmn_traces, tlp=2, warp_limit=1000).run()
+        assert free.cycles == huge.cycles
