@@ -27,11 +27,14 @@ Package map:
 * :mod:`repro.sim` — GPGPU-Sim-like functional + timing simulator
 * :mod:`repro.analysis` — static OptTLP estimation (GTO mimic)
 * :mod:`repro.core` — the CRAT optimizer, design space, TPSC model
+* :mod:`repro.engine` — shared evaluation engine (caching, parallel
+  fan-out, instrumentation)
 * :mod:`repro.workloads` — the 22-kernel synthetic benchmark suite
 * :mod:`repro.bench` — experiment driver for the paper's figures
 """
 
 from .arch import FERMI, KEPLER, GPUConfig, compute_occupancy, get_config
+from .engine import EvaluationEngine, get_engine
 from .core import (
     CRATOptimizer,
     CRATResult,
@@ -53,6 +56,7 @@ __all__ = [
     "CRATOptimizer",
     "CRATResult",
     "DesignPoint",
+    "EvaluationEngine",
     "FERMI",
     "GPUConfig",
     "KEPLER",
@@ -66,6 +70,7 @@ __all__ = [
     "compute_occupancy",
     "full_suite",
     "get_config",
+    "get_engine",
     "load_workload",
     "parse_kernel",
     "print_kernel",

@@ -89,15 +89,17 @@ def _control_kernel(iterations: int) -> "KernelBuilder":
 
 def measure_costs(config: GPUConfig, accesses: int = 64) -> MemoryCosts:
     """Measure Cost_local / Cost_shm / Cost_other on this configuration."""
-    key = (config.name, accesses)
+    # Key on the full configuration content, not the preset name:
+    # ``config.scaled(...)`` copies share a name but differ in fields.
+    key = (repr(config), accesses)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    from ..sim.gpu import simulate
+    from ..engine import get_engine
 
     def cycles_of(builder: KernelBuilder) -> float:
         kernel = builder.build()
-        result = simulate(kernel, config, tlp=1, grid_blocks=1)
+        result = get_engine().simulate(kernel, config, tlp=1, grid_blocks=1)
         return result.cycles
 
     control = cycles_of(_control_kernel(accesses))

@@ -6,6 +6,13 @@ runs from different angles (Fig 13 plots speedups, Fig 14 the chosen
 TLPs, Fig 15 register utilization, Fig 16 local accesses...).  The
 driver therefore memoizes one :class:`AppEvaluation` per (app, config,
 input) and lets every benchmark read from it.
+
+Underneath that app-level memo, every simulation goes through the
+shared :class:`repro.engine.EvaluationEngine`, whose content-addressed
+cache is keyed by kernel fingerprint rather than app name: even after
+:func:`clear_cache` drops the bench-layer memo, re-evaluating an app
+re-runs only the (cheap) compiler passes — every design-point
+simulation is an engine cache hit.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from ..arch.config import GPUConfig, get_config
 from ..arch.occupancy import register_utilization
 from ..core.crat import CRATOptimizer, CRATResult
 from ..core.throttling import BaselineResult
+from ..engine import get_engine
 from ..workloads.suite import Workload, load_workload
 
 
@@ -46,10 +54,17 @@ class AppEvaluation:
         """Speedup of ``scheme`` over the OptTLP baseline."""
         opttlp = self.baselines["opttlp"].sim.cycles
         if scheme == "crat":
-            return opttlp / self.crat.sim.cycles
-        if scheme == "crat-local":
-            return opttlp / self.crat_local.sim.cycles
-        return opttlp / self.baselines[scheme].sim.cycles
+            cycles = self.crat.sim.cycles
+        elif scheme == "crat-local":
+            cycles = self.crat_local.sim.cycles
+        else:
+            cycles = self.baselines[scheme].sim.cycles
+        if not cycles:
+            raise ValueError(
+                f"{scheme} simulation of {self.abbr} recorded zero cycles; "
+                "the speedup ratio is undefined"
+            )
+        return opttlp / cycles
 
     def register_utilization_of(self, scheme: str) -> float:
         if scheme == "crat":
@@ -90,21 +105,23 @@ def evaluate_app(
     """Run the whole pipeline for one app (memoized)."""
     config = get_config(config_name)
     workload = load_workload(abbr, input_scale)
-    optimizer = CRATOptimizer(config, enable_shm_spill=True)
-    crat = optimizer.optimize(
-        workload.kernel,
-        default_reg=workload.default_reg,
-        grid_blocks=workload.grid_blocks,
-        param_sizes=workload.param_sizes,
-    )
-    local_optimizer = CRATOptimizer(config, enable_shm_spill=False)
-    crat_local = local_optimizer.optimize(
-        workload.kernel,
-        default_reg=workload.default_reg,
-        grid_blocks=workload.grid_blocks,
-        param_sizes=workload.param_sizes,
-        baselines=crat.baselines,
-    )
+    engine = get_engine()
+    with engine.stage(f"evaluate:{abbr}"):
+        optimizer = CRATOptimizer(config, enable_shm_spill=True)
+        crat = optimizer.optimize(
+            workload.kernel,
+            default_reg=workload.default_reg,
+            grid_blocks=workload.grid_blocks,
+            param_sizes=workload.param_sizes,
+        )
+        local_optimizer = CRATOptimizer(config, enable_shm_spill=False)
+        crat_local = local_optimizer.optimize(
+            workload.kernel,
+            default_reg=workload.default_reg,
+            grid_blocks=workload.grid_blocks,
+            param_sizes=workload.param_sizes,
+            baselines=crat.baselines,
+        )
     return AppEvaluation(
         workload=workload, config=config, crat=crat, crat_local=crat_local
     )
@@ -136,6 +153,14 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def clear_cache() -> None:
-    """Drop memoized evaluations (tests that tweak configs use this)."""
+    """Drop the bench-layer memo (tests that tweak configs use this).
+
+    Only the app-level :class:`AppEvaluation` memo is dropped; the
+    engine's content-addressed simulation cache stays warm, so a
+    re-evaluation repeats the compiler work but zero simulations.
+    (That is safe even for tweaked configs: engine keys cover the full
+    configuration content, not just its name.)  Use
+    ``repro.engine.get_engine().clear()`` to also drop simulations.
+    """
     evaluate_app.cache_clear()
     evaluate_app_static.cache_clear()

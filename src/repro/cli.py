@@ -10,6 +10,13 @@ Commands mirror how the paper's toolchain is used:
 
 ``APP`` is a Table 3 abbreviation (CFD, KMN, ...); ``FILE`` is a path
 to PTX-subset text.  File inputs use synthetic default buffer sizes.
+
+Simulation-heavy commands (``simulate``, ``crat``, ``suite``) share the
+evaluation engine: ``--jobs N`` fans independent design points out over
+N worker processes (default: ``REPRO_JOBS`` or serial), results are
+memoized by kernel content (persistently if ``REPRO_CACHE_DIR`` is
+set), and ``--trace-json PATH`` dumps the engine's instrumentation
+(per-stage timings, simulation counts, cache hit/miss counters).
 """
 
 from __future__ import annotations
@@ -20,11 +27,29 @@ from typing import Optional
 
 from .arch import get_config
 from .core import CRATOptimizer, collect_resource_usage
+from .engine import configure as configure_engine
+from .engine import get_engine
 from .ptx import parse_kernel, print_kernel, verify_kernel
 from .regalloc import allocate as allocate_kernel
 from .regalloc import register_demand
-from .sim import simulate
 from .workloads import BY_ABBR, load_workload
+
+
+def _engine_for(args):
+    """Apply the command's ``--jobs`` to the shared engine."""
+    jobs = getattr(args, "jobs", 0)
+    return configure_engine(jobs=jobs if jobs else None)
+
+
+def _write_trace_json(args) -> None:
+    path = getattr(args, "trace_json", "")
+    if path:
+        try:
+            with open(path, "w") as handle:
+                handle.write(get_engine().to_json() + "\n")
+        except OSError as err:
+            raise SystemExit(f"error: cannot write engine trace: {err}")
+        print(f"engine trace written to {path}", file=sys.stderr)
 
 
 def _load(target: str):
@@ -81,10 +106,11 @@ def cmd_allocate(args) -> int:
 def cmd_simulate(args) -> int:
     kernel, workload = _load(args.target)
     config = get_config(args.config)
+    engine = _engine_for(args)
     sizes = workload.param_sizes if workload else None
     grid = args.grid or (workload.grid_blocks if workload else None)
-    result = simulate(kernel, config, tlp=args.tlp, grid_blocks=grid,
-                      param_sizes=sizes)
+    result = engine.simulate(kernel, config, tlp=args.tlp, grid_blocks=grid,
+                             param_sizes=sizes)
     print(f"cycles:        {result.cycles:.0f}")
     print(f"instructions:  {result.instructions}")
     print(f"IPC:           {result.ipc:.3f}")
@@ -99,6 +125,7 @@ def cmd_simulate(args) -> int:
 def cmd_crat(args) -> int:
     kernel, workload = _load(args.target)
     config = get_config(args.config)
+    _engine_for(args)
     optimizer = CRATOptimizer(
         config,
         enable_shm_spill=not args.no_shm_spill,
@@ -122,6 +149,7 @@ def cmd_crat(args) -> int:
         with open(args.emit, "w") as handle:
             handle.write(print_kernel(result.chosen.allocation.kernel) + "\n")
         print(f"optimized PTX written to {args.emit}")
+    _write_trace_json(args)
     return 0
 
 
@@ -130,6 +158,7 @@ def cmd_suite(args) -> int:
 
     from .workloads import RESOURCE_SENSITIVE
 
+    engine = _engine_for(args)
     rows = []
     for app in RESOURCE_SENSITIVE:
         ev = evaluate_app(app.abbr, args.config)
@@ -144,6 +173,9 @@ def cmd_suite(args) -> int:
     ))
     crat_gm = geomean([float(r[4]) for r in rows])
     print(f"\nCRAT geomean speedup vs OptTLP: {crat_gm:.3f}")
+    print(f"engine ({engine.jobs} job{'s' if engine.jobs != 1 else ''}): "
+          f"{engine.stats.summary()}")
+    _write_trace_json(args)
     return 0
 
 
@@ -167,11 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shared-memory budget for Algorithm 1")
     p_alloc.set_defaults(func=cmd_allocate)
 
+    def add_engine_flags(p, trace=True):
+        p.add_argument("--jobs", type=int, default=0,
+                       help="simulation worker processes "
+                            "(default: $REPRO_JOBS or serial)")
+        if trace:
+            p.add_argument("--trace-json", default="",
+                           help="dump engine instrumentation (timings, "
+                                "cache counters) as JSON to this path")
+
     p_sim = sub.add_parser("simulate", help="run the timing simulator")
     p_sim.add_argument("target")
     p_sim.add_argument("--tlp", type=int, default=4)
     p_sim.add_argument("--grid", type=int, default=0)
     p_sim.add_argument("--config", default="fermi")
+    add_engine_flags(p_sim, trace=False)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_crat = sub.add_parser("crat", help="run the CRAT optimizer")
@@ -183,10 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable Algorithm 1 (CRAT-local)")
     p_crat.add_argument("--emit", default="",
                         help="write optimized PTX to this path")
+    add_engine_flags(p_crat)
     p_crat.set_defaults(func=cmd_crat)
 
     p_suite = sub.add_parser("suite", help="Fig 13 table on the sensitive suite")
     p_suite.add_argument("--config", default="fermi")
+    add_engine_flags(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     return parser

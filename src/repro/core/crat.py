@@ -22,13 +22,13 @@ from ..analysis.gto_model import estimate_opt_tlp
 from ..arch.config import GPUConfig
 from ..arch.latency import measure_costs
 from ..arch.occupancy import compute_occupancy, spare_shm_per_block
+from ..engine import EvaluationEngine, get_engine
 from ..ptx.module import Kernel
 from ..regalloc.allocator import InsufficientRegistersError, allocate
-from ..sim.gpu import simulate_traces, trace_grid
 from ..sim.stats import SimResult
 from .design_space import DesignPoint, prune
 from .params import ResourceUsage, collect_resource_usage
-from .throttling import BaselineResult, run_baselines
+from .throttling import BaselineResult, opt_tlp_from_profile, run_baselines
 from .tpsc import ScoredPoint, score, select_best
 
 
@@ -58,7 +58,13 @@ class CRATResult:
     def speedup_vs(self, scheme: str) -> float:
         """Cycles(baseline) / cycles(CRAT) — >1 means CRAT is faster."""
         base = self.baselines[scheme].sim.cycles
-        return base / self.sim.cycles if self.sim.cycles else 0.0
+        if not self.sim.cycles:
+            raise ValueError(
+                f"CRAT simulation of {self.chosen.point} recorded zero "
+                "cycles; the speedup ratio is undefined (a kernel that "
+                "executes at least one instruction always takes cycles)"
+            )
+        return base / self.sim.cycles
 
 
 class CRATOptimizer:
@@ -76,6 +82,7 @@ class CRATOptimizer:
         opt_tlp_mode: str = "profile",
         hit_ratio: float = 0.6,
         weighted_tpsc: bool = False,
+        engine: Optional[EvaluationEngine] = None,
     ):
         if opt_tlp_mode not in ("profile", "static"):
             raise ValueError("opt_tlp_mode must be 'profile' or 'static'")
@@ -84,6 +91,14 @@ class CRATOptimizer:
         self.opt_tlp_mode = opt_tlp_mode
         self.hit_ratio = hit_ratio
         self.weighted_tpsc = weighted_tpsc
+        #: ``None`` resolves to the process-wide shared engine at use
+        #: time, so ``repro.engine.configure()`` affects optimizers
+        #: constructed earlier.
+        self._engine = engine
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        return self._engine or get_engine()
 
     # ------------------------------------------------------------------
     def optimize(
@@ -100,18 +115,20 @@ class CRATOptimizer:
             grid_blocks = 2 * config.max_blocks_per_sm
         usage = collect_resource_usage(kernel, config, default_reg=default_reg)
 
+        engine = self.engine
         # Baselines are also the profiling source for OptTLP.
         t0 = time.perf_counter()
         if baselines is None:
-            baselines = run_baselines(
-                kernel, config, usage, grid_blocks, param_sizes
-            )
+            with engine.stage("baselines"):
+                baselines = run_baselines(
+                    kernel, config, usage, grid_blocks, param_sizes,
+                    engine=engine,
+                )
         if self.opt_tlp_mode == "profile":
             # Pruning ceiling: the contention optimum over the whole
             # achievable TLP range, not just what the default
             # allocation can reach (see run_baselines).
-            profile = baselines["opttlp"].profile
-            opt_tlp = min(profile, key=lambda t: (profile[t].cycles, t))
+            opt_tlp = opt_tlp_from_profile(baselines["opttlp"].profile)
             opt_tlp_seconds = time.perf_counter() - t0
         else:
             t_static = time.perf_counter()
@@ -164,11 +181,17 @@ class CRATOptimizer:
             ]
         chosen = select_best(scored)
         search_seconds = time.perf_counter() - t1
+        engine.record_stage("opt_tlp", opt_tlp_seconds)
+        engine.record_stage("search", search_seconds)
 
-        traces = trace_grid(
-            chosen.allocation.kernel, config, grid_blocks, param_sizes
-        )
-        sim = simulate_traces(traces, config, chosen.point.tlp)
+        with engine.stage("winner_sim"):
+            sim = engine.simulate(
+                chosen.allocation.kernel,
+                config,
+                chosen.point.tlp,
+                grid_blocks,
+                param_sizes,
+            )
         return CRATResult(
             usage=usage,
             opt_tlp=opt_tlp,

@@ -14,10 +14,10 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from ..arch.config import GPUConfig
+from ..engine import EvaluationEngine, get_engine
 from ..ptx.module import Kernel
 from ..regalloc.allocator import AllocationResult, allocate
 from ..sim.executor import BlockTrace
-from ..sim.gpu import simulate_traces, trace_grid
 from ..sim.stats import SimResult
 from .params import ResourceUsage, collect_resource_usage
 
@@ -54,15 +54,22 @@ def profile_tlp(
     traces: List[BlockTrace],
     config: GPUConfig,
     max_tlp: int,
+    engine: Optional[EvaluationEngine] = None,
 ) -> Dict[int, SimResult]:
     """Run every TLP in ``[1, MaxTLP]`` — the paper's profiling pass.
 
     This is the offline exhaustive search of [3]; its cost is what the
     static analysis of Section 4.1 avoids (see ``benchmarks/test_overhead``).
+    The points are independent, so the engine fans them out across its
+    worker pool (``REPRO_JOBS`` / ``--jobs``).  Trace-level entry: no
+    kernel, no content key, so results are not cached — callers holding
+    the kernel should prefer :meth:`EvaluationEngine.profile_tlp`.
     """
     if max_tlp <= 0:
         raise ValueError("max_tlp must be positive")
-    return {tlp: simulate_traces(traces, config, tlp) for tlp in range(1, max_tlp + 1)}
+    engine = engine or get_engine()
+    tlps = range(1, max_tlp + 1)
+    return dict(zip(tlps, engine.simulate_traces_many(traces, config, tlps)))
 
 
 def opt_tlp_from_profile(profile: Dict[int, SimResult]) -> int:
@@ -76,6 +83,7 @@ def run_baselines(
     usage: Optional[ResourceUsage] = None,
     grid_blocks: Optional[int] = None,
     param_sizes: Optional[Dict[str, int]] = None,
+    engine: Optional[EvaluationEngine] = None,
 ) -> Dict[str, BaselineResult]:
     """Evaluate MaxTLP and OptTLP for one kernel.
 
@@ -105,8 +113,10 @@ def run_baselines(
     ).blocks
     ceiling = max(ceiling, usage.max_tlp)
     allocation = default_allocation(kernel, usage)
-    traces = trace_grid(allocation.kernel, config, grid_blocks, param_sizes)
-    profile = profile_tlp(traces, config, ceiling)
+    engine = engine or get_engine()
+    profile = engine.profile_tlp(
+        allocation.kernel, config, ceiling, grid_blocks, param_sizes
+    )
     baseline_profile = {t: r for t, r in profile.items() if t <= usage.max_tlp}
     opt = opt_tlp_from_profile(baseline_profile)
     return {

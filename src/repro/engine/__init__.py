@@ -1,0 +1,43 @@
+"""Shared evaluation engine: cached, parallel, instrumented simulation.
+
+The single owner of trace generation and timing simulation for the
+whole CRAT pipeline.  See :mod:`repro.engine.engine` for the design.
+"""
+
+from .cache import CACHE_DIR_ENV, SimResultCache, config_signature, make_sim_key
+from .engine import (
+    EvaluationEngine,
+    SimRequest,
+    configure,
+    get_engine,
+    set_engine,
+)
+from .events import (
+    BatchEvent,
+    EngineStats,
+    SimulationEvent,
+    StageEvent,
+    TraceEvent,
+    event_to_dict,
+)
+from .parallel import JOBS_ENV, resolve_jobs
+
+__all__ = [
+    "BatchEvent",
+    "CACHE_DIR_ENV",
+    "EngineStats",
+    "EvaluationEngine",
+    "JOBS_ENV",
+    "SimRequest",
+    "SimResultCache",
+    "SimulationEvent",
+    "StageEvent",
+    "TraceEvent",
+    "config_signature",
+    "configure",
+    "event_to_dict",
+    "get_engine",
+    "make_sim_key",
+    "resolve_jobs",
+    "set_engine",
+]

@@ -1,0 +1,117 @@
+"""Content-addressed caching for simulation results.
+
+A design point is identified by the tuple ``(kernel fingerprint,
+configuration, grid_blocks, param_sizes, tlp, scheduler)``.  The kernel
+contributes through :meth:`repro.ptx.module.Kernel.fingerprint` (a
+digest of its canonical printed form) and the configuration through the
+``repr`` of the frozen :class:`~repro.arch.config.GPUConfig` dataclass,
+so two configs that differ in any field — even under the same preset
+name — never collide.
+
+The cache is two-level: a plain in-process dict, plus an optional
+on-disk pickle store (one file per key digest) enabled by passing a
+directory or setting ``REPRO_CACHE_DIR``.  Disk entries survive across
+processes, which is what makes repeated benchmark invocations free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Dict, Optional, Tuple
+
+from ..arch.config import GPUConfig
+from ..sim.stats import SimResult
+
+#: Environment variable naming the on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+SimKey = Tuple[str, str, int, Tuple[Tuple[str, int], ...], int, str]
+
+
+def config_signature(config: GPUConfig) -> str:
+    """A stable, content-complete rendering of a configuration.
+
+    ``GPUConfig`` is a frozen dataclass whose ``repr`` lists every
+    field (including the nested cache/latency configs), so it is a
+    faithful content key — unlike ``config.name``, which ``scaled()``
+    copies share.
+    """
+    return repr(config)
+
+
+def make_sim_key(
+    fingerprint: str,
+    config: GPUConfig,
+    grid_blocks: int,
+    param_sizes: Optional[Dict[str, int]],
+    tlp: int,
+    scheduler: str,
+) -> SimKey:
+    params = tuple(sorted((param_sizes or {}).items()))
+    return (fingerprint, config_signature(config), grid_blocks, params, tlp, scheduler)
+
+
+def key_digest(key: Tuple) -> str:
+    """Short hex digest of a cache key (disk filename / event label)."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
+
+
+class SimResultCache:
+    """In-memory dict fronting an optional on-disk pickle store."""
+
+    def __init__(self, disk_dir: Optional[str] = None):
+        if disk_dir is None:
+            disk_dir = os.environ.get(CACHE_DIR_ENV) or None
+        self.disk_dir = disk_dir
+        self._memory: Dict[SimKey, SimResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: SimKey) -> Optional[str]:
+        if not self.disk_dir:
+            return None
+        return os.path.join(self.disk_dir, f"sim-{key_digest(key)}.pkl")
+
+    # ------------------------------------------------------------------
+    def get(self, key: SimKey) -> Tuple[Optional[SimResult], str]:
+        """Look a key up; returns ``(result, source)`` where source is
+        ``"memory"``, ``"disk"``, or ``"miss"``."""
+        result = self._memory.get(key)
+        if result is not None:
+            return result, "memory"
+        path = self._disk_path(key)
+        if path and os.path.exists(path):
+            try:
+                with open(path, "rb") as handle:
+                    result = pickle.load(handle)
+            except Exception:
+                return None, "miss"  # corrupt entry: treat as a miss
+            self._memory[key] = result
+            return result, "disk"
+        return None, "miss"
+
+    def put(self, key: SimKey, result: SimResult) -> None:
+        self._memory[key] = result
+        path = self._disk_path(key)
+        if path:
+            try:
+                os.makedirs(self.disk_dir, exist_ok=True)
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "wb") as handle:
+                    pickle.dump(result, handle)
+                os.replace(tmp, path)
+            except OSError:
+                pass  # disk persistence is best-effort
+
+    def clear(self, disk: bool = False) -> None:
+        self._memory.clear()
+        if disk and self.disk_dir and os.path.isdir(self.disk_dir):
+            for name in os.listdir(self.disk_dir):
+                if name.startswith("sim-") and name.endswith(".pkl"):
+                    try:
+                        os.remove(os.path.join(self.disk_dir, name))
+                    except OSError:
+                        pass

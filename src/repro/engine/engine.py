@@ -1,0 +1,367 @@
+"""The shared evaluation engine: cached, parallel, instrumented simulation.
+
+Every stage of the CRAT pipeline — exhaustive TLP profiling, baseline
+evaluation, candidate scoring, the final winner run, the latency
+micro-benchmarks — ultimately calls the same two primitives: generate
+functional traces for a kernel, then replay them through the timing
+model at some TLP.  Historically each call site did both by hand, so a
+full suite run re-derived identical traces and re-simulated identical
+design points many times over.
+
+:class:`EvaluationEngine` is the single owner of those primitives:
+
+* **Content-addressed caching** — results are keyed by ``(kernel
+  fingerprint, config, grid_blocks, param_sizes, tlp, scheduler)``;
+  traces by the same key minus the TLP/scheduler.  An optional on-disk
+  store (``REPRO_CACHE_DIR``) persists results across processes.
+* **Parallel fan-out** — :meth:`simulate_many` runs independent design
+  points on a process pool (``REPRO_JOBS`` / ``--jobs``), bit-identical
+  to the serial path because the simulator is deterministic.
+* **Instrumentation** — every trace generation, simulation, batch and
+  named pipeline stage is recorded as a typed event with timings and
+  hit/miss counters (:mod:`repro.engine.events`), dumpable as JSON.
+
+Call sites share one engine via :func:`get_engine` so caching composes
+across layers (the bench driver, the optimizer, the baselines and the
+micro-benchmarks all feed the same cache).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..arch.config import GPUConfig
+from ..ptx.module import Kernel
+from ..sim.executor import BlockTrace
+from ..sim.gpu import simulate_traces, trace_grid
+from ..sim.stats import SimResult
+from .cache import SimKey, SimResultCache, config_signature, key_digest, make_sim_key
+from .events import (
+    BatchEvent,
+    EngineEvent,
+    EngineStats,
+    SimulationEvent,
+    StageEvent,
+    TraceEvent,
+    event_to_dict,
+)
+from .parallel import resolve_jobs, run_simulations
+
+
+@dataclasses.dataclass(frozen=True)
+class SimRequest:
+    """One design point to evaluate: a kernel at a TLP on a config."""
+
+    kernel: Kernel
+    config: GPUConfig
+    tlp: int
+    grid_blocks: Optional[int] = None
+    param_sizes: Optional[Dict[str, int]] = None
+    scheduler: str = "gto"
+
+    def resolved_grid(self) -> int:
+        if self.grid_blocks is not None:
+            return self.grid_blocks
+        return 2 * self.config.max_blocks_per_sm
+
+
+class EvaluationEngine:
+    """Single owner of trace generation and timing simulation."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        disk_cache: Optional[str] = None,
+        max_events: int = 100_000,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self._sim_cache = SimResultCache(disk_cache)
+        self._trace_cache: Dict[Tuple, List[BlockTrace]] = {}
+        self.stats = EngineStats()
+        self.events: List[EngineEvent] = []
+        self._max_events = max_events
+
+    # ------------------------------------------------------------------
+    # Instrumentation plumbing.
+    # ------------------------------------------------------------------
+    def _emit(self, event: EngineEvent) -> None:
+        if len(self.events) < self._max_events:
+            self.events.append(event)
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        """Account a pipeline stage that the caller timed itself."""
+        self.stats.record_stage(name, seconds)
+        self._emit(StageEvent(name=name, seconds=seconds))
+
+    @contextlib.contextmanager
+    def stage(self, name: str):
+        """Time a named pipeline stage (``with engine.stage("search"):``)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_stage(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # Trace generation (the expensive functional step).
+    # ------------------------------------------------------------------
+    def traces_for(
+        self,
+        kernel: Kernel,
+        config: GPUConfig,
+        grid_blocks: int,
+        param_sizes: Optional[Dict[str, int]] = None,
+        fingerprint: Optional[str] = None,
+    ) -> List[BlockTrace]:
+        """Functional traces for a kernel/grid, cached by content."""
+        if fingerprint is None:
+            fingerprint = kernel.fingerprint()
+        params = tuple(sorted((param_sizes or {}).items()))
+        key = (fingerprint, config_signature(config), grid_blocks, params)
+        traces = self._trace_cache.get(key)
+        if traces is not None:
+            self.stats.trace_hits += 1
+            self._emit(
+                TraceEvent(
+                    key=key_digest(key),
+                    kernel=kernel.name,
+                    grid_blocks=grid_blocks,
+                    cached=True,
+                    seconds=0.0,
+                )
+            )
+            return traces
+        t0 = time.perf_counter()
+        traces = trace_grid(kernel, config, grid_blocks, param_sizes)
+        seconds = time.perf_counter() - t0
+        self._trace_cache[key] = traces
+        self.stats.trace_misses += 1
+        self.stats.trace_seconds += seconds
+        self._emit(
+            TraceEvent(
+                key=key_digest(key),
+                kernel=kernel.name,
+                grid_blocks=grid_blocks,
+                cached=False,
+                seconds=seconds,
+            )
+        )
+        return traces
+
+    # ------------------------------------------------------------------
+    # Single-point simulation.
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        kernel: Kernel,
+        config: GPUConfig,
+        tlp: int,
+        grid_blocks: Optional[int] = None,
+        param_sizes: Optional[Dict[str, int]] = None,
+        scheduler: str = "gto",
+    ) -> SimResult:
+        """Simulate one design point, through the cache."""
+        request = SimRequest(kernel, config, tlp, grid_blocks, param_sizes, scheduler)
+        return self.simulate_many([request])[0]
+
+    # ------------------------------------------------------------------
+    # Batched simulation with parallel fan-out.
+    # ------------------------------------------------------------------
+    def simulate_many(self, requests: Sequence[SimRequest]) -> List[SimResult]:
+        """Evaluate a batch of independent design points.
+
+        Cache hits are served immediately; the remaining points run on
+        the process pool when ``jobs > 1`` (serial otherwise).  Results
+        come back in request order and are bit-identical to the serial
+        path.
+        """
+        t0 = time.perf_counter()
+        results: List[Optional[SimResult]] = [None] * len(requests)
+        keys: List[SimKey] = []
+        pending: List[int] = []
+        fingerprints: Dict[int, str] = {}
+        for i, req in enumerate(requests):
+            fp = fingerprints.setdefault(id(req.kernel), req.kernel.fingerprint())
+            key = make_sim_key(
+                fp, req.config, req.resolved_grid(), req.param_sizes,
+                req.tlp, req.scheduler,
+            )
+            keys.append(key)
+            cached, source = self._sim_cache.get(key)
+            if cached is not None:
+                results[i] = cached
+                self.stats.sim_hits += 1
+                if source == "disk":
+                    self.stats.disk_hits += 1
+                self._emit(
+                    SimulationEvent(
+                        key=key_digest(key),
+                        kernel=req.kernel.name,
+                        tlp=req.tlp,
+                        scheduler=req.scheduler,
+                        cached=True,
+                        source=source,
+                        seconds=0.0,
+                    )
+                )
+            else:
+                pending.append(i)
+
+        if pending:
+            tasks = []
+            for i in pending:
+                req = requests[i]
+                traces = self.traces_for(
+                    req.kernel,
+                    req.config,
+                    req.resolved_grid(),
+                    req.param_sizes,
+                    fingerprint=fingerprints[id(req.kernel)],
+                )
+                tasks.append((traces, req.config, req.tlp, req.scheduler))
+            t_run = time.perf_counter()
+            outcomes = run_simulations(tasks, self.jobs)
+            run_seconds = time.perf_counter() - t_run
+            per_point = run_seconds / len(pending)
+            for i, result in zip(pending, outcomes):
+                req = requests[i]
+                self._sim_cache.put(keys[i], result)
+                results[i] = result
+                self.stats.sim_misses += 1
+                self._emit(
+                    SimulationEvent(
+                        key=key_digest(keys[i]),
+                        kernel=req.kernel.name,
+                        tlp=req.tlp,
+                        scheduler=req.scheduler,
+                        cached=False,
+                        source="run",
+                        seconds=per_point,
+                    )
+                )
+            self.stats.sim_seconds += run_seconds
+
+        if len(requests) > 1:
+            self.stats.batches += 1
+            self._emit(
+                BatchEvent(
+                    points=len(requests),
+                    cache_hits=len(requests) - len(pending),
+                    jobs=self.jobs if len(pending) > 1 else 1,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # TLP profiling (the paper's exhaustive offline search).
+    # ------------------------------------------------------------------
+    def profile_tlp(
+        self,
+        kernel: Kernel,
+        config: GPUConfig,
+        max_tlp: int,
+        grid_blocks: Optional[int] = None,
+        param_sizes: Optional[Dict[str, int]] = None,
+        scheduler: str = "gto",
+    ) -> Dict[int, SimResult]:
+        """Simulate every TLP in ``[1, max_tlp]`` for one kernel."""
+        if max_tlp <= 0:
+            raise ValueError("max_tlp must be positive")
+        tlps = range(1, max_tlp + 1)
+        requests = [
+            SimRequest(kernel, config, tlp, grid_blocks, param_sizes, scheduler)
+            for tlp in tlps
+        ]
+        return dict(zip(tlps, self.simulate_many(requests)))
+
+    def simulate_traces_many(
+        self,
+        traces: List[BlockTrace],
+        config: GPUConfig,
+        tlps: Iterable[int],
+        scheduler: str = "gto",
+    ) -> List[SimResult]:
+        """Parallel fan-out over pre-computed traces (uncached: without
+        the originating kernel there is no content key)."""
+        tasks = [(traces, config, tlp, scheduler) for tlp in tlps]
+        t0 = time.perf_counter()
+        outcomes = run_simulations(tasks, self.jobs)
+        seconds = time.perf_counter() - t0
+        self.stats.sim_misses += len(tasks)
+        self.stats.sim_seconds += seconds
+        if len(tasks) > 1:
+            self.stats.batches += 1
+            self._emit(
+                BatchEvent(
+                    points=len(tasks),
+                    cache_hits=0,
+                    jobs=self.jobs,
+                    seconds=seconds,
+                )
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view of counters, timings and the event log."""
+        return {
+            "jobs": self.jobs,
+            "cached_results": len(self._sim_cache),
+            "cached_traces": len(self._trace_cache),
+            "stats": self.stats.to_dict(),
+            "events": [event_to_dict(e) for e in self.events],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset_stats(self) -> None:
+        """Zero the counters and drop the event log (caches stay warm)."""
+        self.stats = EngineStats()
+        self.events = []
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop cached results and traces (and stats/events)."""
+        self._sim_cache.clear(disk=disk)
+        self._trace_cache.clear()
+        self.reset_stats()
+
+
+# ----------------------------------------------------------------------
+# The process-wide shared engine.
+# ----------------------------------------------------------------------
+_default_engine: Optional[EvaluationEngine] = None
+
+
+def get_engine() -> EvaluationEngine:
+    """The process-wide engine every pipeline layer shares by default."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = EvaluationEngine()
+    return _default_engine
+
+
+def set_engine(engine: EvaluationEngine) -> EvaluationEngine:
+    """Swap the shared engine (tests / embedding)."""
+    global _default_engine
+    _default_engine = engine
+    return engine
+
+
+def configure(
+    jobs: Optional[int] = None, disk_cache: Optional[str] = None
+) -> EvaluationEngine:
+    """Adjust the shared engine in place (the CLI's ``--jobs`` hook)."""
+    engine = get_engine()
+    if jobs is not None:
+        engine.jobs = resolve_jobs(jobs)
+    if disk_cache is not None:
+        engine._sim_cache.disk_dir = disk_cache
+    return engine

@@ -1,0 +1,126 @@
+"""Typed instrumentation events and counters for the evaluation engine.
+
+Every observable action of the :class:`~repro.engine.engine.
+EvaluationEngine` — a trace generation, a timing simulation, a named
+pipeline stage — is recorded as a small frozen dataclass, and the
+running totals live in :class:`EngineStats`.  The CLI can dump the
+whole event log as JSON (``--trace-json``) and the ``suite`` command
+prints the counter summary, which is how the "zero new simulations on
+a warm cache" property is verified.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar, Dict, List, Union
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One functional trace generation (or trace-cache hit)."""
+
+    kind: ClassVar[str] = "trace"
+
+    key: str  # short cache-key digest
+    kernel: str
+    grid_blocks: int
+    cached: bool
+    seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationEvent:
+    """One timing simulation of a design point (or a cache hit)."""
+
+    kind: ClassVar[str] = "simulate"
+
+    key: str  # short cache-key digest
+    kernel: str
+    tlp: int
+    scheduler: str
+    cached: bool
+    #: Where the result came from: "memory", "disk", or "run".
+    source: str
+    seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchEvent:
+    """One ``simulate_many`` fan-out batch."""
+
+    kind: ClassVar[str] = "batch"
+
+    points: int
+    cache_hits: int
+    jobs: int
+    seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class StageEvent:
+    """One named pipeline stage (OptTLP profiling, candidate search...)."""
+
+    kind: ClassVar[str] = "stage"
+
+    name: str
+    seconds: float
+
+
+EngineEvent = Union[TraceEvent, SimulationEvent, BatchEvent, StageEvent]
+
+
+def event_to_dict(event: EngineEvent) -> Dict[str, object]:
+    """Render one event as a JSON-ready dict (``kind`` included)."""
+    payload: Dict[str, object] = {"kind": event.kind}
+    payload.update(dataclasses.asdict(event))
+    return payload
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Running counters over the engine's lifetime (until ``reset``)."""
+
+    sim_hits: int = 0
+    sim_misses: int = 0
+    disk_hits: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    batches: int = 0
+    sim_seconds: float = 0.0
+    trace_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def simulations(self) -> int:
+        """Timing simulations actually executed (cache misses)."""
+        return self.sim_misses
+
+    @property
+    def sim_requests(self) -> int:
+        return self.sim_hits + self.sim_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.sim_requests
+        return self.sim_hits / total if total else 0.0
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["simulations"] = self.simulations
+        data["sim_requests"] = self.sim_requests
+        data["hit_rate"] = self.hit_rate
+        return data
+
+    def summary(self) -> str:
+        """One-line human summary (printed by ``repro suite``)."""
+        return (
+            f"{self.simulations} simulations run, "
+            f"{self.sim_hits}/{self.sim_requests} cache hits "
+            f"({self.hit_rate:.0%}), "
+            f"{self.trace_misses} traces generated "
+            f"({self.trace_hits} reused), "
+            f"{self.sim_seconds + self.trace_seconds:.2f}s simulating"
+        )

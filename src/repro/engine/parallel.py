@@ -1,0 +1,63 @@
+"""Process-pool fan-out for independent simulation points.
+
+Design-space sweeps (TLP profiling, candidate evaluation) simulate many
+independent points over the same traces — embarrassingly parallel work.
+:func:`run_simulations` executes a batch either serially (the default,
+``jobs=1``) or on a ``concurrent.futures`` process pool, preserving
+input order so the two paths are interchangeable; the timing simulator
+is deterministic, so results are bit-identical either way.
+
+The worker count comes from the ``REPRO_JOBS`` environment variable or
+the CLI's ``--jobs`` flag.  If a pool cannot be created (restricted
+sandboxes) the batch silently falls back to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.config import GPUConfig
+from ..sim.executor import BlockTrace
+from ..sim.stats import SimResult
+
+#: Environment variable setting the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+SimTask = Tuple[List[BlockTrace], GPUConfig, int, str]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve an explicit ``jobs`` request against ``REPRO_JOBS``.
+
+    ``None`` means "use the environment default"; anything below 1 is
+    clamped to the serial path.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "")
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+def _simulate_task(task: SimTask) -> SimResult:
+    traces, config, tlp, scheduler = task
+    from ..sim.gpu import simulate_traces
+
+    return simulate_traces(traces, config, tlp, scheduler=scheduler)
+
+
+def run_simulations(tasks: Sequence[SimTask], jobs: int = 1) -> List[SimResult]:
+    """Run a batch of simulation tasks, results in input order."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_simulate_task(task) for task in tasks]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(_simulate_task, tasks))
+    except (OSError, ImportError, PermissionError):
+        # No process pool available (sandboxed interpreter): serial path.
+        return [_simulate_task(task) for task in tasks]

@@ -8,6 +8,7 @@ paper Listing 4), and its body of labels and instructions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, List, Optional, Sequence, Set
 
 from .instruction import BodyItem, Instruction, Label, Reg, iter_instructions
@@ -117,6 +118,20 @@ class Kernel:
                 raise ValueError(
                     f"kernel {self.name}: branch to undefined label {inst.target!r}"
                 )
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the kernel (hex SHA-256).
+
+        Hashes the canonical printed form (:func:`repro.ptx.printer.
+        print_kernel`), which covers the name, parameters, block size,
+        array declarations and every instruction — so two kernels that
+        print identically (e.g. a parse→print round trip) share a
+        fingerprint, and any semantic edit changes it.  This is the
+        kernel component of the evaluation engine's cache keys.
+        """
+        from .printer import print_kernel
+
+        return hashlib.sha256(print_kernel(self).encode("utf-8")).hexdigest()
 
     def copy(self) -> "Kernel":
         """A shallow-body copy safe for rewriting passes.

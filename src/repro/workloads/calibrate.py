@@ -106,17 +106,20 @@ def calibrate(
 
     tlp_profile: Dict[int, float] = {}
     if profile_tlp_curve:
-        from ..core.throttling import default_allocation, profile_tlp
+        from ..core.throttling import default_allocation
         from ..core.params import collect_resource_usage
-        from ..sim.gpu import trace_grid
+        from ..engine import get_engine
 
         usage = collect_resource_usage(kernel, config, default_reg=default_reg)
         allocation = default_allocation(kernel, usage)
-        traces = trace_grid(
-            allocation.kernel, config, workload.grid_blocks,
-            workload.param_sizes,
+        # The engine caches by kernel fingerprint and fans the TLP
+        # points out across its worker pool, so calibration sweeps are
+        # free when the throttling baselines already profiled this app.
+        profile = get_engine().profile_tlp(
+            allocation.kernel, config, usage.max_tlp,
+            workload.grid_blocks, workload.param_sizes,
         )
-        for tlp, sim in profile_tlp(traces, config, usage.max_tlp).items():
+        for tlp, sim in profile.items():
             tlp_profile[tlp] = sim.cycles
 
     return CalibrationReport(

@@ -51,12 +51,24 @@ class TestSimulate:
         assert "cycles" in out
         assert "L1 hit rate" in out
 
+    def test_simulate_with_jobs_flag(self, capsys):
+        assert main(["simulate", "GAU", "--tlp", "2", "--grid", "4",
+                     "--jobs", "2"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
 
 class TestCrat:
     def test_crat_static_and_emit(self, tmp_path, capsys):
+        import json
+
         emit = tmp_path / "out.ptx"
-        assert main(["crat", "GAU", "--static", "--emit", str(emit)]) == 0
+        trace = tmp_path / "trace.json"
+        assert main(["crat", "GAU", "--static", "--emit", str(emit),
+                     "--trace-json", str(trace)]) == 0
         out = capsys.readouterr().out
         assert "chosen" in out
         assert emit.exists()
         parse_kernel(emit.read_text())
+        snapshot = json.loads(trace.read_text())
+        assert "stats" in snapshot and "events" in snapshot
+        assert snapshot["stats"]["sim_requests"] >= 1

@@ -47,3 +47,5 @@ def test_suite_command_prints_table(monkeypatch, capsys):
     for abbr in ("BLK", "CFD", "KMN", "STM"):
         assert abbr in out
     assert "1.200" in out
+    # Engine counter summary rides along (zero sims here: driver is faked).
+    assert "engine (" in out

@@ -198,6 +198,15 @@ class TestOptimizer:
     def test_not_slower_than_opttlp(self, result):
         assert result.speedup_vs("opttlp") >= 0.95
 
+    def test_speedup_undefined_on_zero_cycles(self, result):
+        import dataclasses
+
+        broken = dataclasses.replace(
+            result, sim=dataclasses.replace(result.sim, cycles=0.0)
+        )
+        with pytest.raises(ValueError, match="zero cycles"):
+            broken.speedup_vs("opttlp")
+
     def test_candidates_scored(self, result):
         assert result.candidates
         assert all(isinstance(s, ScoredPoint) for s in result.candidates)

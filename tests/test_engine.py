@@ -1,0 +1,217 @@
+"""Evaluation-engine tests: fingerprints, caching, parallel determinism."""
+
+import json
+
+import pytest
+
+from repro.arch import FERMI
+from repro.engine import (
+    EvaluationEngine,
+    SimRequest,
+    config_signature,
+    get_engine,
+    make_sim_key,
+    resolve_jobs,
+)
+from repro.ptx import parse_kernel, print_kernel
+from repro.workloads import load_workload
+
+from .conftest import build_loop_kernel
+
+
+@pytest.fixture(scope="module")
+def gau():
+    return load_workload("GAU")
+
+
+class TestFingerprint:
+    def test_stable_across_parse_print_round_trip(self, gau):
+        text = print_kernel(gau.kernel)
+        round_tripped = parse_kernel(text)
+        assert round_tripped.fingerprint() == gau.kernel.fingerprint()
+
+    def test_repeated_calls_agree(self, gau):
+        assert gau.kernel.fingerprint() == gau.kernel.fingerprint()
+
+    def test_semantic_edit_changes_fingerprint(self):
+        a = build_loop_kernel(trip=8)
+        b = build_loop_kernel(trip=9)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_block_size_changes_fingerprint(self, gau):
+        other = gau.kernel.copy()
+        other.block_size *= 2
+        assert other.fingerprint() != gau.kernel.fingerprint()
+
+
+class TestCacheKeys:
+    def test_config_signature_sees_scaled_fields(self):
+        scaled = FERMI.scaled(max_blocks_per_sm=4)
+        assert scaled.name == FERMI.name
+        assert config_signature(scaled) != config_signature(FERMI)
+
+    def test_key_distinguishes_every_component(self, gau):
+        fp = gau.kernel.fingerprint()
+        base = make_sim_key(fp, FERMI, 4, {"a": 64}, 2, "gto")
+        assert make_sim_key(fp, FERMI, 4, {"a": 64}, 3, "gto") != base
+        assert make_sim_key(fp, FERMI, 8, {"a": 64}, 2, "gto") != base
+        assert make_sim_key(fp, FERMI, 4, {"a": 128}, 2, "gto") != base
+        assert make_sim_key(fp, FERMI, 4, {"a": 64}, 2, "lrr") != base
+        assert make_sim_key("x" * 64, FERMI, 4, {"a": 64}, 2, "gto") != base
+
+    def test_param_order_does_not_matter(self, gau):
+        fp = gau.kernel.fingerprint()
+        ab = make_sim_key(fp, FERMI, 4, {"a": 1, "b": 2}, 2, "gto")
+        ba = make_sim_key(fp, FERMI, 4, {"b": 2, "a": 1}, 2, "gto")
+        assert ab == ba
+
+
+class TestCaching:
+    def test_repeated_simulate_hits_cache(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        r1 = engine.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                             param_sizes=gau.param_sizes)
+        r2 = engine.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                             param_sizes=gau.param_sizes)
+        assert engine.stats.sim_misses == 1
+        assert engine.stats.sim_hits == 1
+        assert r1 is r2
+
+    def test_equal_content_different_object_hits_cache(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        engine.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        clone = parse_kernel(print_kernel(gau.kernel))
+        engine.simulate(clone, FERMI, 2, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert engine.stats.sim_misses == 1
+        assert engine.stats.sim_hits == 1
+
+    def test_traces_shared_across_tlps(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        engine.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                           param_sizes=gau.param_sizes)
+        assert engine.stats.trace_misses == 1
+        assert engine.stats.sim_misses == 3
+
+    def test_clear_forgets_results(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        engine.clear()
+        engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert engine.stats.sim_misses == 1
+        assert engine.stats.sim_hits == 0
+
+    def test_disk_cache_survives_engine_restart(self, gau, tmp_path):
+        first = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        r1 = first.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                            param_sizes=gau.param_sizes)
+        assert list(tmp_path.glob("sim-*.pkl"))
+        second = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        r2 = second.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                             param_sizes=gau.param_sizes)
+        assert second.stats.sim_misses == 0
+        assert second.stats.disk_hits == 1
+        assert r1 == r2
+
+
+class TestParallelDeterminism:
+    def test_full_profile_matches_serial(self, gau):
+        serial = EvaluationEngine(jobs=1)
+        parallel = EvaluationEngine(jobs=2)
+        usage_tlps = 4
+        a = serial.profile_tlp(gau.kernel, FERMI, usage_tlps, grid_blocks=6,
+                               param_sizes=gau.param_sizes)
+        b = parallel.profile_tlp(gau.kernel, FERMI, usage_tlps, grid_blocks=6,
+                                 param_sizes=gau.param_sizes)
+        assert set(a) == set(b) == set(range(1, usage_tlps + 1))
+        for tlp in a:
+            # SimResult is a plain dataclass: == compares every field,
+            # so this asserts bit-identical counters and cycle counts.
+            assert a[tlp] == b[tlp], f"TLP {tlp} diverged across the pool"
+
+    def test_simulate_many_preserves_request_order(self, gau):
+        engine = EvaluationEngine(jobs=2)
+        tlps = [3, 1, 2]
+        requests = [
+            SimRequest(gau.kernel, FERMI, tlp, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+            for tlp in tlps
+        ]
+        results = engine.simulate_many(requests)
+        assert [r.tlp for r in results] == tlps
+
+
+class TestInstrumentation:
+    def test_events_and_snapshot_are_json_ready(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        with engine.stage("unit-test"):
+            engine.profile_tlp(gau.kernel, FERMI, 2, grid_blocks=4,
+                               param_sizes=gau.param_sizes)
+        snapshot = json.loads(engine.to_json())
+        kinds = {e["kind"] for e in snapshot["events"]}
+        assert {"trace", "simulate", "batch", "stage"} <= kinds
+        assert snapshot["stats"]["simulations"] == 2
+        assert "unit-test" in snapshot["stats"]["stage_seconds"]
+
+    def test_reset_stats_keeps_cache_warm(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        engine.reset_stats()
+        engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert engine.stats.sim_hits == 1
+        assert engine.stats.sim_misses == 0
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_garbage_env_falls_back_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs(None) == 1
+
+    def test_clamped_to_serial(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestBenchIntegration:
+    def test_reevaluation_after_clear_cache_is_simulation_free(self):
+        """ISSUE 1 acceptance: clear_cache() drops only the bench memo;
+        the engine cache still serves every design point."""
+        from repro.bench import clear_cache, evaluate_app
+
+        ev1 = evaluate_app("GAU")
+        engine = get_engine()
+        misses_before = engine.stats.sim_misses
+        hits_before = engine.stats.sim_hits
+        clear_cache()
+        ev2 = evaluate_app("GAU")
+        assert ev2 is not ev1  # the bench memo really was dropped
+        assert engine.stats.sim_misses == misses_before
+        assert engine.stats.sim_hits > hits_before
+        assert ev2.speedup("crat") == ev1.speedup("crat")
+
+    def test_app_speedup_undefined_on_zero_cycles(self):
+        import dataclasses
+
+        from repro.bench import evaluate_app
+
+        ev = evaluate_app("GAU")
+        broken = dataclasses.replace(
+            ev,
+            crat=dataclasses.replace(
+                ev.crat, sim=dataclasses.replace(ev.crat.sim, cycles=0.0)
+            ),
+        )
+        with pytest.raises(ValueError, match="zero cycles"):
+            broken.speedup("crat")
