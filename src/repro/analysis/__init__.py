@@ -2,7 +2,7 @@
 OptTLP estimator (paper Figure 10), and a Hong-Kim-style analytical
 model used as a cross-check."""
 
-from .gto_model import StaticEstimate, estimate_opt_tlp
+from .gto_model import StaticEstimate, estimate_opt_tlp, throughput_cost
 from .hongkim import AnalyticalPrediction, predict_cycles
 from .segments import (
     DEFAULT_TRIP_COUNT,
@@ -20,6 +20,7 @@ __all__ = [
     "estimate_opt_tlp",
     "predict_cycles",
     "segment_kernel",
+    "throughput_cost",
     "total_cycles",
     "total_mem_requests",
 ]

@@ -111,6 +111,27 @@ def estimate_opt_tlp(
     )
 
 
+def throughput_cost(
+    segments: List[Segment],
+    tlp: int,
+    config: GPUConfig,
+    hit_ratio: float = 0.6,
+) -> float:
+    """Mimic-predicted cost per block at ``tlp`` (lower is better).
+
+    The same makespan-per-block metric :func:`estimate_opt_tlp` ranks
+    TLPs with, exposed for the fast-path evaluator: it orders design
+    points without replaying a single trace, and it is what the
+    differential tests calibrate against cycle-level simulation.
+    """
+    if tlp <= 0:
+        raise ValueError("tlp must be positive")
+    stream = _expand(segments)
+    if not stream:
+        return 0.0
+    return _mimic(stream, tlp, config, hit_ratio).makespan / tlp
+
+
 @dataclasses.dataclass
 class _MimicOutcome:
     makespan: float

@@ -3,7 +3,10 @@
 from .report import format_table, results_dir, write_result
 from .runner import (
     AppEvaluation,
+    FastPathAppRow,
+    FastPathComparison,
     clear_cache,
+    compare_fastpath,
     evaluate_app,
     evaluate_app_static,
     geomean,
@@ -11,7 +14,10 @@ from .runner import (
 
 __all__ = [
     "AppEvaluation",
+    "FastPathAppRow",
+    "FastPathComparison",
     "clear_cache",
+    "compare_fastpath",
     "evaluate_app",
     "evaluate_app_static",
     "format_table",

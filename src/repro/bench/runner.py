@@ -20,14 +20,15 @@ from __future__ import annotations
 import dataclasses
 import functools
 import math
-from typing import Dict, Iterable, List, Optional
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..arch.config import GPUConfig, get_config
 from ..arch.occupancy import register_utilization
 from ..core.crat import CRATOptimizer, CRATResult
 from ..core.throttling import BaselineResult
-from ..engine import get_engine
-from ..workloads.suite import Workload, load_workload
+from ..engine import EvaluationEngine, FastPathEvent, FastPathPolicy, get_engine
+from ..workloads.suite import Workload, full_suite, load_workload
 
 
 @dataclasses.dataclass
@@ -142,6 +143,221 @@ def evaluate_app_static(
         default_reg=workload.default_reg,
         grid_blocks=workload.grid_blocks,
         param_sizes=workload.param_sizes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Two-tier evaluation comparison (``repro bench --fastpath``).
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class FastPathAppRow:
+    """One app's exact-vs-fast-path pipeline comparison."""
+
+    abbr: str
+    exact_sims: int  # profile-stage simulations, exact pipeline
+    fast_sims: int  # profile-stage simulations, two-tier pipeline
+    exact_point: Tuple[int, int]  # CRAT's chosen (reg, TLP)
+    fast_point: Tuple[int, int]
+    exact_local_point: Tuple[int, int]  # CRAT-local's chosen (reg, TLP)
+    fast_local_point: Tuple[int, int]
+    #: Worst signed winner-cycle drift across the two variants
+    #: (``fast/exact - 1``; 0.0 when the winners match).
+    cycle_drift: float
+    #: Rank concordance between fast-path scores and simulated cycles
+    #: over the points both tiers saw (from the FastPathEvent).
+    agreement: float
+
+    @property
+    def match(self) -> bool:
+        """Did both CRAT variants choose the exact pipeline's winner?"""
+        return (
+            self.exact_point == self.fast_point
+            and self.exact_local_point == self.fast_local_point
+        )
+
+    @property
+    def sims_saved(self) -> int:
+        return self.exact_sims - self.fast_sims
+
+
+@dataclasses.dataclass
+class FastPathComparison:
+    """Suite-level result of an exact-vs-fast-path comparison run."""
+
+    config_name: str
+    top_k: int
+    refine: bool
+    rows: List[FastPathAppRow]
+    exact_seconds: float
+    fast_seconds: float
+
+    @property
+    def exact_sims(self) -> int:
+        return sum(r.exact_sims for r in self.rows)
+
+    @property
+    def fast_sims(self) -> int:
+        return sum(r.fast_sims for r in self.rows)
+
+    @property
+    def sim_ratio(self) -> float:
+        """How many times fewer profile-stage simulations the fast path ran."""
+        return self.exact_sims / self.fast_sims if self.fast_sims else math.inf
+
+    @property
+    def mismatches(self) -> List[str]:
+        return [r.abbr for r in self.rows if not r.match]
+
+    @property
+    def max_drift(self) -> float:
+        return max((abs(r.cycle_drift) for r in self.rows), default=0.0)
+
+    def table(self) -> str:
+        """Human-readable report (what ``repro bench --fastpath`` prints)."""
+        mode = "refine" if self.refine else "screen-only"
+        lines = [
+            f"two-tier evaluation: top_k={self.top_k}, {mode}, "
+            f"config={self.config_name}",
+            f"{'app':<6} {'sims':>9}  {'exact winner':>14} "
+            f"{'fast winner':>14} {'match':>5} {'drift':>7} {'agree':>6}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.abbr:<6} {r.exact_sims:>4}->{r.fast_sims:<4} "
+                f"{_point_label(r.exact_point, r.exact_local_point):>14} "
+                f"{_point_label(r.fast_point, r.fast_local_point):>14} "
+                f"{'yes' if r.match else 'NO':>5} "
+                f"{r.cycle_drift:>+6.1%} {r.agreement:>6.2f}"
+            )
+        matches = len(self.rows) - len(self.mismatches)
+        saved = 1 - self.fast_seconds / self.exact_seconds if self.exact_seconds else 0.0
+        lines.append(
+            f"profile sims {self.exact_sims} -> {self.fast_sims} "
+            f"({self.sim_ratio:.2f}x fewer); wall-clock "
+            f"{self.exact_seconds:.2f}s -> {self.fast_seconds:.2f}s "
+            f"({saved:.0%} saved)"
+        )
+        lines.append(
+            f"winner match {matches}/{len(self.rows)}"
+            + (
+                f"; mismatches {', '.join(self.mismatches)} "
+                f"(max winner-cycle drift {self.max_drift:+.1%})"
+                if self.mismatches
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+def _point_label(point: Tuple[int, int], local_point: Tuple[int, int]) -> str:
+    label = f"r{point[0]} t{point[1]}"
+    if local_point != point:
+        label += f"|t{local_point[1]}"
+    return label
+
+
+def _run_pipeline(
+    workload: Workload,
+    config: GPUConfig,
+    engine: EvaluationEngine,
+    fastpath: Optional[FastPathPolicy],
+) -> Tuple[CRATResult, CRATResult]:
+    """CRAT + CRAT-local sharing baselines, on an explicit engine."""
+    crat = CRATOptimizer(
+        config, enable_shm_spill=True, engine=engine, fastpath=fastpath
+    ).optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+    )
+    crat_local = CRATOptimizer(
+        config, enable_shm_spill=False, engine=engine, fastpath=fastpath
+    ).optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+        baselines=crat.baselines,
+    )
+    return crat, crat_local
+
+
+def compare_fastpath(
+    abbrs: Optional[Sequence[str]] = None,
+    config_name: str = "fermi",
+    top_k: int = 1,
+    refine: bool = True,
+    input_scale: float = 1.0,
+    jobs: Optional[int] = None,
+) -> FastPathComparison:
+    """Run every app through both pipelines and diff the outcomes.
+
+    The exact pipeline (fast path disabled) and the two-tier pipeline
+    each run on a **fresh, memory-only** engine so the simulation
+    counts and wall-clock times are honest — a warm shared cache would
+    let the second run coast on the first run's work.  Returns per-app
+    rows plus suite totals; ``repro bench --fastpath`` prints
+    :meth:`FastPathComparison.table`.
+    """
+    config = get_config(config_name)
+    if abbrs is None:
+        abbrs = [w.abbr for w in full_suite()]
+    workloads = [load_workload(a, input_scale) for a in abbrs]
+    jobs = jobs if jobs is not None else get_engine().jobs
+    policy = FastPathPolicy(top_k=top_k, refine=refine)
+
+    def run_mode(fastpath: Optional[FastPathPolicy]):
+        # disk_cache="" forces memory-only even when REPRO_CACHE_DIR is
+        # set: the comparison must actually run its simulations.
+        engine = EvaluationEngine(jobs=jobs, disk_cache="")
+        outcomes = {}
+        t0 = time.perf_counter()
+        for workload in workloads:
+            crat, crat_local = _run_pipeline(workload, config, engine, fastpath)
+            agreement = 1.0
+            for event in reversed(engine.events):
+                if (
+                    isinstance(event, FastPathEvent)
+                    and event.kernel == workload.kernel.name
+                ):
+                    agreement = event.agreement
+                    break
+            outcomes[workload.abbr] = (crat, crat_local, agreement)
+        return outcomes, time.perf_counter() - t0
+
+    exact, exact_seconds = run_mode(None)
+    fast, fast_seconds = run_mode(policy)
+
+    rows = []
+    for workload in workloads:
+        e_crat, e_local, _ = exact[workload.abbr]
+        f_crat, f_local, agreement = fast[workload.abbr]
+        drift = max(
+            f_crat.sim.cycles / e_crat.sim.cycles - 1.0,
+            f_local.sim.cycles / e_local.sim.cycles - 1.0,
+            key=abs,
+        )
+        rows.append(
+            FastPathAppRow(
+                abbr=workload.abbr,
+                exact_sims=len(e_crat.baselines["opttlp"].profile),
+                fast_sims=len(f_crat.baselines["opttlp"].profile),
+                exact_point=(e_crat.reg, e_crat.tlp),
+                fast_point=(f_crat.reg, f_crat.tlp),
+                exact_local_point=(e_local.reg, e_local.tlp),
+                fast_local_point=(f_local.reg, f_local.tlp),
+                cycle_drift=drift,
+                agreement=agreement,
+            )
+        )
+    return FastPathComparison(
+        config_name=config_name,
+        top_k=top_k,
+        refine=refine,
+        rows=rows,
+        exact_seconds=exact_seconds,
+        fast_seconds=fast_seconds,
     )
 
 

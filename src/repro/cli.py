@@ -7,6 +7,7 @@ Commands mirror how the paper's toolchain is used:
 * ``simulate APP|FILE``  — run the timing simulator at a TLP
 * ``crat APP|FILE``      — the full coordinated optimization (Fig 9)
 * ``suite``              — the Fig 13 table over the sensitive suite
+* ``bench --fastpath``   — exact vs two-tier pipeline comparison
 
 ``APP`` is a Table 3 abbreviation (CFD, KMN, ...); ``FILE`` is a path
 to PTX-subset text.  File inputs use synthetic default buffer sizes.
@@ -17,6 +18,10 @@ N worker processes (default: ``REPRO_JOBS`` or serial), results are
 memoized by kernel content (persistently if ``REPRO_CACHE_DIR`` is
 set), and ``--trace-json PATH`` dumps the engine's instrumentation
 (per-stage timings, simulation counts, cache hit/miss counters).
+``--fastpath-topk K`` turns on the analytical fast path (screen the
+TLP sweep statically, simulate only the top-K survivors plus a bracket
+walk; ``--no-refine`` skips the walk); the default keeps the exact
+exhaustive pipeline.
 """
 
 from __future__ import annotations
@@ -36,9 +41,15 @@ from .workloads import BY_ABBR, load_workload
 
 
 def _engine_for(args):
-    """Apply the command's ``--jobs`` to the shared engine."""
+    """Apply the command's engine flags to the shared engine."""
     jobs = getattr(args, "jobs", 0)
-    return configure_engine(jobs=jobs if jobs else None)
+    topk = getattr(args, "fastpath_topk", None)
+    no_refine = getattr(args, "no_refine", False)
+    return configure_engine(
+        jobs=jobs if jobs else None,
+        fastpath_topk=topk,
+        fastpath_refine=False if no_refine else None,
+    )
 
 
 def _write_trace_json(args) -> None:
@@ -153,6 +164,35 @@ def cmd_crat(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    if not args.fastpath:
+        raise SystemExit("error: bench currently requires --fastpath "
+                         "(exact vs two-tier pipeline comparison)")
+    from .bench import compare_fastpath
+
+    from .workloads import RESOURCE_SENSITIVE, full_suite
+
+    if args.apps:
+        abbrs = [a.upper() for a in args.apps]
+        unknown = [a for a in abbrs if a not in BY_ABBR]
+        if unknown:
+            raise SystemExit(f"error: unknown app(s): {', '.join(unknown)}")
+    elif args.suite == "sensitive":
+        abbrs = [w.abbr for w in RESOURCE_SENSITIVE]
+    else:
+        abbrs = [w.abbr for w in full_suite()]
+    topk = args.fastpath_topk if args.fastpath_topk else 1
+    comparison = compare_fastpath(
+        abbrs,
+        config_name=args.config,
+        top_k=topk,
+        refine=not args.no_refine,
+        jobs=args.jobs if args.jobs else None,
+    )
+    print(comparison.table())
+    return 0 if not comparison.mismatches or args.no_refine else 1
+
+
 def cmd_suite(args) -> int:
     from .bench import evaluate_app, format_table, geomean
 
@@ -199,7 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shared-memory budget for Algorithm 1")
     p_alloc.set_defaults(func=cmd_allocate)
 
-    def add_engine_flags(p, trace=True):
+    def add_engine_flags(p, trace=True, fastpath=False):
         p.add_argument("--jobs", type=int, default=0,
                        help="simulation worker processes "
                             "(default: $REPRO_JOBS or serial)")
@@ -207,6 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace-json", default="",
                            help="dump engine instrumentation (timings, "
                                 "cache counters) as JSON to this path")
+        if fastpath:
+            p.add_argument("--fastpath-topk", type=int, default=None,
+                           metavar="K",
+                           help="screen TLP sweeps analytically and "
+                                "simulate only the top-K survivors "
+                                "(0 or unset: exact exhaustive profiling)")
+            p.add_argument("--no-refine", action="store_true",
+                           help="skip the bracket-refinement walk "
+                                "(screen-only fast path: fewer "
+                                "simulations, approximate winner)")
 
     p_sim = sub.add_parser("simulate", help="run the timing simulator")
     p_sim.add_argument("target")
@@ -225,13 +275,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable Algorithm 1 (CRAT-local)")
     p_crat.add_argument("--emit", default="",
                         help="write optimized PTX to this path")
-    add_engine_flags(p_crat)
+    add_engine_flags(p_crat, fastpath=True)
     p_crat.set_defaults(func=cmd_crat)
 
     p_suite = sub.add_parser("suite", help="Fig 13 table on the sensitive suite")
     p_suite.add_argument("--config", default="fermi")
-    add_engine_flags(p_suite)
+    add_engine_flags(p_suite, fastpath=True)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_bench = sub.add_parser(
+        "bench", help="pipeline benchmarking (--fastpath: exact vs two-tier)"
+    )
+    p_bench.add_argument("--fastpath", action="store_true",
+                         help="compare the exact pipeline against the "
+                              "two-tier fast path on every app")
+    p_bench.add_argument("--suite", choices=("sensitive", "full"),
+                         default="full",
+                         help="which app suite to compare (default: full)")
+    p_bench.add_argument("--apps", nargs="+", default=[],
+                         help="explicit app abbreviations (overrides --suite)")
+    p_bench.add_argument("--config", default="fermi")
+    add_engine_flags(p_bench, trace=False, fastpath=True)
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -22,7 +22,7 @@ from ..analysis.gto_model import estimate_opt_tlp
 from ..arch.config import GPUConfig
 from ..arch.latency import measure_costs
 from ..arch.occupancy import compute_occupancy, spare_shm_per_block
-from ..engine import EvaluationEngine, get_engine
+from ..engine import EvaluationEngine, FastPathPolicy, get_engine
 from ..ptx.module import Kernel
 from ..regalloc.allocator import InsufficientRegistersError, allocate
 from ..sim.stats import SimResult
@@ -83,6 +83,7 @@ class CRATOptimizer:
         hit_ratio: float = 0.6,
         weighted_tpsc: bool = False,
         engine: Optional[EvaluationEngine] = None,
+        fastpath: Optional[FastPathPolicy] = None,
     ):
         if opt_tlp_mode not in ("profile", "static"):
             raise ValueError("opt_tlp_mode must be 'profile' or 'static'")
@@ -95,6 +96,9 @@ class CRATOptimizer:
         #: time, so ``repro.engine.configure()`` affects optimizers
         #: constructed earlier.
         self._engine = engine
+        #: Tier-1 screening policy for the profiling sweep; ``None``
+        #: defers to the engine's policy (itself exact by default).
+        self.fastpath = fastpath
 
     @property
     def engine(self) -> EvaluationEngine:
@@ -122,7 +126,7 @@ class CRATOptimizer:
             with engine.stage("baselines"):
                 baselines = run_baselines(
                     kernel, config, usage, grid_blocks, param_sizes,
-                    engine=engine,
+                    engine=engine, fastpath=self.fastpath,
                 )
         if self.opt_tlp_mode == "profile":
             # Pruning ceiling: the contention optimum over the whole

@@ -4,7 +4,13 @@ The single owner of trace generation and timing simulation for the
 whole CRAT pipeline.  See :mod:`repro.engine.engine` for the design.
 """
 
-from .cache import CACHE_DIR_ENV, SimResultCache, config_signature, make_sim_key
+from .cache import (
+    CACHE_DIR_ENV,
+    SimResultCache,
+    cache_schema_version,
+    config_signature,
+    make_sim_key,
+)
 from .engine import (
     EvaluationEngine,
     SimRequest,
@@ -15,29 +21,46 @@ from .engine import (
 from .events import (
     BatchEvent,
     EngineStats,
+    FastPathEvent,
     SimulationEvent,
     StageEvent,
     TraceEvent,
     event_to_dict,
+)
+from .fastpath import (
+    FASTPATH_SCHEMA_VERSION,
+    CandidateScore,
+    FastPathEvaluator,
+    FastPathPolicy,
+    FastPathSelection,
+    rank_agreement,
 )
 from .parallel import JOBS_ENV, resolve_jobs
 
 __all__ = [
     "BatchEvent",
     "CACHE_DIR_ENV",
+    "CandidateScore",
     "EngineStats",
     "EvaluationEngine",
+    "FASTPATH_SCHEMA_VERSION",
+    "FastPathEvaluator",
+    "FastPathEvent",
+    "FastPathPolicy",
+    "FastPathSelection",
     "JOBS_ENV",
     "SimRequest",
     "SimResultCache",
     "SimulationEvent",
     "StageEvent",
     "TraceEvent",
+    "cache_schema_version",
     "config_signature",
     "configure",
     "event_to_dict",
     "get_engine",
     "make_sim_key",
+    "rank_agreement",
     "resolve_jobs",
     "set_engine",
 ]

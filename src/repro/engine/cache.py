@@ -23,11 +23,29 @@ from typing import Dict, Optional, Tuple
 
 from ..arch.config import GPUConfig
 from ..sim.stats import SimResult
+from .fastpath import FASTPATH_SCHEMA_VERSION
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
-SimKey = Tuple[str, str, int, Tuple[Tuple[str, int], ...], int, str]
+#: Revision of the cached-result layout itself (what a ``SimResult``
+#: contains and how keys are built).
+RESULT_SCHEMA_VERSION = 1
+
+
+def cache_schema_version() -> str:
+    """The schema tag baked into every simulation-cache key.
+
+    Combines the result-layout revision with the fast-path scoring
+    revision (:data:`repro.engine.fastpath.FASTPATH_SCHEMA_VERSION`):
+    on-disk entries written under a different scoring model — whose
+    pruning decided *which* points ever got simulated — are invalidated
+    wholesale by a version bump rather than trusted silently.
+    """
+    return f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
+
+
+SimKey = Tuple[str, str, str, int, Tuple[Tuple[str, int], ...], int, str]
 
 
 def config_signature(config: GPUConfig) -> str:
@@ -48,9 +66,21 @@ def make_sim_key(
     param_sizes: Optional[Dict[str, int]],
     tlp: int,
     scheduler: str,
+    schema: Optional[str] = None,
 ) -> SimKey:
+    """Build a cache key; ``schema`` defaults to the current version."""
+    if schema is None:
+        schema = cache_schema_version()
     params = tuple(sorted((param_sizes or {}).items()))
-    return (fingerprint, config_signature(config), grid_blocks, params, tlp, scheduler)
+    return (
+        schema,
+        fingerprint,
+        config_signature(config),
+        grid_blocks,
+        params,
+        tlp,
+        scheduler,
+    )
 
 
 def key_digest(key: Tuple) -> str:

@@ -44,11 +44,13 @@ from .events import (
     BatchEvent,
     EngineEvent,
     EngineStats,
+    FastPathEvent,
     SimulationEvent,
     StageEvent,
     TraceEvent,
     event_to_dict,
 )
+from .fastpath import FastPathEvaluator, FastPathPolicy, rank_agreement
 from .parallel import resolve_jobs, run_simulations
 
 
@@ -77,6 +79,7 @@ class EvaluationEngine:
         jobs: Optional[int] = None,
         disk_cache: Optional[str] = None,
         max_events: int = 100_000,
+        fastpath: Optional[FastPathPolicy] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self._sim_cache = SimResultCache(disk_cache)
@@ -84,6 +87,9 @@ class EvaluationEngine:
         self.stats = EngineStats()
         self.events: List[EngineEvent] = []
         self._max_events = max_events
+        #: Tier-1 screening policy; ``top_k=None`` means every design
+        #: point simulates (the exact, pre-fast-path pipeline).
+        self.fastpath = fastpath or FastPathPolicy()
 
     # ------------------------------------------------------------------
     # Instrumentation plumbing.
@@ -268,16 +274,92 @@ class EvaluationEngine:
         grid_blocks: Optional[int] = None,
         param_sizes: Optional[Dict[str, int]] = None,
         scheduler: str = "gto",
+        policy: Optional[FastPathPolicy] = None,
+        must_include: Iterable[int] = (),
     ) -> Dict[int, SimResult]:
-        """Simulate every TLP in ``[1, max_tlp]`` for one kernel."""
+        """Simulate the TLP sweep ``[1, max_tlp]`` for one kernel.
+
+        With the fast path disabled (``policy`` and the engine default
+        both ``top_k=None``) every TLP is simulated — the paper's
+        exhaustive profiling.  Otherwise the sweep runs the two-tier
+        pipeline:
+
+        1. simulate the **anchors** — the ceiling ``max_tlp`` plus any
+           ``must_include`` TLPs (e.g. the MaxTLP baseline point, which
+           the pipeline reports regardless) — and feed the ceiling
+           result's measured DRAM traffic into the analytical model;
+        2. **screen** the whole sweep analytically
+           (:meth:`~repro.engine.fastpath.FastPathEvaluator.
+           screen_sweep`) and simulate the top-K survivors;
+        3. with ``policy.refine``, **walk** the running optimum's
+           bracket — simulate the analytically-preferred unsimulated
+           neighbour of the current best, one point at a time, until
+           the best TLP has both neighbours simulated.
+
+        The returned profile contains only the simulated points.
+        """
         if max_tlp <= 0:
             raise ValueError("max_tlp must be positive")
-        tlps = range(1, max_tlp + 1)
-        requests = [
-            SimRequest(kernel, config, tlp, grid_blocks, param_sizes, scheduler)
-            for tlp in tlps
-        ]
-        return dict(zip(tlps, self.simulate_many(requests)))
+        policy = policy if policy is not None else self.fastpath
+        tlps: List[int] = list(range(1, max_tlp + 1))
+
+        def request(tlp: int) -> SimRequest:
+            return SimRequest(kernel, config, tlp, grid_blocks, param_sizes, scheduler)
+
+        if not (policy.enabled and policy.resolve_k(len(tlps)) < len(tlps)):
+            profile = dict(zip(tlps, self.simulate_many([request(t) for t in tlps])))
+            return profile
+
+        # Tier 1: anchors first — the ceiling simulation calibrates the
+        # bandwidth floor of the analytical screen.
+        anchors = sorted({max_tlp, *(t for t in must_include if 1 <= t <= max_tlp)})
+        profile = dict(zip(anchors, self.simulate_many([request(t) for t in anchors])))
+
+        t0 = time.perf_counter()
+        evaluator = FastPathEvaluator(config, policy)
+        resolved_grid = request(max_tlp).resolved_grid()
+        scores = evaluator.screen_sweep(
+            kernel, tlps, resolved_grid, anchor=profile[max_tlp]
+        )
+        selection = evaluator.select(scores, must_keep=anchors)
+        fastpath_seconds = time.perf_counter() - t0
+
+        fresh = [t for t in sorted(selection.survivors) if t not in profile]
+        profile.update(zip(fresh, self.simulate_many([request(t) for t in fresh])))
+
+        if policy.refine:
+            # Tier 2: bracket walk — one simulation at a time until the
+            # running best is a simulated local minimum.
+            while True:
+                nxt = evaluator.next_refinement(
+                    scores,
+                    {t: r.cycles for t, r in profile.items()},
+                    1,
+                    max_tlp,
+                )
+                if nxt is None:
+                    break
+                profile[nxt] = self.simulate_many([request(nxt)])[0]
+
+        profile = dict(sorted(profile.items()))
+        simulated = len(profile)
+        skipped = max_tlp - simulated
+        self.stats.fastpath_scored += len(scores)
+        self.stats.fastpath_skipped += skipped
+        self._emit(
+            FastPathEvent(
+                kernel=kernel.name,
+                scored=len(scores),
+                simulated=simulated,
+                skipped=skipped,
+                top_k=selection.top_k,
+                agreement=rank_agreement(
+                    scores, {t: r.cycles for t, r in profile.items()}
+                ),
+                seconds=fastpath_seconds,
+            )
+        )
+        return profile
 
     def simulate_traces_many(
         self,
@@ -356,12 +438,27 @@ def set_engine(engine: EvaluationEngine) -> EvaluationEngine:
 
 
 def configure(
-    jobs: Optional[int] = None, disk_cache: Optional[str] = None
+    jobs: Optional[int] = None,
+    disk_cache: Optional[str] = None,
+    fastpath_topk: Optional[int] = None,
+    fastpath_refine: Optional[bool] = None,
 ) -> EvaluationEngine:
-    """Adjust the shared engine in place (the CLI's ``--jobs`` hook)."""
+    """Adjust the shared engine in place (the CLI's ``--jobs`` /
+    ``--fastpath-topk`` hook).  ``fastpath_topk=0`` disables the fast
+    path (every design point simulates); positive values keep that many
+    survivors per candidate set.  ``fastpath_refine`` toggles the
+    bracket-refinement walk of enabled fast paths."""
     engine = get_engine()
     if jobs is not None:
         engine.jobs = resolve_jobs(jobs)
     if disk_cache is not None:
         engine._sim_cache.disk_dir = disk_cache
+    if fastpath_topk is not None:
+        engine.fastpath = dataclasses.replace(
+            engine.fastpath, top_k=fastpath_topk if fastpath_topk > 0 else None
+        )
+    if fastpath_refine is not None:
+        engine.fastpath = dataclasses.replace(
+            engine.fastpath, refine=fastpath_refine
+        )
     return engine

@@ -66,7 +66,31 @@ class StageEvent:
     seconds: float
 
 
-EngineEvent = Union[TraceEvent, SimulationEvent, BatchEvent, StageEvent]
+@dataclasses.dataclass(frozen=True)
+class FastPathEvent:
+    """One tier-1 analytical screening pass over a candidate set.
+
+    ``scored`` design points were ranked analytically, ``simulated`` of
+    them went on to cycle-level simulation and ``skipped`` were pruned.
+    ``agreement`` is the pairwise rank concordance between the
+    fast-path scores and the simulated cycles of the survivors (the
+    calibration signal; 1.0 means perfectly monotone-consistent).
+    """
+
+    kind: ClassVar[str] = "fastpath"
+
+    kernel: str
+    scored: int
+    simulated: int
+    skipped: int
+    top_k: int
+    agreement: float
+    seconds: float
+
+
+EngineEvent = Union[
+    TraceEvent, SimulationEvent, BatchEvent, StageEvent, FastPathEvent
+]
 
 
 def event_to_dict(event: EngineEvent) -> Dict[str, object]:
@@ -86,6 +110,8 @@ class EngineStats:
     trace_hits: int = 0
     trace_misses: int = 0
     batches: int = 0
+    fastpath_scored: int = 0
+    fastpath_skipped: int = 0
     sim_seconds: float = 0.0
     trace_seconds: float = 0.0
     stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
@@ -116,7 +142,7 @@ class EngineStats:
 
     def summary(self) -> str:
         """One-line human summary (printed by ``repro suite``)."""
-        return (
+        line = (
             f"{self.simulations} simulations run, "
             f"{self.sim_hits}/{self.sim_requests} cache hits "
             f"({self.hit_rate:.0%}), "
@@ -124,3 +150,9 @@ class EngineStats:
             f"({self.trace_hits} reused), "
             f"{self.sim_seconds + self.trace_seconds:.2f}s simulating"
         )
+        if self.fastpath_scored:
+            line += (
+                f", fast path skipped {self.fastpath_skipped}/"
+                f"{self.fastpath_scored} scored points"
+            )
+        return line

@@ -48,10 +48,19 @@ class SpillStackLayout:
 
     @property
     def total_bytes(self) -> int:
+        """Record size, padded to the widest slot's natural alignment.
+
+        The padding matters for per-thread-indexed shared stacks: each
+        thread's record starts at ``base + tid * total_bytes``, so a
+        record holding an 8-byte slot must itself be a multiple of 8 —
+        a 28-byte record would leave every odd thread's u64 slot
+        misaligned.
+        """
         if not self.slots:
             return 0
         last = max(self.slots, key=lambda s: s.offset)
-        return _align(last.offset + last.bytes, 4)
+        widest = max(s.bytes for s in self.slots)
+        return _align(last.offset + last.bytes, max(widest, 4))
 
     def slot_of(self, name: str) -> SpillSlot:
         for slot in self.slots:

@@ -1,0 +1,207 @@
+"""Differential tests: the two-tier fast path vs the exact pipeline.
+
+For **every** workload in :mod:`repro.workloads.suite` the full CRAT
+pipeline (CRAT and CRAT-local, sharing baselines) runs three ways on
+one shared engine:
+
+* **exact** — fast path disabled, every TLP of the profiling sweep
+  simulated (the paper's exhaustive search);
+* **refine** — ``FastPathPolicy(top_k=1, refine=True)``: anchored
+  analytical screen + bracket-refinement walk.  Must reproduce the
+  exact pipeline's chosen ``(reg, TLP)`` on every app, at a measured
+  ~1.8x reduction in profile-stage simulations;
+* **screen** — ``refine=False``: the aggressive screen-only tier.
+  Must cut profile-stage simulations by at least 2x; its winner either
+  matches exactly or drifts by at most :data:`SCREEN_DRIFT_TOLERANCE`
+  in winner cycles (the documented TPSC tolerance — measured worst
+  case +15.8% on CFD).
+
+``top_k`` at or above the sweep width must leave the pipeline
+bit-identical to the exact path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import get_config
+from repro.core.crat import CRATOptimizer
+from repro.engine import EvaluationEngine, FastPathEvent, FastPathPolicy
+from repro.workloads.suite import full_suite
+
+#: Documented screen-only winner-cycle tolerance: with ``refine=False``
+#: the chosen (reg, TLP) may differ from the exact pipeline's, but its
+#: simulated winner must stay within this fraction of the exact
+#: winner's cycles (measured worst case: +15.8%, CFD on Fermi).
+SCREEN_DRIFT_TOLERANCE = 0.18
+
+#: Floors enforced on profile-stage simulation savings over the suite
+#: (measured: refine 1.82x, screen-only 2.81x on Fermi).
+REFINE_MIN_RATIO = 1.5
+SCREEN_MIN_RATIO = 2.0
+
+CONFIG = get_config("fermi")
+WORKLOADS = full_suite()
+ABBRS = [w.abbr for w in WORKLOADS]
+
+
+@dataclasses.dataclass
+class PipelineOutcome:
+    """What one pipeline mode chose for one app."""
+
+    point: tuple  # CRAT's (reg, TLP)
+    local_point: tuple  # CRAT-local's (reg, TLP)
+    cycles: float  # CRAT winner simulation
+    local_cycles: float
+    profile_sims: int  # simulated points in the OptTLP profile
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One shared engine: the three modes overlap heavily (the fast
+    path simulates a subset of the exact sweep), so sharing the
+    content-addressed cache keeps the module's cost near one exhaustive
+    pass.  Honors ``REPRO_CACHE_DIR`` for warm local reruns."""
+    return EvaluationEngine()
+
+
+def run_pipeline(engine, workload, policy):
+    crat = CRATOptimizer(
+        CONFIG, enable_shm_spill=True, engine=engine, fastpath=policy
+    ).optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+    )
+    local = CRATOptimizer(
+        CONFIG, enable_shm_spill=False, engine=engine, fastpath=policy
+    ).optimize(
+        workload.kernel,
+        default_reg=workload.default_reg,
+        grid_blocks=workload.grid_blocks,
+        param_sizes=workload.param_sizes,
+        baselines=crat.baselines,
+    )
+    return PipelineOutcome(
+        point=(crat.reg, crat.tlp),
+        local_point=(local.reg, local.tlp),
+        cycles=crat.sim.cycles,
+        local_cycles=local.sim.cycles,
+        profile_sims=len(crat.baselines["opttlp"].profile),
+    )
+
+
+@pytest.fixture(scope="module")
+def outcomes(engine):
+    """Every workload through every mode, memoized for the module."""
+    modes = {
+        "exact": None,
+        "refine": FastPathPolicy(top_k=1, refine=True),
+        "screen": FastPathPolicy(top_k=1, refine=False),
+    }
+    return {
+        w.abbr: {
+            name: run_pipeline(engine, w, policy)
+            for name, policy in modes.items()
+        }
+        for w in WORKLOADS
+    }
+
+
+# ----------------------------------------------------------------------
+# Refine mode: exact winner on every workload.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_refine_reproduces_exact_winner(outcomes, abbr):
+    exact, refine = outcomes[abbr]["exact"], outcomes[abbr]["refine"]
+    assert refine.point == exact.point
+    assert refine.local_point == exact.local_point
+    # Same point, same deterministic simulator: identical winner cycles.
+    assert refine.cycles == exact.cycles
+    assert refine.local_cycles == exact.local_cycles
+
+
+def test_refine_saves_simulations(outcomes):
+    exact = sum(o["exact"].profile_sims for o in outcomes.values())
+    refine = sum(o["refine"].profile_sims for o in outcomes.values())
+    assert refine < exact
+    assert exact / refine >= REFINE_MIN_RATIO
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_refine_never_simulates_more_than_exact(outcomes, abbr):
+    assert (
+        outcomes[abbr]["refine"].profile_sims
+        <= outcomes[abbr]["exact"].profile_sims
+    )
+
+
+# ----------------------------------------------------------------------
+# Screen-only mode: >=2x fewer simulations, bounded winner drift.
+# ----------------------------------------------------------------------
+def test_screen_only_at_least_2x_fewer_simulations(outcomes):
+    exact = sum(o["exact"].profile_sims for o in outcomes.values())
+    screen = sum(o["screen"].profile_sims for o in outcomes.values())
+    assert exact / screen >= SCREEN_MIN_RATIO
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_screen_only_within_documented_tolerance(outcomes, abbr):
+    exact, screen = outcomes[abbr]["exact"], outcomes[abbr]["screen"]
+    if screen.point != exact.point:
+        drift = screen.cycles / exact.cycles - 1.0
+        assert abs(drift) <= SCREEN_DRIFT_TOLERANCE, (
+            f"{abbr}: screen-only winner {screen.point} drifts "
+            f"{drift:+.1%} from exact {exact.point}"
+        )
+    if screen.local_point != exact.local_point:
+        drift = screen.local_cycles / exact.local_cycles - 1.0
+        assert abs(drift) <= SCREEN_DRIFT_TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# K=all: bit-identical to the exact pipeline.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("abbr", ["KMN", "MUM"])
+def test_topk_at_sweep_width_is_bit_identical(engine, abbr, outcomes):
+    workload = next(w for w in WORKLOADS if w.abbr == abbr)
+    exact = run_pipeline(engine, workload, None)
+    wide = run_pipeline(
+        engine, workload, FastPathPolicy(top_k=64, refine=True)
+    )
+    assert dataclasses.asdict(wide) == dataclasses.asdict(exact)
+
+
+def test_topk_at_sweep_width_simulates_everything(engine, tid_kernel):
+    exact = engine.profile_tlp(tid_kernel, CONFIG, max_tlp=6)
+    wide = engine.profile_tlp(
+        tid_kernel, CONFIG, max_tlp=6, policy=FastPathPolicy(top_k=6)
+    )
+    assert sorted(wide) == sorted(exact) == list(range(1, 7))
+    for tlp in exact:
+        assert dataclasses.asdict(wide[tlp]) == dataclasses.asdict(exact[tlp])
+
+
+# ----------------------------------------------------------------------
+# Calibration: scores stay monotone-consistent with simulated cycles.
+# ----------------------------------------------------------------------
+def test_fastpath_events_report_calibration(engine, outcomes):
+    events = [e for e in engine.events if isinstance(e, FastPathEvent)]
+    assert events, "fast-path runs must emit FastPathEvents"
+    for event in events:
+        assert event.scored == event.simulated + event.skipped
+        assert 0.0 <= event.agreement <= 1.0
+        # The model may locally misorder a plateau (PATH's two-point
+        # screen inverts one near-tie), but with three or more
+        # simulated points an agreement below one half would mean the
+        # ranking is no better than random — mis-calibrated.
+        if event.simulated >= 3:
+            assert event.agreement >= 0.5, event
+    mean = sum(e.agreement for e in events) / len(events)
+    assert mean >= 0.85
+
+
+def test_fastpath_skips_are_counted(engine, outcomes):
+    assert engine.stats.fastpath_skipped > 0
+    assert engine.stats.fastpath_scored > engine.stats.fastpath_skipped
