@@ -3,19 +3,25 @@
 from .report import format_table, results_dir, write_result
 from .runner import (
     AppEvaluation,
+    AppFailure,
     FastPathAppRow,
     FastPathComparison,
+    SuiteReport,
     clear_cache,
     compare_fastpath,
     evaluate_app,
     evaluate_app_static,
     geomean,
+    run_suite,
+    write_report_json,
 )
 
 __all__ = [
     "AppEvaluation",
+    "AppFailure",
     "FastPathAppRow",
     "FastPathComparison",
+    "SuiteReport",
     "clear_cache",
     "compare_fastpath",
     "evaluate_app",
@@ -23,5 +29,7 @@ __all__ = [
     "format_table",
     "geomean",
     "results_dir",
+    "run_suite",
+    "write_report_json",
     "write_result",
 ]

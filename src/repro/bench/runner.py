@@ -19,15 +19,19 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import json
 import math
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..arch.config import GPUConfig, get_config
 from ..arch.occupancy import register_utilization
 from ..core.crat import CRATOptimizer, CRATResult
-from ..core.throttling import BaselineResult
 from ..engine import EvaluationEngine, FastPathEvent, FastPathPolicy, get_engine
+from ..engine.engine import CHECKPOINT_DIR_ENV
+from ..errors import EXIT_PARTIAL, ReproError, classify_error
+from ..core.throttling import BaselineResult
 from ..workloads.suite import Workload, full_suite, load_workload
 
 
@@ -144,6 +148,141 @@ def evaluate_app_static(
         grid_blocks=workload.grid_blocks,
         param_sizes=workload.param_sizes,
     )
+
+
+# ----------------------------------------------------------------------
+# Fault-isolated suite execution (``repro suite``).
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class AppFailure:
+    """One app the suite could not evaluate (the suite still finishes)."""
+
+    abbr: str
+    kind: str  # taxonomy class name (ParseError, SimulationError...)
+    message: str
+    exit_code: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class SuiteReport:
+    """Outcome of one fault-isolated suite run.
+
+    ``evaluations`` holds every app that completed; ``failures`` the
+    structured record of every app that did not.  The CLI maps this to
+    its documented exit codes: 0 when everything succeeded, 5 when the
+    suite is partial, and the first failure's taxonomy code when *no*
+    app survived (a total failure is almost always one systemic cause).
+    """
+
+    config_name: str
+    evaluations: Dict[str, object]
+    failures: List[AppFailure]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        if not self.failures:
+            return 0
+        if self.evaluations:
+            return EXIT_PARTIAL
+        return self.failures[0].exit_code
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready failure report (the ``--report-json`` payload)."""
+        return {
+            "config": self.config_name,
+            "completed": sorted(self.evaluations),
+            "failed": [f.to_dict() for f in self.failures],
+            "seconds": self.seconds,
+            "exit_code": self.exit_code,
+        }
+
+
+def _journal_path() -> Optional[str]:
+    directory = os.environ.get(CHECKPOINT_DIR_ENV) or None
+    if not directory:
+        return None
+    return os.path.join(directory, "journal.jsonl")
+
+
+def _journal_app(abbr: str, config_name: str, status: str, detail: str = "") -> None:
+    """Append one app-completion record to the checkpoint journal.
+
+    Purely informational (the design-point checkpoint store is what
+    makes resumption cheap); gives an interrupted run a human-readable
+    ledger of how far it got.
+    """
+    path = _journal_path()
+    if not path:
+        return
+    record = {"app": abbr, "config": config_name, "status": status}
+    if detail:
+        record["detail"] = detail
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+    except OSError:
+        pass  # journaling is best-effort
+
+
+def run_suite(
+    abbrs: Sequence[str],
+    config_name: str = "fermi",
+    evaluate: Optional[Callable[[str, str], object]] = None,
+    on_app: Optional[Callable[[str, Optional[AppFailure]], None]] = None,
+) -> SuiteReport:
+    """Evaluate a list of apps with per-app fault isolation.
+
+    One failing app — unparseable PTX, an infeasible allocation, a
+    simulation that exhausts the supervisor's retry budget — is
+    recorded as a structured :class:`AppFailure` and the suite moves
+    on, so a 22-app run always produces its best available answer plus
+    a faithful failure report instead of dying on app 3 with a
+    traceback.  ``on_app`` is invoked after each app (progress hook);
+    ``evaluate`` defaults to :func:`evaluate_app`.
+    """
+    evaluate = evaluate or evaluate_app
+    evaluations: Dict[str, object] = {}
+    failures: List[AppFailure] = []
+    t0 = time.perf_counter()
+    for abbr in abbrs:
+        failure: Optional[AppFailure] = None
+        try:
+            evaluations[abbr] = evaluate(abbr, config_name)
+            _journal_app(abbr, config_name, "ok")
+        except Exception as err:  # isolate *everything* per app
+            classified = classify_error(err, app=abbr)
+            failure = AppFailure(
+                abbr=abbr,
+                kind=classified.kind,
+                message=str(classified),
+                exit_code=classified.exit_code,
+            )
+            failures.append(failure)
+            _journal_app(abbr, config_name, "failed", detail=str(classified))
+        if on_app:
+            on_app(abbr, failure)
+    return SuiteReport(
+        config_name=config_name,
+        evaluations=evaluations,
+        failures=failures,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def write_report_json(report: SuiteReport, path: str) -> None:
+    """Persist a suite failure report (``--report-json PATH``)."""
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2)
+        handle.write("\n")
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,12 @@ set), and ``--trace-json PATH`` dumps the engine's instrumentation
 TLP sweep statically, simulate only the top-K survivors plus a bracket
 walk; ``--no-refine`` skips the walk); the default keeps the exact
 exhaustive pipeline.
+
+Failures map to distinct exit codes so scripts can triage without
+parsing stderr: 0 all ok, 2 parse/verification, 3 allocation,
+4 simulation/cache, 5 partial suite failure (some apps completed,
+some did not — ``suite --report-json PATH`` writes the structured
+failure report).
 """
 
 from __future__ import annotations
@@ -34,9 +40,11 @@ from .arch import get_config
 from .core import CRATOptimizer, collect_resource_usage
 from .engine import configure as configure_engine
 from .engine import get_engine
+from .errors import ReproError, classify_error
 from .ptx import parse_kernel, print_kernel, verify_kernel
 from .regalloc import allocate as allocate_kernel
 from .regalloc import register_demand
+from .regalloc.allocator import InsufficientRegistersError
 from .workloads import BY_ABBR, load_workload
 
 
@@ -49,6 +57,7 @@ def _engine_for(args):
         jobs=jobs if jobs else None,
         fastpath_topk=topk,
         fastpath_refine=False if no_refine else None,
+        task_timeout=getattr(args, "task_timeout", None),
     )
 
 
@@ -75,8 +84,11 @@ def _load(target: str):
         raise SystemExit(f"error: {target!r} is neither a known app "
                          f"({', '.join(sorted(BY_ABBR))}) nor a readable "
                          f"file: {err}")
-    kernel = parse_kernel(text)
-    verify_kernel(kernel)
+    try:
+        kernel = parse_kernel(text)
+        verify_kernel(kernel)
+    except Exception as err:
+        raise classify_error(err, app=target, stage="parse")
     return kernel, None
 
 
@@ -100,10 +112,13 @@ def cmd_info(args) -> int:
 def cmd_allocate(args) -> int:
     kernel, _ = _load(args.target)
     limit = args.reg if args.reg else register_demand(kernel)
-    result = allocate_kernel(
-        kernel, limit, spare_shm_bytes=args.spare_shm,
-        enable_shm_spill=args.spare_shm > 0,
-    )
+    try:
+        result = allocate_kernel(
+            kernel, limit, spare_shm_bytes=args.spare_shm,
+            enable_shm_spill=args.spare_shm > 0,
+        )
+    except InsufficientRegistersError as err:
+        raise classify_error(err, kernel=kernel.name, stage="allocate")
     print(f"// reg limit {limit}: used {result.reg_per_thread} slots, "
           f"{len(result.spilled)} spilled "
           f"({result.num_local_insts} local / "
@@ -194,29 +209,56 @@ def cmd_bench(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    from .bench import evaluate_app, format_table, geomean
+    # ``bench.evaluate_app`` is resolved at call time through the
+    # package attribute so tests can monkeypatch the driver.
+    from . import bench
+    from .bench import format_table, geomean, run_suite, write_report_json
 
     from .workloads import RESOURCE_SENSITIVE
 
     engine = _engine_for(args)
+
+    def progress(abbr, failure):
+        note = f"FAILED ({failure.kind})" if failure else "done"
+        print(f"  {abbr} {note}", file=sys.stderr)
+
+    report = run_suite(
+        [w.abbr for w in RESOURCE_SENSITIVE],
+        config_name=args.config,
+        evaluate=lambda abbr, config: bench.evaluate_app(abbr, config),
+        on_app=progress,
+    )
     rows = []
     for app in RESOURCE_SENSITIVE:
-        ev = evaluate_app(app.abbr, args.config)
+        ev = report.evaluations.get(app.abbr)
+        if ev is None:
+            continue
         rows.append(
             (app.abbr, f"{ev.speedup('maxtlp'):.3f}", "1.000",
              f"{ev.speedup('crat-local'):.3f}", f"{ev.speedup('crat'):.3f}")
         )
-        print(f"  {app.abbr} done", file=sys.stderr)
     print(format_table(
         ["app", "MaxTLP", "OptTLP", "CRAT-local", "CRAT"], rows,
         title=f"CRAT suite results ({args.config})",
     ))
-    crat_gm = geomean([float(r[4]) for r in rows])
-    print(f"\nCRAT geomean speedup vs OptTLP: {crat_gm:.3f}")
+    if rows:
+        crat_gm = geomean([float(r[4]) for r in rows])
+        print(f"\nCRAT geomean speedup vs OptTLP: {crat_gm:.3f}")
+    else:
+        print("\nCRAT geomean speedup vs OptTLP: n/a (no app completed)")
+    for failure in report.failures:
+        print(f"repro: suite: {failure.abbr} failed [{failure.kind}]: "
+              f"{failure.message}", file=sys.stderr)
     print(f"engine ({engine.jobs} job{'s' if engine.jobs != 1 else ''}): "
           f"{engine.stats.summary()}")
     _write_trace_json(args)
-    return 0
+    if getattr(args, "report_json", ""):
+        try:
+            write_report_json(report, args.report_json)
+        except OSError as err:
+            raise SystemExit(f"error: cannot write suite report: {err}")
+        print(f"suite report written to {args.report_json}", file=sys.stderr)
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=0,
                        help="simulation worker processes "
                             "(default: $REPRO_JOBS or serial)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per simulation task before "
+                            "the supervisor abandons and retries it "
+                            "(0 disables; default: $REPRO_TASK_TIMEOUT)")
         if trace:
             p.add_argument("--trace-json", default="",
                            help="dump engine instrumentation (timings, "
@@ -280,6 +327,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="Fig 13 table on the sensitive suite")
     p_suite.add_argument("--config", default="fermi")
+    p_suite.add_argument("--report-json", default="",
+                         help="write the structured per-app failure report "
+                              "(completed/failed apps, exit code) to this "
+                              "path")
     add_engine_flags(p_suite, fastpath=True)
     p_suite.set_defaults(func=cmd_suite)
 
@@ -304,7 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"repro: error: {err}", file=sys.stderr)
+        return err.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ from ..arch.config import GPUConfig
 from ..arch.latency import measure_costs
 from ..arch.occupancy import compute_occupancy, spare_shm_per_block
 from ..engine import EvaluationEngine, FastPathPolicy, get_engine
+from ..errors import classify_error
 from ..ptx.module import Kernel
 from ..regalloc.allocator import InsufficientRegistersError, allocate
 from ..sim.stats import SimResult
@@ -113,7 +114,32 @@ class CRATOptimizer:
         param_sizes: Optional[Dict[str, int]] = None,
         baselines: Optional[Dict[str, BaselineResult]] = None,
     ) -> CRATResult:
-        """Run the full pipeline on one kernel."""
+        """Run the full pipeline on one kernel.
+
+        Failures anywhere in the pipeline surface as the structured
+        :mod:`repro.errors` taxonomy with the kernel name attached, so
+        suite-level callers can isolate and report the app without
+        losing the classification.
+        """
+        try:
+            return self._optimize(
+                kernel,
+                default_reg=default_reg,
+                grid_blocks=grid_blocks,
+                param_sizes=param_sizes,
+                baselines=baselines,
+            )
+        except Exception as err:
+            raise classify_error(err, kernel=kernel.name)
+
+    def _optimize(
+        self,
+        kernel: Kernel,
+        default_reg: Optional[int] = None,
+        grid_blocks: Optional[int] = None,
+        param_sizes: Optional[Dict[str, int]] = None,
+        baselines: Optional[Dict[str, BaselineResult]] = None,
+    ) -> CRATResult:
         config = self.config
         if grid_blocks is None:
             grid_blocks = 2 * config.max_blocks_per_sm

@@ -1,17 +1,23 @@
 """Shared evaluation engine: cached, parallel, instrumented simulation.
 
 The single owner of trace generation and timing simulation for the
-whole CRAT pipeline.  See :mod:`repro.engine.engine` for the design.
+whole CRAT pipeline.  See :mod:`repro.engine.engine` for the design and
+:mod:`repro.engine.faults` for the deterministic fault-injection
+harness that exercises its recovery paths.
 """
 
 from .cache import (
     CACHE_DIR_ENV,
+    CacheCorruptionError,
     SimResultCache,
     cache_schema_version,
     config_signature,
+    decode_entry,
+    encode_entry,
     make_sim_key,
 )
 from .engine import (
+    CHECKPOINT_DIR_ENV,
     EvaluationEngine,
     SimRequest,
     configure,
@@ -20,8 +26,13 @@ from .engine import (
 )
 from .events import (
     BatchEvent,
+    CacheCorruptEvent,
+    CheckpointEvent,
+    DegradeEvent,
     EngineStats,
     FastPathEvent,
+    FaultEvent,
+    RetryEvent,
     SimulationEvent,
     StageEvent,
     TraceEvent,
@@ -33,34 +44,70 @@ from .fastpath import (
     FastPathEvaluator,
     FastPathPolicy,
     FastPathSelection,
+    estimate_sim_result,
     rank_agreement,
 )
-from .parallel import JOBS_ENV, resolve_jobs
+from .faults import (
+    FAULTS_ENV,
+    FAULTS_SEED_ENV,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+)
+from .parallel import (
+    JOBS_ENV,
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
+    SupervisorPolicy,
+    TaskOutcome,
+    resolve_jobs,
+    run_supervised,
+)
 
 __all__ = [
     "BatchEvent",
     "CACHE_DIR_ENV",
+    "CHECKPOINT_DIR_ENV",
+    "CacheCorruptEvent",
+    "CacheCorruptionError",
     "CandidateScore",
+    "CheckpointEvent",
+    "DegradeEvent",
     "EngineStats",
     "EvaluationEngine",
     "FASTPATH_SCHEMA_VERSION",
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
     "FastPathEvaluator",
     "FastPathEvent",
     "FastPathPolicy",
     "FastPathSelection",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
     "JOBS_ENV",
+    "RetryEvent",
     "SimRequest",
     "SimResultCache",
     "SimulationEvent",
     "StageEvent",
+    "SupervisorPolicy",
+    "TASK_RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
+    "TaskOutcome",
     "TraceEvent",
     "cache_schema_version",
     "config_signature",
     "configure",
+    "decode_entry",
+    "encode_entry",
+    "estimate_sim_result",
     "event_to_dict",
     "get_engine",
     "make_sim_key",
     "rank_agreement",
     "resolve_jobs",
+    "run_supervised",
     "set_engine",
 ]

@@ -9,9 +9,19 @@ so two configs that differ in any field — even under the same preset
 name — never collide.
 
 The cache is two-level: a plain in-process dict, plus an optional
-on-disk pickle store (one file per key digest) enabled by passing a
-directory or setting ``REPRO_CACHE_DIR``.  Disk entries survive across
+on-disk store (one file per key digest) enabled by passing a directory
+or setting ``REPRO_CACHE_DIR``.  Disk entries survive across
 processes, which is what makes repeated benchmark invocations free.
+
+**Integrity.**  Each disk entry is framed as ``magic + sha256(payload)
++ payload`` (:data:`ENTRY_MAGIC`).  A truncated write (power loss,
+full disk, an injected ``corrupt-cache`` fault), a garbled payload, or
+a legacy bare-pickle file all fail verification on read; the entry is
+**deleted** and reported through the ``on_corrupt`` hook (the engine
+counts it and emits a ``cache_corrupt`` event) instead of being
+silently treated as a miss on every future lookup.  Writes remain
+atomic (temp file + rename), so readers never observe a half-written
+entry under POSIX semantics either.
 """
 
 from __future__ import annotations
@@ -19,18 +29,34 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.config import GPUConfig
 from ..sim.stats import SimResult
+from . import faults
 from .fastpath import FASTPATH_SCHEMA_VERSION
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Revision of the cached-result layout itself (what a ``SimResult``
-#: contains and how keys are built).
-RESULT_SCHEMA_VERSION = 1
+#: contains and how keys are built).  v2: checksummed entry framing +
+#: the ``estimated`` result flag.
+RESULT_SCHEMA_VERSION = 2
+
+#: Leading magic of a framed disk entry; bump with the framing.
+ENTRY_MAGIC = b"RPRC2\n"
+
+_DIGEST_LEN = hashlib.sha256().digest_size
+
+
+class CacheCorruptionError(Exception):
+    """A persistent cache entry failed integrity verification."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"{reason}: {path}")
 
 
 def cache_schema_version() -> str:
@@ -88,13 +114,61 @@ def key_digest(key: Tuple) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
 
 
-class SimResultCache:
-    """In-memory dict fronting an optional on-disk pickle store."""
+def encode_entry(result: SimResult, token: str = "") -> bytes:
+    """Frame a result for disk: magic + payload checksum + payload.
 
-    def __init__(self, disk_dir: Optional[str] = None):
+    ``token`` feeds the fault-injection harness — under an active
+    ``corrupt-cache`` fault the *stored* payload is perturbed while the
+    checksum still covers the clean payload, which is exactly what a
+    torn write looks like to the reader.
+    """
+    payload = pickle.dumps(result)
+    stored = faults.corrupt_payload(token, payload) if token else payload
+    return ENTRY_MAGIC + hashlib.sha256(payload).digest() + stored
+
+
+def decode_entry(data: bytes, path: str = "<memory>") -> SimResult:
+    """Verify and unpickle a framed entry.
+
+    Raises :class:`CacheCorruptionError` on a missing/foreign magic
+    (legacy bare-pickle entries included), a short read, or a checksum
+    mismatch.
+    """
+    if not data.startswith(ENTRY_MAGIC):
+        raise CacheCorruptionError(path, "legacy or foreign entry format")
+    header_len = len(ENTRY_MAGIC) + _DIGEST_LEN
+    if len(data) < header_len:
+        raise CacheCorruptionError(path, "truncated entry header")
+    digest = data[len(ENTRY_MAGIC):header_len]
+    payload = data[header_len:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheCorruptionError(path, "checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as err:
+        # Checksum passed but unpickling failed: written by an
+        # incompatible interpreter / class layout.
+        raise CacheCorruptionError(path, f"unreadable payload: {err}")
+
+
+class SimResultCache:
+    """In-memory dict fronting an optional on-disk checksummed store.
+
+    ``on_corrupt(path, reason)`` is invoked whenever a disk entry fails
+    verification (it has already been deleted by then); the engine uses
+    it to emit ``cache_corrupt`` instrumentation.
+    """
+
+    def __init__(
+        self,
+        disk_dir: Optional[str] = None,
+        on_corrupt: Optional[Callable[[str, str], None]] = None,
+    ):
         if disk_dir is None:
             disk_dir = os.environ.get(CACHE_DIR_ENV) or None
         self.disk_dir = disk_dir
+        self.on_corrupt = on_corrupt
+        self.corrupt_entries = 0
         self._memory: Dict[SimKey, SimResult] = {}
 
     def __len__(self) -> int:
@@ -104,6 +178,15 @@ class SimResultCache:
         if not self.disk_dir:
             return None
         return os.path.join(self.disk_dir, f"sim-{key_digest(key)}.pkl")
+
+    def _discard_corrupt(self, path: str, reason: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        self.corrupt_entries += 1
+        if self.on_corrupt:
+            self.on_corrupt(path, reason)
 
     # ------------------------------------------------------------------
     def get(self, key: SimKey) -> Tuple[Optional[SimResult], str]:
@@ -116,14 +199,23 @@ class SimResultCache:
         if path and os.path.exists(path):
             try:
                 with open(path, "rb") as handle:
-                    result = pickle.load(handle)
-            except Exception:
-                return None, "miss"  # corrupt entry: treat as a miss
+                    data = handle.read()
+            except OSError:
+                return None, "miss"
+            try:
+                result = decode_entry(data, path)
+            except CacheCorruptionError as err:
+                self._discard_corrupt(path, err.reason)
+                return None, "miss"
             self._memory[key] = result
             return result, "disk"
         return None, "miss"
 
     def put(self, key: SimKey, result: SimResult) -> None:
+        if getattr(result, "estimated", False):
+            # Degraded analytical estimates never enter the cache: a
+            # later healthy run must re-simulate the real point.
+            return
         self._memory[key] = result
         path = self._disk_path(key)
         if path:
@@ -131,7 +223,7 @@ class SimResultCache:
                 os.makedirs(self.disk_dir, exist_ok=True)
                 tmp = f"{path}.tmp.{os.getpid()}"
                 with open(tmp, "wb") as handle:
-                    pickle.dump(result, handle)
+                    handle.write(encode_entry(result, token=key_digest(key)))
                 os.replace(tmp, path)
             except OSError:
                 pass  # disk persistence is best-effort

@@ -31,10 +31,12 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import json
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..arch.config import GPUConfig
+from ..errors import ReproError, classify_error
 from ..ptx.module import Kernel
 from ..sim.executor import BlockTrace
 from ..sim.gpu import simulate_traces, trace_grid
@@ -42,6 +44,9 @@ from ..sim.stats import SimResult
 from .cache import SimKey, SimResultCache, config_signature, key_digest, make_sim_key
 from .events import (
     BatchEvent,
+    CacheCorruptEvent,
+    CheckpointEvent,
+    DegradeEvent,
     EngineEvent,
     EngineStats,
     FastPathEvent,
@@ -50,8 +55,22 @@ from .events import (
     TraceEvent,
     event_to_dict,
 )
-from .fastpath import FastPathEvaluator, FastPathPolicy, rank_agreement
-from .parallel import resolve_jobs, run_simulations
+from .fastpath import (
+    FastPathEvaluator,
+    FastPathPolicy,
+    estimate_sim_result,
+    rank_agreement,
+)
+from .parallel import (
+    SupervisorPolicy,
+    TaskOutcome,
+    resolve_jobs,
+    run_simulations,
+    run_supervised,
+)
+
+#: Environment variable naming the checkpoint journal directory.
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,9 +99,13 @@ class EvaluationEngine:
         disk_cache: Optional[str] = None,
         max_events: int = 100_000,
         fastpath: Optional[FastPathPolicy] = None,
+        supervisor: Optional[SupervisorPolicy] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         self.jobs = resolve_jobs(jobs)
-        self._sim_cache = SimResultCache(disk_cache)
+        self._sim_cache = SimResultCache(
+            disk_cache, on_corrupt=self._on_cache_corrupt
+        )
         self._trace_cache: Dict[Tuple, List[BlockTrace]] = {}
         self.stats = EngineStats()
         self.events: List[EngineEvent] = []
@@ -90,11 +113,46 @@ class EvaluationEngine:
         #: Tier-1 screening policy; ``top_k=None`` means every design
         #: point simulates (the exact, pre-fast-path pipeline).
         self.fastpath = fastpath or FastPathPolicy()
+        #: Retry/timeout budget for supervised batches
+        #: (``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``).
+        self.supervisor = supervisor or SupervisorPolicy.from_env()
+        #: Optional checkpoint journal: completed design points are
+        #: persisted (content-keyed, like the sim cache) so an
+        #: interrupted sweep resumes without re-simulating them.
+        if checkpoint_dir is None:
+            checkpoint_dir = os.environ.get(CHECKPOINT_DIR_ENV) or None
+        self._checkpoint: Optional[SimResultCache] = (
+            SimResultCache(checkpoint_dir, on_corrupt=self._on_cache_corrupt)
+            if checkpoint_dir
+            else None
+        )
+
+    def _on_cache_corrupt(self, path: str, reason: str) -> None:
+        self.stats.cache_corrupt += 1
+        self._emit(CacheCorruptEvent(path=path, reason=reason))
+
+    @property
+    def checkpoint_dir(self) -> Optional[str]:
+        # NB: ``is not None`` — an empty SimResultCache is falsy
+        # (it defines ``__len__``).
+        if self._checkpoint is not None:
+            return self._checkpoint.disk_dir
+        return None
+
+    def set_checkpoint_dir(self, directory: Optional[str]) -> None:
+        """Enable (or disable, with ``None``) the checkpoint journal."""
+        self._checkpoint = (
+            SimResultCache(directory, on_corrupt=self._on_cache_corrupt)
+            if directory
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Instrumentation plumbing.
     # ------------------------------------------------------------------
     def _emit(self, event: EngineEvent) -> None:
+        if getattr(event, "kind", "") == "fault":
+            self.stats.faults_injected += 1
         if len(self.events) < self._max_events:
             self.events.append(event)
 
@@ -178,17 +236,40 @@ class EvaluationEngine:
     # Batched simulation with parallel fan-out.
     # ------------------------------------------------------------------
     def simulate_many(self, requests: Sequence[SimRequest]) -> List[SimResult]:
-        """Evaluate a batch of independent design points.
+        """Evaluate a batch of independent design points (strict).
 
-        Cache hits are served immediately; the remaining points run on
-        the process pool when ``jobs > 1`` (serial otherwise).  Results
-        come back in request order and are bit-identical to the serial
-        path.
+        Cache hits are served immediately; the remaining points run
+        under the supervisor on the process pool when ``jobs > 1``
+        (serial otherwise).  Results come back in request order and are
+        bit-identical to the serial path.  A point that still has no
+        result after the supervisor's retry budget raises its
+        classified :class:`~repro.errors.ReproError`; callers that can
+        degrade per-point use :meth:`simulate_outcomes`.
+        """
+        outcomes = self.simulate_outcomes(requests)
+        for outcome in outcomes:
+            if isinstance(outcome, ReproError):
+                raise outcome
+        return outcomes  # type: ignore[return-value]
+
+    def simulate_outcomes(
+        self, requests: Sequence[SimRequest]
+    ) -> List[Union[SimResult, ReproError]]:
+        """Evaluate a batch, reporting per-point failures in-band.
+
+        Each slot of the returned list is either the point's
+        :class:`SimResult` or the classified error its supervised
+        execution ended with (timeouts included).  Successful points
+        are cached (and journaled to the checkpoint store when one is
+        configured); failed points are not.
         """
         t0 = time.perf_counter()
-        results: List[Optional[SimResult]] = [None] * len(requests)
+        results: List[Optional[Union[SimResult, ReproError]]] = (
+            [None] * len(requests)
+        )
         keys: List[SimKey] = []
         pending: List[int] = []
+        batch_hits = 0
         fingerprints: Dict[int, str] = {}
         for i, req in enumerate(requests):
             fp = fingerprints.setdefault(id(req.kernel), req.kernel.fingerprint())
@@ -198,8 +279,24 @@ class EvaluationEngine:
             )
             keys.append(key)
             cached, source = self._sim_cache.get(key)
+            if cached is None and self._checkpoint is not None:
+                cached, ckpt_source = self._checkpoint.get(key)
+                if cached is not None:
+                    source = "checkpoint"
+                    # Promote into the primary cache so later lookups
+                    # are plain memory hits.
+                    self._sim_cache.put(key, cached)
+                    self.stats.checkpoint_hits += 1
+                    self._emit(
+                        CheckpointEvent(
+                            key=key_digest(key),
+                            kernel=req.kernel.name,
+                            tlp=req.tlp,
+                        )
+                    )
             if cached is not None:
                 results[i] = cached
+                batch_hits += 1
                 self.stats.sim_hits += 1
                 if source == "disk":
                     self.stats.disk_hits += 1
@@ -219,36 +316,73 @@ class EvaluationEngine:
 
         if pending:
             tasks = []
+            tokens = []
             for i in pending:
                 req = requests[i]
-                traces = self.traces_for(
-                    req.kernel,
-                    req.config,
-                    req.resolved_grid(),
-                    req.param_sizes,
-                    fingerprint=fingerprints[id(req.kernel)],
-                )
-                tasks.append((traces, req.config, req.tlp, req.scheduler))
-            t_run = time.perf_counter()
-            outcomes = run_simulations(tasks, self.jobs)
-            run_seconds = time.perf_counter() - t_run
-            per_point = run_seconds / len(pending)
-            for i, result in zip(pending, outcomes):
-                req = requests[i]
-                self._sim_cache.put(keys[i], result)
-                results[i] = result
-                self.stats.sim_misses += 1
-                self._emit(
-                    SimulationEvent(
-                        key=key_digest(keys[i]),
-                        kernel=req.kernel.name,
-                        tlp=req.tlp,
-                        scheduler=req.scheduler,
-                        cached=False,
-                        source="run",
-                        seconds=per_point,
+                try:
+                    traces = self.traces_for(
+                        req.kernel,
+                        req.config,
+                        req.resolved_grid(),
+                        req.param_sizes,
+                        fingerprint=fingerprints[id(req.kernel)],
                     )
-                )
+                except Exception as err:
+                    # Trace generation failed (e.g. a divergence trap):
+                    # every point of this kernel fails identically, but
+                    # classification stays per-point for the report.
+                    self.stats.sim_failures += 1
+                    results[i] = classify_error(
+                        err,
+                        kernel=req.kernel.name,
+                        design_point=(None, req.tlp),
+                        stage="trace",
+                    )
+                    continue
+                tasks.append((traces, req.config, req.tlp, req.scheduler))
+                tokens.append(key_digest(keys[i]))
+            pending = [i for i in pending if results[i] is None]
+            t_run = time.perf_counter()
+            outcomes: List[TaskOutcome] = run_supervised(
+                tasks,
+                self.jobs,
+                policy=self.supervisor,
+                tokens=tokens,
+                emit=self._emit,
+            )
+            run_seconds = time.perf_counter() - t_run
+            per_point = run_seconds / len(pending) if pending else 0.0
+            for i, outcome in zip(pending, outcomes):
+                req = requests[i]
+                self.stats.retries += max(0, outcome.attempts - 1)
+                if outcome.timed_out:
+                    self.stats.timeouts += 1
+                if outcome.ok:
+                    result = outcome.result
+                    self._sim_cache.put(keys[i], result)
+                    if self._checkpoint is not None:
+                        self._checkpoint.put(keys[i], result)
+                    results[i] = result
+                    self.stats.sim_misses += 1
+                    self._emit(
+                        SimulationEvent(
+                            key=key_digest(keys[i]),
+                            kernel=req.kernel.name,
+                            tlp=req.tlp,
+                            scheduler=req.scheduler,
+                            cached=False,
+                            source="run",
+                            seconds=per_point,
+                        )
+                    )
+                else:
+                    self.stats.sim_failures += 1
+                    results[i] = classify_error(
+                        outcome.error,
+                        kernel=req.kernel.name,
+                        design_point=(None, req.tlp),
+                        stage="simulate",
+                    )
             self.stats.sim_seconds += run_seconds
 
         if len(requests) > 1:
@@ -256,7 +390,7 @@ class EvaluationEngine:
             self._emit(
                 BatchEvent(
                     points=len(requests),
-                    cache_hits=len(requests) - len(pending),
+                    cache_hits=batch_hits,
                     jobs=self.jobs if len(pending) > 1 else 1,
                     seconds=time.perf_counter() - t0,
                 )
@@ -296,7 +430,12 @@ class EvaluationEngine:
            neighbour of the current best, one point at a time, until
            the best TLP has both neighbours simulated.
 
-        The returned profile contains only the simulated points.
+        The returned profile contains only the simulated points — plus,
+        when a point's simulation ultimately fails despite the
+        supervisor's retries, its analytical fast-path estimate
+        (``estimated=True``, flagged by a ``DegradeEvent`` and excluded
+        from the cache): a sweep always returns its best available
+        answer rather than aborting on one bad point.
         """
         if max_tlp <= 0:
             raise ValueError("max_tlp must be positive")
@@ -306,14 +445,51 @@ class EvaluationEngine:
         def request(tlp: int) -> SimRequest:
             return SimRequest(kernel, config, tlp, grid_blocks, param_sizes, scheduler)
 
+        failures: Dict[int, ReproError] = {}
+
+        def sim_points(ts: Sequence[int]) -> Dict[int, SimResult]:
+            good: Dict[int, SimResult] = {}
+            for t, outcome in zip(
+                ts, self.simulate_outcomes([request(t) for t in ts])
+            ):
+                if isinstance(outcome, ReproError):
+                    failures[t] = outcome
+                else:
+                    good[t] = outcome
+            return good
+
+        def degrade_into(profile: Dict[int, SimResult]) -> None:
+            """Fill failed points with analytical estimates (rung 2 of
+            the degradation ladder; rung 1 was the supervisor retry)."""
+            if not failures:
+                return
+            anchor = profile.get(max_tlp)
+            resolved_grid = request(max_tlp).resolved_grid()
+            for t in sorted(failures):
+                profile[t] = estimate_sim_result(
+                    kernel, config, t, resolved_grid,
+                    anchor=anchor, policy=policy,
+                )
+                self.stats.degraded += 1
+                self._emit(
+                    DegradeEvent(
+                        kernel=kernel.name, tlp=t, reason=failures[t].kind
+                    )
+                )
+            failures.clear()
+
         if not (policy.enabled and policy.resolve_k(len(tlps)) < len(tlps)):
-            profile = dict(zip(tlps, self.simulate_many([request(t) for t in tlps])))
-            return profile
+            profile = sim_points(tlps)
+            degrade_into(profile)
+            return dict(sorted(profile.items()))
 
         # Tier 1: anchors first — the ceiling simulation calibrates the
-        # bandwidth floor of the analytical screen.
+        # bandwidth floor of the analytical screen.  A failed anchor is
+        # degraded immediately: the screen then runs un-anchored (pure
+        # mimic ordering) rather than not at all.
         anchors = sorted({max_tlp, *(t for t in must_include if 1 <= t <= max_tlp)})
-        profile = dict(zip(anchors, self.simulate_many([request(t) for t in anchors])))
+        profile = sim_points(anchors)
+        degrade_into(profile)
 
         t0 = time.perf_counter()
         evaluator = FastPathEvaluator(config, policy)
@@ -325,11 +501,14 @@ class EvaluationEngine:
         fastpath_seconds = time.perf_counter() - t0
 
         fresh = [t for t in sorted(selection.survivors) if t not in profile]
-        profile.update(zip(fresh, self.simulate_many([request(t) for t in fresh])))
+        profile.update(sim_points(fresh))
+        degrade_into(profile)
 
         if policy.refine:
             # Tier 2: bracket walk — one simulation at a time until the
-            # running best is a simulated local minimum.
+            # running best is a simulated local minimum.  A failed walk
+            # point degrades to its estimate, which still anchors the
+            # bracket so the walk terminates.
             while True:
                 nxt = evaluator.next_refinement(
                     scores,
@@ -339,11 +518,12 @@ class EvaluationEngine:
                 )
                 if nxt is None:
                     break
-                profile[nxt] = self.simulate_many([request(nxt)])[0]
+                profile.update(sim_points([nxt]))
+                degrade_into(profile)
 
         profile = dict(sorted(profile.items()))
-        simulated = len(profile)
-        skipped = max_tlp - simulated
+        simulated = sum(1 for r in profile.values() if not r.estimated)
+        skipped = max_tlp - len(profile)
         self.stats.fastpath_scored += len(scores)
         self.stats.fastpath_skipped += skipped
         self._emit(
@@ -372,7 +552,9 @@ class EvaluationEngine:
         the originating kernel there is no content key)."""
         tasks = [(traces, config, tlp, scheduler) for tlp in tlps]
         t0 = time.perf_counter()
-        outcomes = run_simulations(tasks, self.jobs)
+        outcomes = run_simulations(
+            tasks, self.jobs, policy=self.supervisor, emit=self._emit
+        )
         seconds = time.perf_counter() - t0
         self.stats.sim_misses += len(tasks)
         self.stats.sim_seconds += seconds
@@ -397,6 +579,9 @@ class EvaluationEngine:
             "jobs": self.jobs,
             "cached_results": len(self._sim_cache),
             "cached_traces": len(self._trace_cache),
+            "task_timeout": self.supervisor.timeout,
+            "max_attempts": self.supervisor.max_attempts,
+            "checkpoint_dir": self.checkpoint_dir,
             "stats": self.stats.to_dict(),
             "events": [event_to_dict(e) for e in self.events],
         }
@@ -442,12 +627,17 @@ def configure(
     disk_cache: Optional[str] = None,
     fastpath_topk: Optional[int] = None,
     fastpath_refine: Optional[bool] = None,
+    task_timeout: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> EvaluationEngine:
     """Adjust the shared engine in place (the CLI's ``--jobs`` /
-    ``--fastpath-topk`` hook).  ``fastpath_topk=0`` disables the fast
-    path (every design point simulates); positive values keep that many
-    survivors per candidate set.  ``fastpath_refine`` toggles the
-    bracket-refinement walk of enabled fast paths."""
+    ``--fastpath-topk`` / ``--task-timeout`` hook).  ``fastpath_topk=0``
+    disables the fast path (every design point simulates); positive
+    values keep that many survivors per candidate set.
+    ``fastpath_refine`` toggles the bracket-refinement walk of enabled
+    fast paths.  ``task_timeout`` (seconds; 0 disables) bounds each
+    supervised simulation attempt; ``checkpoint_dir`` ("" disables)
+    points the resumption journal."""
     engine = get_engine()
     if jobs is not None:
         engine.jobs = resolve_jobs(jobs)
@@ -461,4 +651,11 @@ def configure(
         engine.fastpath = dataclasses.replace(
             engine.fastpath, refine=fastpath_refine
         )
+    if task_timeout is not None:
+        engine.supervisor = dataclasses.replace(
+            engine.supervisor,
+            timeout=task_timeout if task_timeout > 0 else None,
+        )
+    if checkpoint_dir is not None:
+        engine.set_checkpoint_dir(checkpoint_dir or None)
     return engine

@@ -88,8 +88,93 @@ class FastPathEvent:
     seconds: float
 
 
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault observed by the supervisor (test harness).
+
+    ``fault`` is the injection kind (``crash``, ``hang``, ``fail``,
+    ``corrupt-cache``); ``token`` the deterministic decision token (the
+    design point's cache-key digest), so a faulty run can be replayed
+    point-by-point.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    fault: str
+    token: str
+    attempt: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryEvent:
+    """One supervised task attempt that failed and will be retried.
+
+    ``reason`` is ``"timeout"``, ``"pool-broken"``, ``"crash"`` (an
+    exception out of the worker), or ``"no-pool"``; ``final`` marks
+    the attempt after which no retry budget remains.
+    """
+
+    kind: ClassVar[str] = "retry"
+
+    token: str
+    attempt: int
+    reason: str
+    final: bool
+    error: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradeEvent:
+    """One design point served by the analytical estimate instead of
+    simulation (its simulation ultimately failed after retries).
+
+    ``estimated`` is always ``True`` — it rides along so trace
+    consumers can filter degraded points without knowing the kind —
+    and such results are never written to the result cache.
+    """
+
+    kind: ClassVar[str] = "degrade"
+
+    kernel: str
+    tlp: int
+    reason: str
+    estimated: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheCorruptEvent:
+    """One corrupt/truncated/legacy persistent-cache entry, detected by
+    checksum verification on read and deleted (the point re-simulates
+    instead of silently missing forever)."""
+
+    kind: ClassVar[str] = "cache_corrupt"
+
+    path: str
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointEvent:
+    """One design point restored from the checkpoint journal on resume."""
+
+    kind: ClassVar[str] = "checkpoint"
+
+    key: str
+    kernel: str
+    tlp: int
+
+
 EngineEvent = Union[
-    TraceEvent, SimulationEvent, BatchEvent, StageEvent, FastPathEvent
+    TraceEvent,
+    SimulationEvent,
+    BatchEvent,
+    StageEvent,
+    FastPathEvent,
+    FaultEvent,
+    RetryEvent,
+    DegradeEvent,
+    CacheCorruptEvent,
+    CheckpointEvent,
 ]
 
 
@@ -112,6 +197,13 @@ class EngineStats:
     batches: int = 0
     fastpath_scored: int = 0
     fastpath_skipped: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    faults_injected: int = 0
+    degraded: int = 0
+    sim_failures: int = 0
+    cache_corrupt: int = 0
+    checkpoint_hits: int = 0
     sim_seconds: float = 0.0
     trace_seconds: float = 0.0
     stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
@@ -155,4 +247,12 @@ class EngineStats:
                 f", fast path skipped {self.fastpath_skipped}/"
                 f"{self.fastpath_scored} scored points"
             )
+        if self.retries:
+            line += f", {self.retries} retries ({self.timeouts} timeouts)"
+        if self.degraded:
+            line += f", {self.degraded} points degraded to estimates"
+        if self.cache_corrupt:
+            line += f", {self.cache_corrupt} corrupt cache entries dropped"
+        if self.checkpoint_hits:
+            line += f", {self.checkpoint_hits} points resumed from checkpoint"
         return line

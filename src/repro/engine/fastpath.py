@@ -359,6 +359,58 @@ class FastPathEvaluator:
         return pending[0]
 
 
+def estimate_sim_result(
+    kernel: Kernel,
+    config: GPUConfig,
+    tlp: int,
+    grid_blocks: int,
+    anchor: Optional[SimResult] = None,
+    policy: Optional[FastPathPolicy] = None,
+) -> SimResult:
+    """Analytical stand-in for a design point whose simulation failed.
+
+    The graceful-degradation ladder's last rung: when a point still has
+    no simulation after the supervisor's retry budget, the engine
+    substitutes the tier-1 predicted cycle count so a sweep can finish
+    and report its best available answer.  With a healthy ``anchor``
+    (the sweep-ceiling simulation) the anchored screen supplies the
+    bandwidth-floored prediction; without one, the pure GTO-mimic cost
+    does.  The result is marked ``estimated=True`` — excluded from the
+    cache and flagged in the ``DegradeEvent`` instrumentation — and
+    deliberately carries zero counters: only its cycle count is
+    meaningful.
+    """
+    from ..sim.cache import CacheStats
+
+    evaluator = FastPathEvaluator(config, policy)
+    if anchor is not None and not getattr(anchor, "estimated", False):
+        score = evaluator.screen_sweep(kernel, [tlp], grid_blocks, anchor)[0]
+    else:
+        score = evaluator.score_tlp_sweep(kernel, [tlp])[0]
+    return SimResult(
+        cycles=score.cost,
+        instructions=0,
+        tlp=tlp,
+        blocks_executed=0,
+        l1=CacheStats(),
+        l2=CacheStats(),
+        mshr_stall_events=0,
+        mshr_stall_cycles=0.0,
+        barrier_stall_cycles=0.0,
+        idle_cycles=0.0,
+        local_load_insts=0,
+        local_store_insts=0,
+        shared_insts=0,
+        global_insts=0,
+        bypassed_insts=0,
+        dram_transactions=0,
+        dram_bytes=0,
+        issued_by_class={},
+        energy_nj=0.0,
+        estimated=True,
+    )
+
+
 def rank_agreement(
     scores: Sequence[CandidateScore],
     simulated_cycles: Dict[int, float],

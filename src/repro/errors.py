@@ -1,0 +1,198 @@
+"""Structured error taxonomy for the whole pipeline.
+
+Historically each layer raised its own ad-hoc exception —
+:class:`~repro.ptx.parser.PTXParseError`,
+:class:`~repro.ptx.verifier.VerificationError`,
+:class:`~repro.regalloc.allocator.InsufficientRegistersError`,
+:class:`~repro.sim.executor.DivergentBranchError`,
+:class:`~repro.sim.cache.MSHRFullError` — and whatever reached the CLI
+surfaced as a raw traceback.  The supervised execution layer needs one
+vocabulary to make retry/degrade/abort decisions, and the CLI needs
+stable exit codes, so every failure is routed into this tree at the
+engine boundary (:func:`classify_error`):
+
+``ReproError``
+    ├── ``ParseError``       — malformed or unverifiable PTX      (exit 2)
+    ├── ``AllocationError``  — no feasible register allocation    (exit 3)
+    ├── ``SimulationError``  — trace generation or timing failure (exit 4)
+    │      └── ``TaskTimeoutError`` — a supervised task overran
+    │          ``REPRO_TASK_TIMEOUT``
+    └── ``CacheError``       — persistent-store corruption/IO     (exit 4)
+
+Every node carries the *context* of the failure — the app / kernel and
+the ``(reg, TLP)`` design point being evaluated when it happened — so a
+suite-level failure report can say *what* was lost, not just that
+something raised.  Exit code 5 (partial suite failure) is not an
+exception class: the suite runner returns it when some apps succeeded
+and some did not.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Tuple
+
+#: CLI exit codes (documented in README "Troubleshooting").
+EXIT_OK = 0
+EXIT_PARSE = 2
+EXIT_ALLOCATION = 3
+EXIT_SIMULATION = 4
+EXIT_PARTIAL = 5
+
+
+class ReproError(Exception):
+    """Root of the structured error taxonomy.
+
+    ``app`` names the workload (or file) being evaluated, ``kernel``
+    the kernel, and ``design_point`` the ``(reg, TLP)`` coordinate —
+    ``reg`` may be ``None`` when the failure is TLP-only (a profiling
+    sweep point).  ``stage`` names the pipeline stage that failed.
+    """
+
+    exit_code = 1
+
+    def __init__(
+        self,
+        message: str,
+        app: Optional[str] = None,
+        kernel: Optional[str] = None,
+        design_point: Optional[Tuple[Optional[int], Optional[int]]] = None,
+        stage: Optional[str] = None,
+    ):
+        self.app = app
+        self.kernel = kernel
+        self.design_point = design_point
+        self.stage = stage
+        super().__init__(self._decorate(message))
+
+    def _decorate(self, message: str) -> str:
+        where = []
+        if self.app:
+            where.append(f"app={self.app}")
+        if self.kernel and self.kernel != self.app:
+            where.append(f"kernel={self.kernel}")
+        if self.design_point is not None:
+            reg, tlp = self.design_point
+            point = []
+            if reg is not None:
+                point.append(f"reg={reg}")
+            if tlp is not None:
+                point.append(f"tlp={tlp}")
+            where.extend(point)
+        if self.stage:
+            where.append(f"stage={self.stage}")
+        if where:
+            return f"{message} [{', '.join(where)}]"
+        return message
+
+    @property
+    def kind(self) -> str:
+        """Machine-readable taxonomy label (used in failure reports)."""
+        return type(self).__name__
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering for ``--report-json`` failure reports."""
+        return {
+            "kind": self.kind,
+            "message": str(self),
+            "app": self.app,
+            "kernel": self.kernel,
+            "design_point": list(self.design_point)
+            if self.design_point is not None
+            else None,
+            "stage": self.stage,
+            "exit_code": self.exit_code,
+        }
+
+
+class ParseError(ReproError):
+    """PTX text could not be parsed or failed verification."""
+
+    exit_code = EXIT_PARSE
+
+
+class AllocationError(ReproError):
+    """No feasible register allocation for the requested limit."""
+
+    exit_code = EXIT_ALLOCATION
+
+
+class SimulationError(ReproError):
+    """Trace generation or timing simulation failed."""
+
+    exit_code = EXIT_SIMULATION
+
+
+class TaskTimeoutError(SimulationError, builtins.TimeoutError):
+    """A supervised simulation task overran its wall-clock budget.
+
+    Subclasses the builtin ``TimeoutError`` as well, so generic
+    ``except TimeoutError`` handlers still see it.
+    """
+
+
+class CacheError(ReproError):
+    """The persistent result store misbehaved (corruption, IO)."""
+
+    exit_code = EXIT_SIMULATION
+
+
+def classify_error(
+    exc: BaseException,
+    app: Optional[str] = None,
+    kernel: Optional[str] = None,
+    design_point: Optional[Tuple[Optional[int], Optional[int]]] = None,
+    stage: Optional[str] = None,
+) -> ReproError:
+    """Route an arbitrary exception into the taxonomy with context.
+
+    Already-classified errors pass through unchanged (context is *not*
+    overwritten — the innermost frame knows best).  The legacy ad-hoc
+    exceptions map onto their natural branches; anything unrecognized
+    becomes a generic :class:`SimulationError`, which is the only thing
+    that can go wrong past the compile stages.
+
+    The mapping imports lazily so this module stays import-cycle-free
+    (``repro.errors`` must be importable from every layer).
+    """
+    if isinstance(exc, ReproError):
+        return exc
+
+    from .ptx.parser import PTXParseError
+    from .ptx.verifier import VerificationError
+    from .regalloc.allocator import InsufficientRegistersError
+    from .sim.cache import MSHRFullError
+    from .sim.executor import DivergentBranchError
+
+    context = dict(
+        app=app, kernel=kernel, design_point=design_point, stage=stage
+    )
+    if isinstance(exc, (PTXParseError, VerificationError)):
+        cls = ParseError
+    elif isinstance(exc, InsufficientRegistersError):
+        cls = AllocationError
+    elif isinstance(exc, builtins.TimeoutError):
+        cls = TaskTimeoutError
+    elif isinstance(exc, (MSHRFullError, DivergentBranchError)):
+        cls = SimulationError
+    else:
+        cls = SimulationError
+    err = cls(f"{type(exc).__name__}: {exc}", **context)
+    err.__cause__ = exc
+    return err
+
+
+__all__ = [
+    "EXIT_ALLOCATION",
+    "EXIT_OK",
+    "EXIT_PARSE",
+    "EXIT_PARTIAL",
+    "EXIT_SIMULATION",
+    "AllocationError",
+    "CacheError",
+    "ParseError",
+    "ReproError",
+    "SimulationError",
+    "TaskTimeoutError",
+    "classify_error",
+]

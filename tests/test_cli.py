@@ -57,6 +57,59 @@ class TestSimulate:
         assert "cycles" in capsys.readouterr().out
 
 
+class TestExitCodes:
+    """Failures map to distinct, documented exit codes."""
+
+    def test_parse_failure_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ptx"
+        bad.write_text("this is not ptx {{{\n")
+        assert main(["info", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "stage=parse" in err
+
+    def test_allocation_failure_exits_3(self, capsys):
+        assert main(["allocate", "GAU", "--reg", "2"]) == 3
+        err = capsys.readouterr().err
+        assert "InsufficientRegistersError" in err
+        assert "kernel=Fan1" in err
+
+    def test_partial_suite_failure_exits_5_with_report(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        import repro.bench
+
+        from .test_cli_suite import _FakeEvaluation
+
+        def flaky(abbr, config="fermi"):
+            if abbr == "KMN":
+                raise RuntimeError("simulated explosion")
+            return _FakeEvaluation()
+
+        monkeypatch.setattr(repro.bench, "evaluate_app", flaky)
+        report_path = tmp_path / "report.json"
+        assert main(["suite", "--report-json", str(report_path)]) == 5
+        captured = capsys.readouterr()
+        assert "CRAT suite results" in captured.out  # suite completed
+        assert "KMN failed" in captured.err
+        report = json.loads(report_path.read_text())
+        assert report["exit_code"] == 5
+        assert [f["abbr"] for f in report["failed"]] == ["KMN"]
+        assert report["failed"][0]["exit_code"] == 4
+        assert "KMN" not in report["completed"]
+
+    def test_total_suite_failure_exits_with_taxonomy_code(self, monkeypatch):
+        import repro.bench
+
+        def doomed(abbr, config="fermi"):
+            raise RuntimeError("nothing works")
+
+        monkeypatch.setattr(repro.bench, "evaluate_app", doomed)
+        assert main(["suite"]) == 4
+
+
 class TestCrat:
     def test_crat_static_and_emit(self, tmp_path, capsys):
         import json

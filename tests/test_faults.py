@@ -1,0 +1,336 @@
+"""Recovery-path tests: deterministic fault injection, supervised
+retries, graceful degradation, cache integrity, checkpoint/resume."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.arch import FERMI
+from repro.engine import (
+    EvaluationEngine,
+    SupervisorPolicy,
+    decode_entry,
+    encode_entry,
+    make_sim_key,
+    resolve_jobs,
+)
+from repro.engine.cache import (
+    ENTRY_MAGIC,
+    CacheCorruptionError,
+    SimResultCache,
+)
+from repro.engine.faults import FaultPlan, FaultSpecError, InjectedFault
+from repro.errors import (
+    AllocationError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    TaskTimeoutError,
+    classify_error,
+)
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def gau():
+    return load_workload("GAU")
+
+
+def _clean_profile(gau, max_tlp=3):
+    engine = EvaluationEngine(jobs=1)
+    return engine.profile_tlp(
+        gau.kernel, FERMI, max_tlp, grid_blocks=4, param_sizes=gau.param_sizes
+    )
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic_and_seeded(self):
+        plan = FaultPlan.parse("crash:0.5", seed=0)
+        tokens = [f"t{i}" for i in range(64)]
+        first = [plan.decide("crash", t) for t in tokens]
+        second = [plan.decide("crash", t) for t in tokens]
+        assert first == second
+        assert any(first) and not all(first)  # rate actually bites
+        reseeded = FaultPlan.parse("crash:0.5", seed=1)
+        assert [reseeded.decide("crash", t) for t in tokens] != first
+
+    def test_rate_edges(self):
+        always = FaultPlan.parse("crash:1.0")
+        never = FaultPlan.parse("crash:0")
+        assert always.decide("crash", "x")
+        assert not never.decide("crash", "x")
+        assert not always.decide("hang", "x")  # unlisted kind never fires
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault"):
+            FaultPlan.parse("explode:0.5")
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(FaultSpecError, match="non-numeric"):
+            FaultPlan.parse("crash:lots")
+        with pytest.raises(FaultSpecError, match="out of"):
+            FaultPlan.parse("crash:1.5")
+
+    def test_injected_fault_survives_pickling(self):
+        # The pool ships worker exceptions back via pickle; a fault
+        # that cannot round-trip would surface as a BrokenProcessPool.
+        fault = InjectedFault("crash", "token", 2)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert isinstance(clone, InjectedFault)
+        assert (clone.fault_kind, clone.token, clone.attempt) == (
+            "crash", "token", 2,
+        )
+
+
+class TestErrorTaxonomy:
+    def test_legacy_exceptions_map_to_branches(self):
+        from repro.ptx.parser import PTXParseError
+        from repro.regalloc.allocator import InsufficientRegistersError
+        from repro.sim.cache import MSHRFullError
+
+        assert isinstance(classify_error(PTXParseError("x")), ParseError)
+        assert isinstance(
+            classify_error(InsufficientRegistersError("x")), AllocationError
+        )
+        assert isinstance(classify_error(MSHRFullError("x")), SimulationError)
+        assert isinstance(classify_error(TimeoutError("x")), TaskTimeoutError)
+        assert isinstance(classify_error(RuntimeError("x")), SimulationError)
+
+    def test_exit_codes(self):
+        assert ParseError("x").exit_code == 2
+        assert AllocationError("x").exit_code == 3
+        assert SimulationError("x").exit_code == 4
+        assert TaskTimeoutError("x").exit_code == 4
+
+    def test_classified_errors_pass_through_unchanged(self):
+        original = SimulationError("boom", kernel="K")
+        assert classify_error(original, kernel="other") is original
+
+    def test_context_is_rendered_and_reported(self):
+        err = classify_error(
+            RuntimeError("boom"), app="CFD", kernel="K",
+            design_point=(20, 4), stage="simulate",
+        )
+        text = str(err)
+        for fragment in ("app=CFD", "kernel=K", "reg=20", "tlp=4",
+                         "stage=simulate"):
+            assert fragment in text
+        record = err.to_dict()
+        assert record["kind"] == "SimulationError"
+        assert record["exit_code"] == 4
+
+    def test_timeout_is_also_a_builtin_timeout(self):
+        assert isinstance(TaskTimeoutError("x"), TimeoutError)
+
+
+class TestJobsWarning:
+    def test_invalid_env_warns_once_on_stderr(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs(None) == 1
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err and "many" in err
+
+
+class TestCacheIntegrity:
+    def _result(self, gau):
+        engine = EvaluationEngine(jobs=1)
+        return engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                               param_sizes=gau.param_sizes)
+
+    def test_entry_round_trip(self, gau):
+        result = self._result(gau)
+        assert decode_entry(encode_entry(result)) == result
+
+    def test_truncated_entry_detected(self, gau):
+        data = encode_entry(self._result(gau))
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            decode_entry(data[:-7])
+        with pytest.raises(CacheCorruptionError, match="truncated"):
+            decode_entry(data[: len(ENTRY_MAGIC) + 4])
+
+    def test_legacy_bare_pickle_detected(self, gau):
+        with pytest.raises(CacheCorruptionError, match="legacy"):
+            decode_entry(pickle.dumps(self._result(gau)))
+
+    def test_corrupt_disk_entry_discarded_and_recovered(self, gau, tmp_path):
+        corrupt_reports = []
+        cache = SimResultCache(
+            str(tmp_path), on_corrupt=lambda p, r: corrupt_reports.append(r)
+        )
+        result = self._result(gau)
+        key = make_sim_key(gau.kernel.fingerprint(), FERMI, 4,
+                           gau.param_sizes, 1, "gto")
+        cache.put(key, result)
+        [path] = tmp_path.glob("sim-*.pkl")
+        path.write_bytes(path.read_bytes()[:-9])  # torn write
+
+        fresh = SimResultCache(
+            str(tmp_path), on_corrupt=lambda p, r: corrupt_reports.append(r)
+        )
+        assert fresh.get(key) == (None, "miss")
+        assert not path.exists()  # corrupt entry deleted, not retried
+        assert fresh.corrupt_entries == 1
+        assert corrupt_reports == ["checksum mismatch"]
+        # The recovery write round-trips.
+        fresh.put(key, result)
+        rewritten = SimResultCache(str(tmp_path))
+        assert rewritten.get(key) == (result, "disk")
+
+    def test_estimated_results_never_persist(self, gau, tmp_path):
+        cache = SimResultCache(str(tmp_path))
+        estimate = dataclasses.replace(self._result(gau), estimated=True)
+        key = make_sim_key(gau.kernel.fingerprint(), FERMI, 4,
+                           gau.param_sizes, 2, "gto")
+        cache.put(key, estimate)
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("sim-*.pkl"))
+
+
+class TestInjectedFaultRecovery:
+    def test_crash_faults_retry_to_identical_results(self, gau, monkeypatch):
+        """Injected worker crashes are retried (fresh pool, serial last
+        resort) and the final profile is bit-identical to a clean run."""
+        clean = _clean_profile(gau)
+        monkeypatch.setenv("REPRO_FAULTS", "crash:0.9")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "0")
+        engine = EvaluationEngine(
+            jobs=2, supervisor=SupervisorPolicy(max_attempts=3, backoff=0.0)
+        )
+        faulty = engine.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                                    param_sizes=gau.param_sizes)
+        assert engine.stats.faults_injected >= 1
+        assert engine.stats.retries >= 1
+        assert engine.stats.degraded == 0
+        assert faulty == clean
+
+    def test_hang_faults_time_out_then_recover(self, gau, monkeypatch):
+        """A hanging worker trips the per-task timeout; the supervisor
+        abandons the pool and the serial last attempt runs clean."""
+        clean = _clean_profile(gau, max_tlp=1)
+        monkeypatch.setenv("REPRO_FAULTS", "hang:1.0")
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "5")
+        engine = EvaluationEngine(
+            jobs=2,
+            supervisor=SupervisorPolicy(
+                timeout=0.25, max_attempts=2, backoff=0.0
+            ),
+        )
+        result = engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                                 param_sizes=gau.param_sizes)
+        assert engine.stats.timeouts >= 1
+        assert result == clean[1]
+
+    def test_permanent_failure_degrades_to_estimate(self, gau, monkeypatch):
+        """A point that fails on every attempt is filled with the
+        analytical fast-path estimate instead of aborting the sweep."""
+        monkeypatch.setenv("REPRO_FAULTS", "fail:1.0")
+        engine = EvaluationEngine(
+            jobs=1, supervisor=SupervisorPolicy(max_attempts=2, backoff=0.0)
+        )
+        profile = engine.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                                     param_sizes=gau.param_sizes)
+        assert set(profile) == {1, 2, 3}
+        assert all(r.estimated for r in profile.values())
+        assert engine.stats.degraded == 3
+        assert engine.stats.sim_failures >= 3
+        # Degraded estimates are flagged in the event stream and are
+        # excluded from the result cache.
+        kinds = [getattr(e, "kind", "") for e in engine.events]
+        assert kinds.count("degrade") == 3
+        assert len(engine._sim_cache) == 0
+
+    def test_strict_single_point_raises_classified(self, gau, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "fail:1.0")
+        engine = EvaluationEngine(
+            jobs=1, supervisor=SupervisorPolicy(max_attempts=1, backoff=0.0)
+        )
+        with pytest.raises(SimulationError, match="injected fail"):
+            engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                            param_sizes=gau.param_sizes)
+
+    def test_injected_cache_corruption_is_survived(self, gau, monkeypatch,
+                                                   tmp_path):
+        """corrupt-cache faults garble disk writes; reads detect the
+        damage, discard the entry, and the results stay correct."""
+        clean = _clean_profile(gau)
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt-cache:1.0")
+        first = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        faulty = first.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                                   param_sizes=gau.param_sizes)
+        assert faulty == clean
+        # Every persisted entry was corrupted; a fresh engine detects
+        # them all, discards them, and re-simulates correctly.
+        monkeypatch.delenv("REPRO_FAULTS")
+        second = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        recovered = second.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                                       param_sizes=gau.param_sizes)
+        assert recovered == clean
+        assert second.stats.cache_corrupt == 3
+        assert second.stats.disk_hits == 0
+        # The rewrites were clean: a third engine gets pure disk hits.
+        third = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        third.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                          param_sizes=gau.param_sizes)
+        assert third.stats.disk_hits == 3
+        assert third.stats.sim_misses == 0
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_points(self, gau, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first = EvaluationEngine(jobs=1, checkpoint_dir=ckpt)
+        before = first.profile_tlp(gau.kernel, FERMI, 3, grid_blocks=4,
+                                   param_sizes=gau.param_sizes)
+        assert first.stats.sim_misses == 3
+
+        # "Interrupted" run restarts with cold caches but the same
+        # checkpoint directory: only the new point simulates.
+        second = EvaluationEngine(jobs=1, checkpoint_dir=ckpt)
+        after = second.profile_tlp(gau.kernel, FERMI, 4, grid_blocks=4,
+                                   param_sizes=gau.param_sizes)
+        assert second.stats.checkpoint_hits == 3
+        assert second.stats.sim_misses == 1
+        run_events = [
+            e for e in second.events
+            if getattr(e, "kind", "") == "simulate" and e.source == "run"
+        ]
+        assert len(run_events) == 1 and run_events[0].tlp == 4
+        for tlp, result in before.items():
+            assert after[tlp] == result
+
+    def test_checkpoint_env_picked_up(self, gau, tmp_path, monkeypatch):
+        ckpt = str(tmp_path / "envckpt")
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", ckpt)
+        engine = EvaluationEngine(jobs=1)
+        assert engine.checkpoint_dir == ckpt
+        engine.simulate(gau.kernel, FERMI, 1, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert list((tmp_path / "envckpt").glob("sim-*.pkl"))
+
+
+class TestSuiteJournal:
+    def test_run_suite_journals_per_app(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.bench import run_suite
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+
+        def fake(abbr, config):
+            if abbr == "B":
+                raise RuntimeError("boom")
+            return object()
+
+        report = run_suite(["A", "B", "C"], "fermi", evaluate=fake)
+        assert sorted(report.evaluations) == ["A", "C"]
+        assert report.exit_code == 5
+        [failure] = report.failures
+        assert failure.abbr == "B" and failure.kind == "SimulationError"
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "journal.jsonl").read_text().splitlines()
+        ]
+        assert [(r["app"], r["status"]) for r in lines] == [
+            ("A", "ok"), ("B", "failed"), ("C", "ok"),
+        ]
