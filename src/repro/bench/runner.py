@@ -105,21 +105,31 @@ class AppEvaluation:
 
 @functools.lru_cache(maxsize=None)
 def evaluate_app(
-    abbr: str, config_name: str = "fermi", input_scale: float = 1.0
+    abbr: str,
+    config_name: str = "fermi",
+    input_scale: float = 1.0,
+    verify: bool = False,
 ) -> AppEvaluation:
-    """Run the whole pipeline for one app (memoized)."""
+    """Run the whole pipeline for one app (memoized).
+
+    ``verify`` is part of the memo key on purpose: a validated and an
+    unvalidated evaluation are different runs (the former may raise a
+    :class:`repro.errors.VerificationError` the latter would not).
+    """
     config = get_config(config_name)
     workload = load_workload(abbr, input_scale)
     engine = get_engine()
     with engine.stage(f"evaluate:{abbr}"):
-        optimizer = CRATOptimizer(config, enable_shm_spill=True)
+        optimizer = CRATOptimizer(config, enable_shm_spill=True, verify=verify)
         crat = optimizer.optimize(
             workload.kernel,
             default_reg=workload.default_reg,
             grid_blocks=workload.grid_blocks,
             param_sizes=workload.param_sizes,
         )
-        local_optimizer = CRATOptimizer(config, enable_shm_spill=False)
+        local_optimizer = CRATOptimizer(
+            config, enable_shm_spill=False, verify=verify
+        )
         crat_local = local_optimizer.optimize(
             workload.kernel,
             default_reg=workload.default_reg,
@@ -400,10 +410,12 @@ def _run_pipeline(
     config: GPUConfig,
     engine: EvaluationEngine,
     fastpath: Optional[FastPathPolicy],
+    verify: bool = False,
 ) -> Tuple[CRATResult, CRATResult]:
     """CRAT + CRAT-local sharing baselines, on an explicit engine."""
     crat = CRATOptimizer(
-        config, enable_shm_spill=True, engine=engine, fastpath=fastpath
+        config, enable_shm_spill=True, engine=engine, fastpath=fastpath,
+        verify=verify,
     ).optimize(
         workload.kernel,
         default_reg=workload.default_reg,
@@ -411,7 +423,8 @@ def _run_pipeline(
         param_sizes=workload.param_sizes,
     )
     crat_local = CRATOptimizer(
-        config, enable_shm_spill=False, engine=engine, fastpath=fastpath
+        config, enable_shm_spill=False, engine=engine, fastpath=fastpath,
+        verify=verify,
     ).optimize(
         workload.kernel,
         default_reg=workload.default_reg,
@@ -429,6 +442,7 @@ def compare_fastpath(
     refine: bool = True,
     input_scale: float = 1.0,
     jobs: Optional[int] = None,
+    verify: bool = False,
 ) -> FastPathComparison:
     """Run every app through both pipelines and diff the outcomes.
 
@@ -453,7 +467,9 @@ def compare_fastpath(
         outcomes = {}
         t0 = time.perf_counter()
         for workload in workloads:
-            crat, crat_local = _run_pipeline(workload, config, engine, fastpath)
+            crat, crat_local = _run_pipeline(
+                workload, config, engine, fastpath, verify=verify
+            )
             agreement = 1.0
             for event in reversed(engine.events):
                 if (

@@ -8,6 +8,9 @@ Commands mirror how the paper's toolchain is used:
 * ``crat APP|FILE``      — the full coordinated optimization (Fig 9)
 * ``suite``              — the Fig 13 table over the sensitive suite
 * ``bench --fastpath``   — exact vs two-tier pipeline comparison
+* ``verify APP|FILE``    — lint a kernel with the translation-validation
+  rules (dataflow, spill-stack discipline; ``--pipeline`` also runs the
+  transform passes under effect-preservation checking)
 
 ``APP`` is a Table 3 abbreviation (CFD, KMN, ...); ``FILE`` is a path
 to PTX-subset text.  File inputs use synthetic default buffer sizes.
@@ -23,11 +26,18 @@ TLP sweep statically, simulate only the top-K survivors plus a bracket
 walk; ``--no-refine`` skips the walk); the default keeps the exact
 exhaustive pipeline.
 
+``--verify`` (on ``allocate``/``simulate``/``crat``/``suite``/``bench``)
+turns on translation validation: input kernels are dataflow-checked and
+every candidate allocation is independently rechecked (register
+sharing, spill-slot discipline, shared-memory budget); any finding is a
+hard error.
+
 Failures map to distinct exit codes so scripts can triage without
 parsing stderr: 0 all ok, 2 parse/verification, 3 allocation,
 4 simulation/cache, 5 partial suite failure (some apps completed,
 some did not — ``suite --report-json PATH`` writes the structured
-failure report).
+failure report), 6 translation-validation findings (``repro verify``
+and ``--verify`` runs).
 """
 
 from __future__ import annotations
@@ -92,6 +102,47 @@ def _load(target: str):
     return kernel, None
 
 
+def cmd_verify(args) -> int:
+    """Lint mode: report diagnostics instead of dying on the first one.
+
+    Unlike every other command, file targets are parsed *without* the
+    legacy load-time verifier — a kernel with a use-before-def should
+    produce a ``DF001`` diagnostic and exit 6, not a parse error and
+    exit 2.  Unparseable input still exits 2.
+    """
+    from . import verify as verify_mod
+
+    if args.target.upper() in BY_ABBR:
+        kernel = load_workload(args.target.upper()).kernel
+    else:
+        try:
+            with open(args.target) as handle:
+                text = handle.read()
+        except OSError as err:
+            raise SystemExit(
+                f"error: {args.target!r} is neither a known app "
+                f"({', '.join(sorted(BY_ABBR))}) nor a readable file: {err}"
+            )
+        try:
+            kernel = parse_kernel(text)
+        except Exception as err:
+            raise classify_error(err, app=args.target, stage="parse")
+
+    report = verify_mod.lint_kernel(kernel)
+    if args.pipeline:
+        _, pipeline_report = verify_mod.run_validated_pipeline(kernel)
+        report.extend(pipeline_report)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    from .errors import EXIT_VERIFY
+
+    if report.errors or (args.strict and report.warnings):
+        return EXIT_VERIFY
+    return 0
+
+
 def cmd_info(args) -> int:
     kernel, workload = _load(args.target)
     config = get_config(args.config)
@@ -119,6 +170,10 @@ def cmd_allocate(args) -> int:
         )
     except InsufficientRegistersError as err:
         raise classify_error(err, kernel=kernel.name, stage="allocate")
+    if args.verify:
+        from . import verify as verify_mod
+
+        verify_mod.verify_allocation(result, stage="allocate").raise_if_errors()
     print(f"// reg limit {limit}: used {result.reg_per_thread} slots, "
           f"{len(result.spilled)} spilled "
           f"({result.num_local_insts} local / "
@@ -132,6 +187,10 @@ def cmd_allocate(args) -> int:
 def cmd_simulate(args) -> int:
     kernel, workload = _load(args.target)
     config = get_config(args.config)
+    if args.verify:
+        from . import verify as verify_mod
+
+        verify_mod.lint_kernel(kernel, stage="input").raise_if_errors()
     engine = _engine_for(args)
     sizes = workload.param_sizes if workload else None
     grid = args.grid or (workload.grid_blocks if workload else None)
@@ -156,6 +215,7 @@ def cmd_crat(args) -> int:
         config,
         enable_shm_spill=not args.no_shm_spill,
         opt_tlp_mode="static" if args.static else "profile",
+        verify=args.verify,
     )
     result = optimizer.optimize(
         kernel,
@@ -203,6 +263,7 @@ def cmd_bench(args) -> int:
         top_k=topk,
         refine=not args.no_refine,
         jobs=args.jobs if args.jobs else None,
+        verify=args.verify,
     )
     print(comparison.table())
     return 0 if not comparison.mismatches or args.no_refine else 1
@@ -225,7 +286,13 @@ def cmd_suite(args) -> int:
     report = run_suite(
         [w.abbr for w in RESOURCE_SENSITIVE],
         config_name=args.config,
-        evaluate=lambda abbr, config: bench.evaluate_app(abbr, config),
+        # Only forward ``verify`` when requested: tests monkeypatch
+        # two-argument drivers in place of ``evaluate_app``.
+        evaluate=lambda abbr, config: (
+            bench.evaluate_app(abbr, config, verify=True)
+            if args.verify
+            else bench.evaluate_app(abbr, config)
+        ),
         on_app=progress,
     )
     rows = []
@@ -273,13 +340,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("--config", default="fermi")
     p_info.set_defaults(func=cmd_info)
 
+    def add_verify_flag(p):
+        p.add_argument("--verify", action="store_true",
+                       help="translation-validate every pipeline stage "
+                            "(dataflow rules on inputs, independent "
+                            "recheck of each allocation); findings are "
+                            "hard errors (exit 6)")
+
     p_alloc = sub.add_parser("allocate", help="register-allocate a kernel")
     p_alloc.add_argument("target")
     p_alloc.add_argument("--reg", type=int, default=0,
                          help="register limit in slots (default: demand)")
     p_alloc.add_argument("--spare-shm", type=int, default=0,
                          help="shared-memory budget for Algorithm 1")
+    add_verify_flag(p_alloc)
     p_alloc.set_defaults(func=cmd_allocate)
+
+    p_verify = sub.add_parser(
+        "verify", help="lint a kernel with the verification rules"
+    )
+    p_verify.add_argument("target")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the diagnostic report as JSON")
+    p_verify.add_argument("--pipeline", action="store_true",
+                          help="also run the transform passes under "
+                               "effect-preservation checking (PL rules)")
+    p_verify.add_argument("--strict", action="store_true",
+                          help="treat warnings as errors (exit 6)")
+    p_verify.set_defaults(func=cmd_verify)
 
     def add_engine_flags(p, trace=True, fastpath=False):
         p.add_argument("--jobs", type=int, default=0,
@@ -311,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--grid", type=int, default=0)
     p_sim.add_argument("--config", default="fermi")
     add_engine_flags(p_sim, trace=False)
+    add_verify_flag(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_crat = sub.add_parser("crat", help="run the CRAT optimizer")
@@ -323,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_crat.add_argument("--emit", default="",
                         help="write optimized PTX to this path")
     add_engine_flags(p_crat, fastpath=True)
+    add_verify_flag(p_crat)
     p_crat.set_defaults(func=cmd_crat)
 
     p_suite = sub.add_parser("suite", help="Fig 13 table on the sensitive suite")
@@ -332,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(completed/failed apps, exit code) to this "
                               "path")
     add_engine_flags(p_suite, fastpath=True)
+    add_verify_flag(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_bench = sub.add_parser(
@@ -347,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="explicit app abbreviations (overrides --suite)")
     p_bench.add_argument("--config", default="fermi")
     add_engine_flags(p_bench, trace=False, fastpath=True)
+    add_verify_flag(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     return parser

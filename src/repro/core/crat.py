@@ -73,7 +73,12 @@ class CRATOptimizer:
 
     ``enable_shm_spill=False`` gives the paper's *CRAT-local* variant;
     ``opt_tlp_mode='static'`` gives *CRAT-static* (OptTLP from code
-    analysis instead of profiling).
+    analysis instead of profiling).  ``verify=True`` translation-
+    validates the pipeline: the input kernel is dataflow-checked and
+    every allocation the search evaluates — baselines and candidates
+    alike — is independently rechecked by
+    :func:`repro.verify.verify_allocation`; any finding raises
+    :class:`repro.errors.VerificationError`.
     """
 
     def __init__(
@@ -85,6 +90,7 @@ class CRATOptimizer:
         weighted_tpsc: bool = False,
         engine: Optional[EvaluationEngine] = None,
         fastpath: Optional[FastPathPolicy] = None,
+        verify: bool = False,
     ):
         if opt_tlp_mode not in ("profile", "static"):
             raise ValueError("opt_tlp_mode must be 'profile' or 'static'")
@@ -93,6 +99,7 @@ class CRATOptimizer:
         self.opt_tlp_mode = opt_tlp_mode
         self.hit_ratio = hit_ratio
         self.weighted_tpsc = weighted_tpsc
+        self.verify = verify
         #: ``None`` resolves to the process-wide shared engine at use
         #: time, so ``repro.engine.configure()`` affects optimizers
         #: constructed earlier.
@@ -143,6 +150,10 @@ class CRATOptimizer:
         config = self.config
         if grid_blocks is None:
             grid_blocks = 2 * config.max_blocks_per_sm
+        if self.verify:
+            from ..verify import lint_kernel
+
+            lint_kernel(kernel, stage="input").raise_if_errors()
         usage = collect_resource_usage(kernel, config, default_reg=default_reg)
 
         engine = self.engine
@@ -154,6 +165,8 @@ class CRATOptimizer:
                     kernel, config, usage, grid_blocks, param_sizes,
                     engine=engine, fastpath=self.fastpath,
                 )
+        for scheme, baseline in baselines.items():
+            self._maybe_verify(baseline.allocation, f"baseline:{scheme}")
         if self.opt_tlp_mode == "profile":
             # Pruning ceiling: the contention optimum over the whole
             # achievable TLP range, not just what the default
@@ -252,6 +265,9 @@ class CRATOptimizer:
             )
         except InsufficientRegistersError:
             return None
+        # Verify before the feasibility cut: an infeasible-but-miscompiled
+        # candidate must still be reported, not silently discarded.
+        self._maybe_verify(allocation, f"candidate:reg={point.reg}")
         # The allocation must actually sustain the candidate TLP once
         # its own shared-memory spill stack is accounted for.
         total_shm = usage.shm_size + allocation.shm_spill_block_bytes
@@ -264,3 +280,11 @@ class CRATOptimizer:
         if occ.blocks < point.tlp:
             return None
         return allocation
+
+    def _maybe_verify(self, allocation, stage: str) -> None:
+        """Recheck one allocation when ``verify`` is on (else a no-op)."""
+        if not self.verify or allocation is None:
+            return
+        from ..verify import verify_allocation
+
+        verify_allocation(allocation, stage=stage).raise_if_errors()

@@ -17,7 +17,8 @@ engine boundary (:func:`classify_error`):
     ├── ``SimulationError``  — trace generation or timing failure (exit 4)
     │      └── ``TaskTimeoutError`` — a supervised task overran
     │          ``REPRO_TASK_TIMEOUT``
-    └── ``CacheError``       — persistent-store corruption/IO     (exit 4)
+    ├── ``CacheError``       — persistent-store corruption/IO     (exit 4)
+    └── ``VerificationError`` — translation validation failed     (exit 6)
 
 Every node carries the *context* of the failure — the app / kernel and
 the ``(reg, TLP)`` design point being evaluated when it happened — so a
@@ -38,6 +39,7 @@ EXIT_PARSE = 2
 EXIT_ALLOCATION = 3
 EXIT_SIMULATION = 4
 EXIT_PARTIAL = 5
+EXIT_VERIFY = 6
 
 
 class ReproError(Exception):
@@ -137,6 +139,32 @@ class CacheError(ReproError):
     exit_code = EXIT_SIMULATION
 
 
+class VerificationError(ReproError):
+    """Translation validation found a miscompile (``repro verify``,
+    ``--verify``).
+
+    Carries the full list of typed
+    :class:`~repro.verify.diagnostics.Diagnostic` findings so suite
+    failure reports preserve the rule codes, not just a message.  Not
+    to be confused with the legacy
+    :class:`repro.ptx.verifier.VerificationError` (a ``ValueError``
+    subclass), which :func:`classify_error` maps to :class:`ParseError`
+    because it fires at load time.
+    """
+
+    exit_code = EXIT_VERIFY
+
+    def __init__(self, message: str, diagnostics=None, **context):
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(message, **context)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["diagnostics"] = [d.to_dict() for d in self.diagnostics]
+        data["rules"] = sorted({d.rule for d in self.diagnostics})
+        return data
+
+
 def classify_error(
     exc: BaseException,
     app: Optional[str] = None,
@@ -159,7 +187,7 @@ def classify_error(
         return exc
 
     from .ptx.parser import PTXParseError
-    from .ptx.verifier import VerificationError
+    from .ptx.verifier import VerificationError as LegacyVerificationError
     from .regalloc.allocator import InsufficientRegistersError
     from .sim.cache import MSHRFullError
     from .sim.executor import DivergentBranchError
@@ -167,7 +195,7 @@ def classify_error(
     context = dict(
         app=app, kernel=kernel, design_point=design_point, stage=stage
     )
-    if isinstance(exc, (PTXParseError, VerificationError)):
+    if isinstance(exc, (PTXParseError, LegacyVerificationError)):
         cls = ParseError
     elif isinstance(exc, InsufficientRegistersError):
         cls = AllocationError
@@ -188,11 +216,13 @@ __all__ = [
     "EXIT_PARSE",
     "EXIT_PARTIAL",
     "EXIT_SIMULATION",
+    "EXIT_VERIFY",
     "AllocationError",
     "CacheError",
     "ParseError",
     "ReproError",
     "SimulationError",
     "TaskTimeoutError",
+    "VerificationError",
     "classify_error",
 ]

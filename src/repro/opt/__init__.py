@@ -28,8 +28,19 @@ class PipelineResult:
     iterations: int
 
 
-def optimize_kernel(kernel: Kernel, max_iterations: int = 8) -> PipelineResult:
-    """Copy-propagate and DCE to a fixed point; returns a new kernel."""
+def optimize_kernel(
+    kernel: Kernel, max_iterations: int = 8, verify: bool = False
+) -> PipelineResult:
+    """Copy-propagate and DCE to a fixed point; returns a new kernel.
+
+    With ``verify``, every individual pass application is translation-
+    validated (:func:`repro.verify.verify_pass`): a pass that changes
+    the kernel's observable effects or breaks its dataflow raises
+    :class:`repro.errors.VerificationError` immediately instead of
+    producing wrong benchmark numbers downstream.
+    """
+    if verify:
+        from ..verify import verify_pass
     current = kernel
     total_rewritten = 0
     total_removed = 0
@@ -37,7 +48,11 @@ def optimize_kernel(kernel: Kernel, max_iterations: int = 8) -> PipelineResult:
     for _ in range(max_iterations):
         iterations += 1
         cp = propagate_copies(current)
+        if verify:
+            verify_pass(current, cp.kernel, "copy_prop").raise_if_errors()
         dce = eliminate_dead_code(cp.kernel)
+        if verify:
+            verify_pass(cp.kernel, dce.kernel, "dce").raise_if_errors()
         total_rewritten += cp.rewritten_uses
         total_removed += dce.removed
         current = dce.kernel

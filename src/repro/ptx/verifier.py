@@ -5,7 +5,8 @@ The verifier enforces the invariants the rest of the pipeline relies on:
 * every branch targets an existing label,
 * every register use is preceded by some definition on a path from
   entry (checked conservatively: a def exists somewhere, plus a
-  straight-line check within basic blocks for locally-introduced regs),
+  program-order check within the entry block — a use before the first
+  label/branch whose only defs come later can never be initialized),
 * instruction dtypes are compatible with their register operands
   (PTX is type-sensitive, paper Section 5.2),
 * array declarations referenced via :class:`Sym` exist,
@@ -64,6 +65,8 @@ def verify_kernel(kernel: Kernel) -> None:
     for inst in kernel.instructions():
         defined.update(r.name for r in inst.defs())
 
+    problems.extend(_check_entry_block_order(kernel, defined))
+
     for idx, item in enumerate(kernel.body):
         if isinstance(item, Label):
             continue
@@ -90,6 +93,41 @@ def verify_kernel(kernel: Kernel) -> None:
 
     if problems:
         raise VerificationError(kernel.name, problems)
+
+
+def _check_entry_block_order(kernel: Kernel, defined: Set[str]) -> List[str]:
+    """Uses in the entry block that precede *every* def of the register.
+
+    The entry block — the body prefix up to the first label or branch —
+    is executed first and straight-line, so a register used there before
+    its first definition anywhere is uninitialized on every path.  This
+    is a cheap strict subset of the dominance-aware ``DF001`` check in
+    :mod:`repro.verify.dataflow`, kept here so the legacy entry point
+    stays honest for callers that have not migrated.
+    """
+    problems: List[str] = []
+    seen: Set[str] = set()
+    flagged: Set[str] = set()
+    for idx, item in enumerate(kernel.body):
+        if isinstance(item, Label):
+            break
+        inst = item
+        for reg in inst.uses():
+            if (
+                reg.name in defined
+                and reg.name not in seen
+                and reg.name not in flagged
+            ):
+                flagged.add(reg.name)
+                problems.append(
+                    f"inst {idx} ({inst}): use of register {reg.name} "
+                    f"before its first definition (entry block is "
+                    f"straight-line; no path defines it earlier)"
+                )
+        seen.update(r.name for r in inst.defs())
+        if inst.is_terminator:
+            break
+    return problems
 
 
 def _check_types(inst: Instruction, where: str) -> List[str]:

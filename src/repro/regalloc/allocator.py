@@ -28,7 +28,12 @@ from ..ptx.module import Kernel
 from .chaitin_briggs import ColoringResult, chromatic_demand, color_graph
 from .interference import InterferenceGraph, build_interference
 from .shm_spill import ShmSpillPlan, SplitKey, plan_shared_spilling, split_by_type
-from .spill import SHARED_SPILL_NAME, SpillCodeResult, insert_spill_code
+from .spill import (
+    SHARED_SPILL_NAME,
+    SpillCodeResult,
+    SpillRegionInfo,
+    insert_spill_code,
+)
 
 #: Register classes that consume register-file slots.
 DATA_CLASSES = (RegClass.R32, RegClass.R64, RegClass.F32, RegClass.F64)
@@ -65,6 +70,15 @@ class AllocationResult:
     local_stack_bytes: int
     shm_spill_block_bytes: int
     rematerialized: Dict[str, object] = dataclasses.field(default_factory=dict)
+    #: Validator-facing provenance: the kernel before physical renaming
+    #: (same instructions as ``kernel``, virtual names), the virtual →
+    #: physical name map applied, and one record per spill stack — what
+    #: :func:`repro.verify.verify_allocation` rechecks independently.
+    pre_rename_kernel: Optional[Kernel] = None
+    name_map: Dict[str, str] = dataclasses.field(default_factory=dict)
+    spill_regions: List[SpillRegionInfo] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def num_local_insts(self) -> int:
@@ -371,8 +385,16 @@ def allocate(
     )
 
     final = current
+    name_map = _build_name_map(colorings)
     if rename:
-        final = _rename(final, colorings, liveness)
+        final = _rename(final, name_map)
+
+    spill_regions: List[SpillRegionInfo] = []
+    for spill_result in (local_result, shared_result):
+        if spill_result is not None:
+            region = spill_result.region()
+            if region is not None:
+                spill_regions.append(region)
 
     colors = {rc: colorings[rc].colors_used for rc in DATA_CLASSES}
     reg_per_thread = sum(colors[rc] * _slots(rc) for rc in DATA_CLASSES)
@@ -403,20 +425,26 @@ def allocate(
         ),
         shm_spill_block_bytes=(shm_plan.shared_block_bytes if shm_plan else 0),
         rematerialized=dict(remat_values),
+        pre_rename_kernel=current,
+        name_map=name_map,
+        spill_regions=spill_regions,
     )
 
 
-def _rename(
-    kernel: Kernel,
-    colorings: Dict[RegClass, ColoringResult],
-    liveness: LivenessInfo,
-) -> Kernel:
-    """Rewrite virtual register names to physical ``%r<color>`` names."""
+def _build_name_map(
+    colorings: Dict[RegClass, ColoringResult]
+) -> Dict[str, str]:
+    """Virtual → physical name map implied by the per-class colorings."""
     name_map: Dict[str, str] = {}
     for rc, result in colorings.items():
         prefix = f"%{rc.value}"
         for vname, color in result.coloring.items():
             name_map[vname] = f"{prefix}{color}"
+    return name_map
+
+
+def _rename(kernel: Kernel, name_map: Dict[str, str]) -> Kernel:
+    """Rewrite virtual register names to physical ``%r<color>`` names."""
 
     def remap(reg: Reg) -> Reg:
         new_name = name_map.get(reg.name)

@@ -26,6 +26,14 @@ from ..ptx.module import ArrayDecl, Kernel
 SPILL_STACK_NAME = "SpillStack"
 SHARED_SPILL_NAME = "ShmSpill"
 
+#: Test-only mutation switch: skip the widest-slot padding of
+#: :attr:`SpillStackLayout.total_bytes`, re-introducing the PR 2
+#: record-stride miscompile (odd threads' wide slots shear across
+#: record boundaries).  Exists so ``tests/test_verify.py`` can assert
+#: the allocation validator catches exactly that bug class (AL004).
+#: Never set outside tests.
+UNSAFE_UNPADDED_RECORDS = False
+
 
 @dataclasses.dataclass(frozen=True)
 class SpillSlot:
@@ -59,6 +67,8 @@ class SpillStackLayout:
         if not self.slots:
             return 0
         last = max(self.slots, key=lambda s: s.offset)
+        if UNSAFE_UNPADDED_RECORDS:
+            return _align(last.offset + last.bytes, 4)
         widest = max(s.bytes for s in self.slots)
         return _align(last.offset + last.bytes, max(widest, 4))
 
@@ -70,6 +80,18 @@ class SpillStackLayout:
 
     def __len__(self) -> int:
         return len(self.slots)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpillRegionInfo:
+    """Everything the allocation validator needs about one spill stack."""
+
+    stack_name: str
+    space: Space
+    base_reg: str
+    record_bytes: int
+    per_thread: bool
+    layout: SpillStackLayout
 
 
 @dataclasses.dataclass
@@ -84,6 +106,25 @@ class SpillCodeResult:
     num_stores: int
     num_address_insts: int
     space: Space = Space.LOCAL
+    #: Name of the stack array, per-thread indexing, and the record
+    #: stride actually used — recorded so the allocation validator can
+    #: recheck slot discipline without re-deriving the layout.
+    stack_name: str = SPILL_STACK_NAME
+    per_thread: bool = False
+    record_bytes: int = 0
+
+    def region(self) -> Optional[SpillRegionInfo]:
+        """The validator-facing record of this stack (None if empty)."""
+        if self.base_reg is None or not self.layout.slots:
+            return None
+        return SpillRegionInfo(
+            stack_name=self.stack_name,
+            space=self.space,
+            base_reg=self.base_reg.name,
+            record_bytes=self.record_bytes,
+            per_thread=self.per_thread,
+            layout=self.layout,
+        )
 
     @property
     def static_spill_bytes(self) -> int:
@@ -187,6 +228,9 @@ def insert_spill_code(
             num_stores=0,
             num_address_insts=0,
             space=space,
+            stack_name=stack_name,
+            per_thread=per_thread_indexing,
+            record_bytes=0,
         )
 
     layout = layout_stack(spilled.items())
@@ -291,4 +335,7 @@ def insert_spill_code(
         num_stores=num_stores,
         num_address_insts=len(prelude),
         space=space,
+        stack_name=stack_name,
+        per_thread=per_thread_indexing,
+        record_bytes=record_bytes,
     )

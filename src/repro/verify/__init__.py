@@ -1,0 +1,89 @@
+"""Translation validation for the CRAT pipeline.
+
+Three cooperating static-analysis passes over the PTX-subset IR, all
+emitting the shared typed :class:`~repro.verify.diagnostics.Diagnostic`
+(stable rule codes, severity, location, machine-readable payload):
+
+* :func:`verify_dataflow` — dominance-aware def-before-use and CFG
+  health on one kernel (rules ``DF*``);
+* :func:`verify_allocation` — independent recheck of an
+  :class:`~repro.regalloc.allocator.AllocationResult`: register
+  sharing, spill-slot discipline, layout stride, shared-memory budget
+  (rules ``AL*``);
+* :func:`verify_pass` — observable-effect preservation across each
+  :mod:`repro.opt` transform (rules ``PL*``).
+
+:func:`lint_kernel` bundles the checks that make sense on a bare
+kernel file (``repro verify``); the ``--verify`` flag on the CLI's
+``crat``/``simulate``/``suite``/``bench`` commands routes the
+allocation and pipeline validators through the optimizer itself.
+
+``stats`` counts validations per pass (keys ``"dataflow"``,
+``"allocation"``, ``"pipeline"``) so tests — notably the
+fault-injection smoke — can assert that degraded evaluation paths
+never silently bypass validation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+#: Process-wide validation counters; see module docstring.
+stats: "Counter[str]" = Counter()
+
+
+def reset_stats() -> None:
+    """Clear the validation counters (test isolation)."""
+    stats.clear()
+
+
+from ..ptx.module import Kernel  # noqa: E402
+from .allocation import (  # noqa: E402
+    discover_spill_regions,
+    lint_spill_stacks,
+    verify_allocation,
+)
+from .dataflow import verify_dataflow  # noqa: E402
+from .diagnostics import (  # noqa: E402
+    Diagnostic,
+    RULES,
+    Rule,
+    Severity,
+    VerifyReport,
+)
+from .pipeline import (  # noqa: E402
+    PASS_MODES,
+    effect_summary,
+    run_validated_pipeline,
+    verify_pass,
+)
+
+
+def lint_kernel(kernel: Kernel, stage: Optional[str] = None) -> VerifyReport:
+    """Every check that applies to a bare kernel: dataflow rules plus
+    structural spill-stack discipline (``repro verify`` lint mode)."""
+    stats["dataflow"] += 1
+    report = verify_dataflow(kernel, stage=stage)
+    report.extend(lint_spill_stacks(kernel, stage=stage))
+    return report
+
+
+__all__ = [
+    "Diagnostic",
+    "PASS_MODES",
+    "RULES",
+    "Rule",
+    "Severity",
+    "VerifyReport",
+    "discover_spill_regions",
+    "effect_summary",
+    "lint_kernel",
+    "lint_spill_stacks",
+    "reset_stats",
+    "run_validated_pipeline",
+    "stats",
+    "verify_allocation",
+    "verify_dataflow",
+    "verify_pass",
+]

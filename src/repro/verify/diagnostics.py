@@ -1,0 +1,230 @@
+"""Typed diagnostics shared by every verification pass.
+
+All three verifiers (dataflow, allocation, pipeline) emit the same
+:class:`Diagnostic` record: a **stable rule code** (``DF001``,
+``AL004``, ...), a severity, the kernel/block/instruction location the
+finding anchors to, a human message, and a machine-readable ``data``
+payload.  Stability matters — rule codes are part of the CLI contract
+(``repro verify --json``), documented in DESIGN.md §6, and asserted on
+by golden tests; add new codes, never repurpose old ones.
+
+A :class:`VerifyReport` aggregates diagnostics for one kernel/stage and
+renders them for humans (one ``file:kernel:block:inst CODE severity:
+message`` line each) or as JSON.  ``raise_if_errors`` converts a failed
+report into the structured :class:`repro.errors.VerificationError`
+(CLI exit code 6) so suite-level callers can isolate unverifiable apps
+exactly like parse or allocation failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any, Dict, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are miscompiles or invariant violations — they
+    fail ``--verify`` runs and exit 6 from ``repro verify``.
+    ``WARNING`` findings are suspicious but not provably wrong (dead
+    blocks, lint-level smells); they only fail under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One stable verification rule."""
+
+    code: str
+    severity: Severity
+    summary: str
+    #: Which pass owns the rule ("dataflow", "allocation", "pipeline").
+    owner: str
+
+
+#: The rule registry.  Codes are grouped by pass: ``DF`` dataflow,
+#: ``AL`` allocation, ``PL`` pipeline.  See DESIGN.md §6 for the prose
+#: contract behind each code.
+RULES: Dict[str, Rule] = {
+    r.code: r
+    for r in (
+        Rule("DF001", Severity.ERROR,
+             "use of a register on a path with no prior definition",
+             "dataflow"),
+        Rule("DF002", Severity.ERROR,
+             "use of a register never defined anywhere", "dataflow"),
+        Rule("DF003", Severity.WARNING,
+             "basic block unreachable from entry", "dataflow"),
+        Rule("DF004", Severity.ERROR,
+             "control can fall off the end of the kernel", "dataflow"),
+        Rule("DF005", Severity.ERROR,
+             "register name used with incompatible register classes",
+             "dataflow"),
+        Rule("DF006", Severity.ERROR,
+             "branch to an undefined label", "dataflow"),
+        Rule("DF007", Severity.ERROR,
+             "operand type incompatible with instruction type", "dataflow"),
+        Rule("DF008", Severity.ERROR,
+             "reference to an undeclared symbol", "dataflow"),
+        Rule("DF009", Severity.ERROR,
+             "duplicate label definition", "dataflow"),
+        Rule("AL001", Severity.ERROR,
+             "two simultaneously-live virtual registers share one "
+             "physical register", "allocation"),
+        Rule("AL002", Severity.ERROR,
+             "spill reload on a path with no prior store to its slot",
+             "allocation"),
+        Rule("AL003", Severity.ERROR,
+             "spill access aliases a neighbouring slot", "allocation"),
+        Rule("AL004", Severity.ERROR,
+             "spill-stack layout overlaps slots or misaligns the "
+             "per-thread record stride", "allocation"),
+        Rule("AL005", Severity.ERROR,
+             "spill stack exceeds its declared array or shared-memory "
+             "budget", "allocation"),
+        Rule("AL006", Severity.ERROR,
+             "spilled virtual register still referenced after rewriting",
+             "allocation"),
+        Rule("PL001", Severity.ERROR,
+             "control-flow graph malformed after a transform pass",
+             "pipeline"),
+        Rule("PL002", Severity.ERROR,
+             "observable effects (stores/barriers) changed by a "
+             "transform pass", "pipeline"),
+        Rule("PL003", Severity.ERROR,
+             "transform pass introduced a dataflow error", "pipeline"),
+    )
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One verification finding, anchored to a kernel location.
+
+    ``block`` is the CFG basic-block index and ``position`` the global
+    instruction position (both ``None`` for kernel-level findings such
+    as budget overflows).  ``data`` carries rule-specific machine
+    fields (register names, offsets, byte counts) so tooling never has
+    to parse the message.
+    """
+
+    rule: str
+    message: str
+    kernel: str
+    severity: Severity = None  # type: ignore[assignment]
+    block: Optional[int] = None
+    position: Optional[int] = None
+    instruction: Optional[str] = None
+    stage: Optional[str] = None
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown verification rule code {self.rule!r}")
+        if self.severity is None:
+            object.__setattr__(self, "severity", RULES[self.rule].severity)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "kernel": self.kernel,
+            "block": self.block,
+            "position": self.position,
+            "instruction": self.instruction,
+            "stage": self.stage,
+            "data": dict(self.data),
+        }
+
+    def render(self) -> str:
+        """One human-readable line, clang-style."""
+        where = [self.kernel]
+        if self.block is not None:
+            where.append(f"block {self.block}")
+        if self.position is not None:
+            where.append(f"inst {self.position}")
+        line = f"{': '.join(where)}: {self.rule} " \
+               f"{self.severity.value}: {self.message}"
+        if self.instruction:
+            line += f"\n    {self.instruction}"
+        return line
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """All findings of one verification run over one kernel."""
+
+    kernel: str
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    stage: Optional[str] = None
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, other: "VerifyReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return sorted({d.rule for d in self.diagnostics})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "stage": self.stage,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "rules": self.codes(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human rendering: every finding plus a one-line summary."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{self.kernel}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`repro.errors.VerificationError` on any error."""
+        if self.ok:
+            return
+        from ..errors import VerificationError
+
+        raise VerificationError(
+            f"{len(self.errors)} verification error(s): "
+            + "; ".join(d.rule + " " + d.message for d in self.errors[:4])
+            + ("; ..." if len(self.errors) > 4 else ""),
+            kernel=self.kernel,
+            stage=self.stage or "verify",
+            diagnostics=list(self.diagnostics),
+        )
