@@ -15,6 +15,7 @@ from .runner import (
     run_suite,
     write_report_json,
 )
+from .via_server import ViaServerComparison, compare_via_server
 
 __all__ = [
     "AppEvaluation",
@@ -22,8 +23,10 @@ __all__ = [
     "FastPathAppRow",
     "FastPathComparison",
     "SuiteReport",
+    "ViaServerComparison",
     "clear_cache",
     "compare_fastpath",
+    "compare_via_server",
     "evaluate_app",
     "evaluate_app_static",
     "format_table",

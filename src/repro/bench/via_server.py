@@ -1,0 +1,141 @@
+"""Warm-vs-cold benchmark: ``repro bench --via-server``.
+
+Quantifies what the persistent daemon buys over one-shot invocations
+for a repeated workload.  Two measured phases over the same request
+stream (``requests`` CRAT jobs, round-robin over ``abbrs``):
+
+* **cold** — every request builds a fresh, memory-only
+  :class:`~repro.engine.engine.EvaluationEngine` and runs the pipeline
+  from scratch, which is what N separate ``repro crat`` processes do
+  (minus interpreter start-up, so the comparison is *conservative* in
+  the cold path's favor);
+* **warm** — an in-process ``repro serve`` daemon is booted once and
+  the same stream goes through ``repro submit``'s client library, so
+  repeats hit the warm content-addressed cache and concurrent
+  duplicates would single-flight.
+
+Results are checked bit-identical between the phases (the daemon must
+never trade correctness for latency) before any speedup is reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import time
+import uuid
+from typing import List, Optional, Sequence
+
+from ..engine import EvaluationEngine, get_engine, set_engine
+from ..service.client import ServiceClient, submit_or_raise
+from ..service.jobs import execute, prepare
+from ..service.protocol import Request
+from ..service.server import ReproServer
+
+
+@dataclasses.dataclass
+class ViaServerComparison:
+    """Outcome of one warm-vs-cold run."""
+
+    abbrs: List[str]
+    requests: int
+    config_name: str
+    cold_seconds: float
+    warm_seconds: float
+    identical: bool
+    dedup_hits: int
+    evaluations_executed: int
+
+    @property
+    def speedup(self) -> float:
+        if not self.warm_seconds:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+    def table(self) -> str:
+        lines = [
+            f"via-server comparison: {self.requests} crat requests over "
+            f"{', '.join(self.abbrs)} (config={self.config_name})",
+            f"cold one-shot: {self.cold_seconds:8.2f}s "
+            f"({self.cold_seconds / self.requests:.2f}s/request)",
+            f"warm daemon:   {self.warm_seconds:8.2f}s "
+            f"({self.warm_seconds / self.requests:.2f}s/request)",
+            f"speedup:       {self.speedup:8.2f}x "
+            f"({self.evaluations_executed} server jobs executed, "
+            f"{self.dedup_hits} deduplicated)",
+            f"results bit-identical: {'yes' if self.identical else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def _crat_request(abbr: str, config_name: str) -> Request:
+    return Request(
+        job="crat", params={"target": abbr, "config": config_name}
+    )
+
+
+def compare_via_server(
+    abbrs: Optional[Sequence[str]] = None,
+    requests: int = 10,
+    config_name: str = "fermi",
+    workers: int = 2,
+    jobs: Optional[int] = None,
+) -> ViaServerComparison:
+    """Measure the same request stream cold and against a warm daemon."""
+    abbrs = list(abbrs) if abbrs else ["GAU"]
+    if requests < 1:
+        raise ValueError("requests must be positive")
+    stream = [abbrs[i % len(abbrs)] for i in range(requests)]
+
+    # Cold phase: a fresh memory-only engine per request, exactly the
+    # state a new one-shot process would start from.  The process-wide
+    # engine is restored afterwards, whatever happens.
+    previous = get_engine()
+    cold_results = []
+    try:
+        t0 = time.perf_counter()
+        for abbr in stream:
+            set_engine(EvaluationEngine(jobs=jobs, disk_cache=""))
+            prepared = prepare(_crat_request(abbr, config_name))
+            cold_results.append(execute(prepared))
+        cold_seconds = time.perf_counter() - t0
+    finally:
+        set_engine(previous)
+
+    # Warm phase: one daemon, one warm engine, same stream through the
+    # real socket protocol.  Booted outside the timed region — a
+    # service's start-up is paid once, not per request.
+    server = ReproServer(
+        socket_path=tempfile.mktemp(
+            prefix=f"repro-bench-{uuid.uuid4().hex[:8]}", suffix=".sock"
+        ),
+        engine=EvaluationEngine(jobs=jobs, disk_cache=""),
+        workers=workers,
+        queue_limit=max(64, requests),
+    )
+    server.start()
+    warm_results = []
+    try:
+        with ServiceClient(socket_path=server.socket_path) as client:
+            t0 = time.perf_counter()
+            for abbr in stream:
+                warm_results.append(submit_or_raise(
+                    client, "crat",
+                    {"target": abbr, "config": config_name},
+                ))
+            warm_seconds = time.perf_counter() - t0
+        stats = server.stats_payload()["service"]
+    finally:
+        server.shutdown(drain=False)
+        set_engine(previous)
+
+    return ViaServerComparison(
+        abbrs=abbrs,
+        requests=requests,
+        config_name=config_name,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        identical=warm_results == cold_results,
+        dedup_hits=stats["dedup_hits"],
+        evaluations_executed=stats["executed"],
+    )

@@ -8,9 +8,16 @@ Commands mirror how the paper's toolchain is used:
 * ``crat APP|FILE``      — the full coordinated optimization (Fig 9)
 * ``suite``              — the Fig 13 table over the sensitive suite
 * ``bench --fastpath``   — exact vs two-tier pipeline comparison
+* ``bench --via-server`` — warm-daemon vs cold one-shot wall-clock
 * ``verify APP|FILE``    — lint a kernel with the translation-validation
   rules (dataflow, spill-stack discipline; ``--pipeline`` also runs the
   transform passes under effect-preservation checking)
+* ``serve``              — persistent compilation daemon: one warm
+  engine behind a unix socket (or TCP via ``--listen``), NDJSON
+  protocol, single-flight dedup, bounded queue with backpressure,
+  graceful SIGTERM drain
+* ``submit JOB TARGET``  — send one job to a running daemon and render
+  the result exactly as the one-shot command would
 
 ``APP`` is a Table 3 abbreviation (CFD, KMN, ...); ``FILE`` is a path
 to PTX-subset text.  File inputs use synthetic default buffer sizes.
@@ -37,7 +44,9 @@ parsing stderr: 0 all ok, 2 parse/verification, 3 allocation,
 4 simulation/cache, 5 partial suite failure (some apps completed,
 some did not — ``suite --report-json PATH`` writes the structured
 failure report), 6 translation-validation findings (``repro verify``
-and ``--verify`` runs).
+and ``--verify`` runs), 7 compilation-service transport/protocol
+failure (``repro submit`` against an unreachable or overloaded
+daemon; job-level failures keep their own codes).
 """
 
 from __future__ import annotations
@@ -240,9 +249,21 @@ def cmd_crat(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.via_server:
+        from .bench import compare_via_server
+
+        comparison = compare_via_server(
+            abbrs=[a.upper() for a in args.apps] or None,
+            requests=args.requests,
+            config_name=args.config,
+            jobs=args.jobs if args.jobs else None,
+        )
+        print(comparison.table())
+        return 0 if comparison.identical else 1
     if not args.fastpath:
-        raise SystemExit("error: bench currently requires --fastpath "
-                         "(exact vs two-tier pipeline comparison)")
+        raise SystemExit("error: bench requires --fastpath (exact vs "
+                         "two-tier pipeline comparison) or --via-server "
+                         "(warm daemon vs cold one-shot)")
     from .bench import compare_fastpath
 
     from .workloads import RESOURCE_SENSITIVE, full_suite
@@ -326,6 +347,154 @@ def cmd_suite(args) -> int:
             raise SystemExit(f"error: cannot write suite report: {err}")
         print(f"suite report written to {args.report_json}", file=sys.stderr)
     return report.exit_code
+
+
+def _parse_listen(value: str):
+    """``HOST:PORT`` -> (host, port) with a readable error."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"error: --listen expects HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"error: invalid port in --listen: {port_text!r}")
+    return host, port
+
+
+def cmd_serve(args) -> int:
+    from .engine.cache import resolve_max_entries
+    from .service import serve_main
+
+    host = port = None
+    if args.listen:
+        host, port = _parse_listen(args.listen)
+    # A long-lived daemon bounds its in-memory result cache by default
+    # (REPRO_CACHE_MAX_ENTRIES or --cache-max-entries override; 0
+    # restores the CLI's unbounded behavior).
+    bound = args.cache_max_entries
+    if bound is None:
+        bound = resolve_max_entries(None) or 4096
+    configure_engine(
+        jobs=args.jobs if args.jobs else None,
+        fastpath_topk=args.fastpath_topk,
+        fastpath_refine=False if args.no_refine else None,
+        task_timeout=args.task_timeout,
+        cache_max_entries=bound,
+    )
+    return serve_main(
+        socket_path=args.socket or None,
+        host=host,
+        port=port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        log_interval=args.log_interval,
+    )
+
+
+def _submit_params(args) -> dict:
+    """Build the job's params from the CLI surface, resolving FILE
+    targets to inline PTX (the daemon never reads client paths)."""
+    params: dict = {}
+    if args.job in ("crat", "simulate", "verify"):
+        if args.target is None:
+            raise SystemExit(f"error: submit {args.job} requires a target")
+        if args.target.upper() in BY_ABBR:
+            params["target"] = args.target.upper()
+        else:
+            try:
+                with open(args.target) as handle:
+                    params["ptx"] = handle.read()
+            except OSError as err:
+                raise SystemExit(
+                    f"error: {args.target!r} is neither a known app "
+                    f"({', '.join(sorted(BY_ABBR))}) nor a readable "
+                    f"file: {err}"
+                )
+    if args.config != "fermi":
+        params["config"] = args.config
+    if args.job == "crat":
+        if args.static:
+            params["static"] = True
+        if args.no_shm_spill:
+            params["no_shm_spill"] = True
+        if args.verify:
+            params["verify"] = True
+    elif args.job == "simulate":
+        params["tlp"] = args.tlp
+        if args.grid:
+            params["grid"] = args.grid
+    elif args.job == "suite":
+        if args.apps:
+            params["apps"] = [a.upper() for a in args.apps]
+        if args.verify:
+            params["verify"] = True
+    return params
+
+
+def _render_submit_result(job: str, result: dict) -> None:
+    if job == "crat":
+        print(f"OptTLP ({result['opt_tlp_source']}): {result['opt_tlp']}")
+        print("candidates:")
+        chosen = result["chosen"]
+        for cand in result["candidates"]:
+            mark = (
+                "  <== chosen"
+                if (cand["reg"], cand["tlp"]) == (chosen["reg"], chosen["tlp"])
+                else ""
+            )
+            print(f"  (reg={cand['reg']}, TLP={cand['tlp']}) "
+                  f"TPSC={cand['tpsc']:.1f}{mark}")
+        print(f"speedup vs OptTLP: {result['speedup_vs_opttlp']:.2f}X")
+        print(f"speedup vs MaxTLP: {result['speedup_vs_maxtlp']:.2f}X")
+    elif job == "simulate":
+        print(f"cycles:        {result['cycles']:.0f}")
+        print(f"instructions:  {result['instructions']}")
+        print(f"IPC:           {result['ipc']:.3f}")
+        print(f"L1 hit rate:   {result['l1_hit_rate']:.1%}")
+        print(f"MSHR stalls:   {result['mshr_stall_cycles']:.0f} cycles")
+        print(f"local insts:   {result['local_insts']}")
+        print(f"DRAM traffic:  {result['dram_bytes'] >> 10} KiB")
+        print(f"energy:        {result['energy_nj'] / 1e3:.1f} uJ")
+    else:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .service import ServiceClient, submit_or_raise
+
+    host = port = None
+    if args.connect:
+        host, port = _parse_listen(args.connect)
+    params = _submit_params(args)
+    with ServiceClient(
+        socket_path=args.socket or None,
+        host=host,
+        port=port,
+        max_retries=args.retries,
+    ) as client:
+        if args.job == "stats":
+            result = client.stats()
+        else:
+            result = submit_or_raise(
+                client,
+                args.job,
+                params,
+                deadline=args.deadline,
+                priority=args.priority,
+            )
+    if args.json or args.job in ("verify", "suite", "stats"):
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _render_submit_result(args.job, result)
+    if args.job == "verify" and not result.get("passed", True):
+        from .errors import EXIT_VERIFY
+
+        return EXIT_VERIFY
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -426,11 +595,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.set_defaults(func=cmd_suite)
 
     p_bench = sub.add_parser(
-        "bench", help="pipeline benchmarking (--fastpath: exact vs two-tier)"
+        "bench", help="pipeline benchmarking (--fastpath: exact vs "
+                      "two-tier; --via-server: warm daemon vs cold)"
     )
     p_bench.add_argument("--fastpath", action="store_true",
                          help="compare the exact pipeline against the "
                               "two-tier fast path on every app")
+    p_bench.add_argument("--via-server", action="store_true",
+                         help="measure a repeated crat workload against "
+                              "a warm in-process daemon vs cold one-shot "
+                              "engines")
+    p_bench.add_argument("--requests", type=int, default=10,
+                         help="request count for --via-server "
+                              "(default 10)")
     p_bench.add_argument("--suite", choices=("sensitive", "full"),
                          default="full",
                          help="which app suite to compare (default: full)")
@@ -440,6 +617,76 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flags(p_bench, trace=False, fastpath=True)
     add_verify_flag(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="persistent compilation daemon (NDJSON over a "
+                      "unix socket; --listen for TCP)"
+    )
+    p_serve.add_argument("--socket", default="",
+                         help="unix socket path (default: $REPRO_SOCKET "
+                              "or a per-user path under the temp dir)")
+    p_serve.add_argument("--listen", default="", metavar="HOST:PORT",
+                         help="serve TCP instead of a unix socket")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="job worker threads (each still fans "
+                              "simulations out over the engine's "
+                              "process pool; default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="bounded queue depth before requests are "
+                              "refused with an overloaded reply "
+                              "(default 64)")
+    p_serve.add_argument("--cache-max-entries", type=int, default=None,
+                         metavar="N",
+                         help="LRU bound on the in-memory result cache "
+                              "(default: $REPRO_CACHE_MAX_ENTRIES or "
+                              "4096; 0 unbounds it)")
+    p_serve.add_argument("--log-interval", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="period of the structured stats log lines "
+                              "on stderr (0 disables; default 30)")
+    add_engine_flags(p_serve, trace=False, fastpath=True)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="send one job to a running repro serve daemon"
+    )
+    p_submit.add_argument("job",
+                          choices=("crat", "simulate", "verify", "suite",
+                                   "stats"),
+                          help="job type")
+    p_submit.add_argument("target", nargs="?", default=None,
+                          help="APP abbreviation or PTX file (sent "
+                               "inline); required for kernel jobs")
+    p_submit.add_argument("--config", default="fermi")
+    p_submit.add_argument("--socket", default="",
+                          help="daemon's unix socket (default: "
+                               "$REPRO_SOCKET or the per-user default)")
+    p_submit.add_argument("--connect", default="", metavar="HOST:PORT",
+                          help="connect over TCP instead")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="give up if the service has not answered "
+                               "within this budget")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="queue priority (higher runs earlier)")
+    p_submit.add_argument("--retries", type=int, default=5,
+                          help="retry budget for overloaded/unreachable "
+                               "replies (default 5)")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the raw result payload as JSON")
+    p_submit.add_argument("--tlp", type=int, default=4,
+                          help="simulate: thread-level parallelism")
+    p_submit.add_argument("--grid", type=int, default=0,
+                          help="simulate: grid blocks override")
+    p_submit.add_argument("--static", action="store_true",
+                          help="crat: static OptTLP estimate")
+    p_submit.add_argument("--no-shm-spill", action="store_true",
+                          help="crat: disable Algorithm 1 (CRAT-local)")
+    p_submit.add_argument("--apps", nargs="+", default=[],
+                          help="suite: explicit app list")
+    p_submit.add_argument("--verify", action="store_true",
+                          help="crat/suite: translation-validate")
+    p_submit.set_defaults(func=cmd_submit)
 
     return parser
 

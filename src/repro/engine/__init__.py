@@ -8,6 +8,7 @@ harness that exercises its recovery paths.
 
 from .cache import (
     CACHE_DIR_ENV,
+    CACHE_MAX_ENTRIES_ENV,
     CacheCorruptionError,
     SimResultCache,
     cache_schema_version,
@@ -15,6 +16,7 @@ from .cache import (
     decode_entry,
     encode_entry,
     make_sim_key,
+    resolve_max_entries,
 )
 from .engine import (
     CHECKPOINT_DIR_ENV,
@@ -32,6 +34,7 @@ from .events import (
     EngineStats,
     FastPathEvent,
     FaultEvent,
+    RequestEvent,
     RetryEvent,
     SimulationEvent,
     StageEvent,
@@ -67,6 +70,7 @@ from .parallel import (
 __all__ = [
     "BatchEvent",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_ENTRIES_ENV",
     "CHECKPOINT_DIR_ENV",
     "CacheCorruptEvent",
     "CacheCorruptionError",
@@ -87,6 +91,7 @@ __all__ = [
     "FaultSpecError",
     "InjectedFault",
     "JOBS_ENV",
+    "RequestEvent",
     "RetryEvent",
     "SimRequest",
     "SimResultCache",
@@ -108,6 +113,7 @@ __all__ = [
     "make_sim_key",
     "rank_agreement",
     "resolve_jobs",
+    "resolve_max_entries",
     "run_supervised",
     "set_engine",
 ]

@@ -8,10 +8,19 @@ digest of its canonical printed form) and the configuration through the
 so two configs that differ in any field — even under the same preset
 name — never collide.
 
-The cache is two-level: a plain in-process dict, plus an optional
+The cache is two-level: an in-process LRU map, plus an optional
 on-disk store (one file per key digest) enabled by passing a directory
 or setting ``REPRO_CACHE_DIR``.  Disk entries survive across
 processes, which is what makes repeated benchmark invocations free.
+
+**Bounding.**  The in-memory level is unbounded by default (a one-shot
+CLI run cannot outgrow its own working set) but accepts a maximum
+entry count — ``REPRO_CACHE_MAX_ENTRIES`` or the ``max_entries``
+constructor argument — above which the least-recently-used entry is
+evicted (counted in :attr:`SimResultCache.evictions`).  A long-lived
+host like ``repro serve`` sets a bound so the resident set stays flat
+under arbitrary traffic; evicted entries that also live on disk are
+re-admitted on their next lookup.
 
 **Integrity.**  Each disk entry is framed as ``magic + sha256(payload)
 + payload`` (:data:`ENTRY_MAGIC`).  A truncated write (power loss,
@@ -29,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.config import GPUConfig
@@ -38,6 +48,27 @@ from .fastpath import FASTPATH_SCHEMA_VERSION
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding the in-memory result cache (entry
+#: count; unset, empty, or <= 0 all mean unbounded).
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+
+def resolve_max_entries(value: Optional[int] = None) -> Optional[int]:
+    """Normalize a cache bound: explicit argument wins, then the
+    ``REPRO_CACHE_MAX_ENTRIES`` environment variable; ``None`` or a
+    non-positive value means unbounded.  Unparseable env values are
+    ignored (unbounded) rather than fatal — matching ``resolve_jobs``'s
+    tolerance for bad environments."""
+    if value is None:
+        raw = os.environ.get(CACHE_MAX_ENTRIES_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            return None
+    return value if value > 0 else None
 
 #: Revision of the cached-result layout itself (what a ``SimResult``
 #: contains and how keys are built).  v2: checksummed entry framing +
@@ -163,16 +194,34 @@ class SimResultCache:
         self,
         disk_dir: Optional[str] = None,
         on_corrupt: Optional[Callable[[str, str], None]] = None,
+        max_entries: Optional[int] = None,
     ):
         if disk_dir is None:
             disk_dir = os.environ.get(CACHE_DIR_ENV) or None
         self.disk_dir = disk_dir
         self.on_corrupt = on_corrupt
         self.corrupt_entries = 0
-        self._memory: Dict[SimKey, SimResult] = {}
+        self.evictions = 0
+        self.max_entries = resolve_max_entries(max_entries)
+        self._memory: "OrderedDict[SimKey, SimResult]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    def set_max_entries(self, max_entries: Optional[int]) -> None:
+        """Re-bound the in-memory level (``None``/``<=0`` unbounds it);
+        an over-budget cache sheds its LRU tail immediately."""
+        self.max_entries = (
+            max_entries if max_entries is not None and max_entries > 0 else None
+        )
+        self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
 
     def _disk_path(self, key: SimKey) -> Optional[str]:
         if not self.disk_dir:
@@ -194,6 +243,7 @@ class SimResultCache:
         ``"memory"``, ``"disk"``, or ``"miss"``."""
         result = self._memory.get(key)
         if result is not None:
+            self._memory.move_to_end(key)
             return result, "memory"
         path = self._disk_path(key)
         if path and os.path.exists(path):
@@ -208,6 +258,7 @@ class SimResultCache:
                 self._discard_corrupt(path, err.reason)
                 return None, "miss"
             self._memory[key] = result
+            self._evict_over_budget()
             return result, "disk"
         return None, "miss"
 
@@ -217,6 +268,8 @@ class SimResultCache:
             # later healthy run must re-simulate the real point.
             return
         self._memory[key] = result
+        self._memory.move_to_end(key)
+        self._evict_over_budget()
         path = self._disk_path(key)
         if path:
             try:

@@ -32,6 +32,7 @@ import contextlib
 import dataclasses
 import json
 import os
+import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -101,10 +102,13 @@ class EvaluationEngine:
         fastpath: Optional[FastPathPolicy] = None,
         supervisor: Optional[SupervisorPolicy] = None,
         checkpoint_dir: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self._sim_cache = SimResultCache(
-            disk_cache, on_corrupt=self._on_cache_corrupt
+            disk_cache,
+            on_corrupt=self._on_cache_corrupt,
+            max_entries=cache_max_entries,
         )
         self._trace_cache: Dict[Tuple, List[BlockTrace]] = {}
         self.stats = EngineStats()
@@ -579,6 +583,8 @@ class EvaluationEngine:
             "jobs": self.jobs,
             "cached_results": len(self._sim_cache),
             "cached_traces": len(self._trace_cache),
+            "cache_max_entries": self._sim_cache.max_entries,
+            "cache_evictions": self._sim_cache.evictions,
             "task_timeout": self.supervisor.timeout,
             "max_attempts": self.supervisor.max_attempts,
             "checkpoint_dir": self.checkpoint_dir,
@@ -606,20 +612,30 @@ class EvaluationEngine:
 # ----------------------------------------------------------------------
 _default_engine: Optional[EvaluationEngine] = None
 
+#: Guards creation/replacement/reconfiguration of the shared engine.
+#: Under ``repro serve`` many handler threads reach :func:`get_engine`
+#: and :func:`configure` concurrently; without the lock two threads
+#: could each instantiate an engine (splitting the cache) or observe a
+#: half-applied :func:`configure`.  Reentrant so ``configure`` can call
+#: ``get_engine`` while holding it.
+_engine_lock = threading.RLock()
+
 
 def get_engine() -> EvaluationEngine:
     """The process-wide engine every pipeline layer shares by default."""
     global _default_engine
-    if _default_engine is None:
-        _default_engine = EvaluationEngine()
-    return _default_engine
+    with _engine_lock:
+        if _default_engine is None:
+            _default_engine = EvaluationEngine()
+        return _default_engine
 
 
 def set_engine(engine: EvaluationEngine) -> EvaluationEngine:
     """Swap the shared engine (tests / embedding)."""
     global _default_engine
-    _default_engine = engine
-    return engine
+    with _engine_lock:
+        _default_engine = engine
+        return engine
 
 
 def configure(
@@ -629,6 +645,7 @@ def configure(
     fastpath_refine: Optional[bool] = None,
     task_timeout: Optional[float] = None,
     checkpoint_dir: Optional[str] = None,
+    cache_max_entries: Optional[int] = None,
 ) -> EvaluationEngine:
     """Adjust the shared engine in place (the CLI's ``--jobs`` /
     ``--fastpath-topk`` / ``--task-timeout`` hook).  ``fastpath_topk=0``
@@ -637,25 +654,32 @@ def configure(
     ``fastpath_refine`` toggles the bracket-refinement walk of enabled
     fast paths.  ``task_timeout`` (seconds; 0 disables) bounds each
     supervised simulation attempt; ``checkpoint_dir`` ("" disables)
-    points the resumption journal."""
-    engine = get_engine()
-    if jobs is not None:
-        engine.jobs = resolve_jobs(jobs)
-    if disk_cache is not None:
-        engine._sim_cache.disk_dir = disk_cache
-    if fastpath_topk is not None:
-        engine.fastpath = dataclasses.replace(
-            engine.fastpath, top_k=fastpath_topk if fastpath_topk > 0 else None
-        )
-    if fastpath_refine is not None:
-        engine.fastpath = dataclasses.replace(
-            engine.fastpath, refine=fastpath_refine
-        )
-    if task_timeout is not None:
-        engine.supervisor = dataclasses.replace(
-            engine.supervisor,
-            timeout=task_timeout if task_timeout > 0 else None,
-        )
-    if checkpoint_dir is not None:
-        engine.set_checkpoint_dir(checkpoint_dir or None)
-    return engine
+    points the resumption journal; ``cache_max_entries`` (0 unbounds)
+    LRU-bounds the in-memory result cache.  The whole adjustment runs
+    under the engine lock, so a concurrent ``get_engine`` caller sees
+    either the old or the new configuration, never a mix."""
+    with _engine_lock:
+        engine = get_engine()
+        if jobs is not None:
+            engine.jobs = resolve_jobs(jobs)
+        if disk_cache is not None:
+            engine._sim_cache.disk_dir = disk_cache
+        if fastpath_topk is not None:
+            engine.fastpath = dataclasses.replace(
+                engine.fastpath,
+                top_k=fastpath_topk if fastpath_topk > 0 else None,
+            )
+        if fastpath_refine is not None:
+            engine.fastpath = dataclasses.replace(
+                engine.fastpath, refine=fastpath_refine
+            )
+        if task_timeout is not None:
+            engine.supervisor = dataclasses.replace(
+                engine.supervisor,
+                timeout=task_timeout if task_timeout > 0 else None,
+            )
+        if checkpoint_dir is not None:
+            engine.set_checkpoint_dir(checkpoint_dir or None)
+        if cache_max_entries is not None:
+            engine._sim_cache.set_max_entries(cache_max_entries)
+        return engine

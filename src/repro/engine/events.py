@@ -142,6 +142,28 @@ class DegradeEvent:
 
 
 @dataclasses.dataclass(frozen=True)
+class RequestEvent:
+    """One compilation-service request, from acceptance to reply.
+
+    Emitted by ``repro serve`` into the shared engine's event log (and
+    its periodic structured log lines), so a service trace interleaves
+    with the simulations it caused.  ``status`` is the reply status
+    (``ok``, ``error``, ``overloaded``, ``expired``, ``drained``);
+    ``deduped`` marks requests that attached to an identical in-flight
+    job instead of evaluating; ``queue_seconds`` / ``run_seconds``
+    split the latency into waiting and execution.
+    """
+
+    kind: ClassVar[str] = "request"
+
+    job: str
+    status: str
+    deduped: bool
+    queue_seconds: float
+    run_seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
 class CacheCorruptEvent:
     """One corrupt/truncated/legacy persistent-cache entry, detected by
     checksum verification on read and deleted (the point re-simulates
@@ -173,6 +195,7 @@ EngineEvent = Union[
     FaultEvent,
     RetryEvent,
     DegradeEvent,
+    RequestEvent,
     CacheCorruptEvent,
     CheckpointEvent,
 ]

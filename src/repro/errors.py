@@ -18,7 +18,10 @@ engine boundary (:func:`classify_error`):
     │      └── ``TaskTimeoutError`` — a supervised task overran
     │          ``REPRO_TASK_TIMEOUT``
     ├── ``CacheError``       — persistent-store corruption/IO     (exit 4)
-    └── ``VerificationError`` — translation validation failed     (exit 6)
+    ├── ``VerificationError`` — translation validation failed     (exit 6)
+    └── ``ServiceError``     — compilation-service transport or
+        protocol failure (daemon unreachable, malformed frame,
+        request rejected)                                          (exit 7)
 
 Every node carries the *context* of the failure — the app / kernel and
 the ``(reg, TLP)`` design point being evaluated when it happened — so a
@@ -40,6 +43,7 @@ EXIT_ALLOCATION = 3
 EXIT_SIMULATION = 4
 EXIT_PARTIAL = 5
 EXIT_VERIFY = 6
+EXIT_SERVICE = 7
 
 
 class ReproError(Exception):
@@ -165,6 +169,26 @@ class VerificationError(ReproError):
         return data
 
 
+class ServiceError(ReproError):
+    """The compilation service misbehaved at the transport or protocol
+    layer: the daemon is unreachable, a frame failed validation, the
+    queue rejected the request past the client's retry budget, or the
+    connection died mid-reply.
+
+    Job-level failures are *not* ``ServiceError``s: a ``crat`` job that
+    hits an infeasible allocation travels back to the client as its
+    original taxonomy kind and exit code, exactly as the one-shot CLI
+    would have reported it.
+    """
+
+    exit_code = EXIT_SERVICE
+
+    def __init__(self, message: str, retry_after: Optional[float] = None,
+                 **context):
+        self.retry_after = retry_after
+        super().__init__(message, **context)
+
+
 def classify_error(
     exc: BaseException,
     app: Optional[str] = None,
@@ -215,12 +239,14 @@ __all__ = [
     "EXIT_OK",
     "EXIT_PARSE",
     "EXIT_PARTIAL",
+    "EXIT_SERVICE",
     "EXIT_SIMULATION",
     "EXIT_VERIFY",
     "AllocationError",
     "CacheError",
     "ParseError",
     "ReproError",
+    "ServiceError",
     "SimulationError",
     "TaskTimeoutError",
     "VerificationError",

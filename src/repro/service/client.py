@@ -1,0 +1,277 @@
+"""Client library for the compilation service (+ ``repro submit``).
+
+:class:`ServiceClient` speaks the NDJSON protocol over a unix socket or
+TCP, and bakes in the polite-client behavior the server's backpressure
+contract expects:
+
+* an ``overloaded`` reply is retried after the server's ``retry_after``
+  hint (plus a deterministic multiplicative backoff per consecutive
+  rejection — the hint is the floor, not the schedule);
+* a connection failure (daemon restarting, socket not yet bound)
+  retries on the same backoff ladder;
+* everything else — job errors included — is returned to the caller
+  exactly once, as the server sent it.
+
+The library never interprets job results; it returns reply dicts.
+:func:`submit_or_raise` is the one-call convenience that converts
+non-``ok`` replies into the structured :mod:`repro.errors` taxonomy
+(transport problems become :class:`~repro.errors.ServiceError`, job
+failures are re-raised as their original kind's exit code).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import ServiceError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .server import default_socket_path
+
+#: Backoff ladder for connect failures / overload rejections:
+#: ``base * growth**attempt``, capped.
+DEFAULT_BACKOFF_BASE = 0.1
+DEFAULT_BACKOFF_GROWTH = 2.0
+DEFAULT_BACKOFF_CAP = 5.0
+
+
+class ServiceClient:
+    """One connection to a ``repro serve`` daemon.
+
+    Connects lazily on first use and transparently reconnects after a
+    dropped connection.  Not thread-safe: one client per thread (the
+    server happily accepts many connections).
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+        max_retries: int = 5,
+        sleep=time.sleep,
+    ):
+        if host is not None and port is None:
+            raise ValueError("TCP connections need both host and port")
+        self.host = host
+        self.port = port
+        self.socket_path = (
+            None if host is not None else (socket_path or default_socket_path())
+        )
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing.
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except OSError as err:
+            raise ServiceError(
+                f"cannot reach compilation service at "
+                f"{self.socket_path or f'{self.host}:{self.port}'}: {err}"
+            )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _drop_connection(self) -> None:
+        self.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request / reply.
+    # ------------------------------------------------------------------
+    def request_once(
+        self,
+        job: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+        req_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One round trip, no retries; transport faults raise
+        :class:`ServiceError`."""
+        self._connect()
+        message: Dict[str, Any] = {
+            "id": req_id or f"c{next(self._ids)}",
+            "job": job,
+            "params": params or {},
+        }
+        if deadline is not None:
+            message["deadline"] = deadline
+        if priority:
+            message["priority"] = priority
+        assert self._sock is not None and self._reader is not None
+        try:
+            self._sock.sendall(encode_frame(message))
+            line = self._reader.readline(MAX_FRAME_BYTES + 2)
+        except OSError as err:
+            self._drop_connection()
+            raise ServiceError(f"connection to service lost: {err}")
+        if not line:
+            self._drop_connection()
+            raise ServiceError("service closed the connection mid-request")
+        try:
+            return decode_frame(line)
+        except ProtocolError as err:
+            self._drop_connection()
+            raise ServiceError(f"undecodable reply from service: {err}")
+
+    def submit(
+        self,
+        job: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Round trip with the retry/backoff policy: honors the
+        server's ``retry_after`` hints on ``overloaded``, retries
+        transport faults, and returns the first definitive reply."""
+        last_error: Optional[ServiceError] = None
+        for attempt in range(self.max_retries + 1):
+            backoff = min(
+                DEFAULT_BACKOFF_CAP,
+                DEFAULT_BACKOFF_BASE * DEFAULT_BACKOFF_GROWTH ** attempt,
+            )
+            try:
+                reply = self.request_once(
+                    job, params, deadline=deadline, priority=priority
+                )
+            except ServiceError as err:
+                last_error = err
+                if attempt < self.max_retries:
+                    self._sleep(backoff)
+                continue
+            if reply.get("status") == "overloaded":
+                if attempt < self.max_retries:
+                    hint = reply.get("retry_after")
+                    wait = max(
+                        float(hint) if isinstance(hint, (int, float)) else 0.0,
+                        backoff,
+                    )
+                    self._sleep(wait)
+                    continue
+                last_error = ServiceError(
+                    f"service overloaded after {attempt + 1} attempts",
+                    retry_after=reply.get("retry_after"),
+                )
+                break
+            return reply
+        assert last_error is not None
+        raise last_error
+
+    # Convenience wrappers -------------------------------------------------
+    def ping(self) -> bool:
+        reply = self.submit("ping")
+        return reply.get("status") == "ok"
+
+    def stats(self, include_events: bool = False) -> Dict[str, Any]:
+        return unwrap(self.submit(
+            "stats", {"include_events": include_events}
+        ))
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return unwrap(self.submit("shutdown", {"drain": drain}))
+
+
+def unwrap(reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a reply into its result payload or a structured error.
+
+    ``error`` replies re-raise as a :class:`ServiceJobError` carrying
+    the job's original exit code, so ``repro submit`` exits exactly as
+    the one-shot command would have; every other non-``ok`` status is a
+    transport-level :class:`~repro.errors.ServiceError` (exit 7).
+    """
+    status = reply.get("status")
+    if status == "ok":
+        result = reply.get("result")
+        return result if isinstance(result, dict) else {}
+    if status == "error":
+        info = reply.get("error") or {}
+        raise ServiceJobError(
+            kind=str(info.get("kind", "ReproError")),
+            message=str(info.get("message", "job failed")),
+            job_exit_code=int(info.get("exit_code", 1)),
+        )
+    if status == "overloaded":
+        raise ServiceError(
+            "service overloaded", retry_after=reply.get("retry_after")
+        )
+    if status == "expired":
+        raise ServiceError("request deadline expired in the service queue")
+    if status == "drained":
+        raise ServiceError(
+            "service drained before the job ran (checkpointed; resubmit)"
+        )
+    if status == "invalid":
+        info = reply.get("error") or {}
+        raise ServiceError(f"request rejected: {info.get('message')}")
+    raise ServiceError(f"unrecognized reply status {status!r}")
+
+
+class ServiceJobError(ServiceError):
+    """A job the service ran on our behalf failed.
+
+    The exit code is the *job's* (``ParseError`` 2, ``AllocationError``
+    3, ...), not the transport's 7: scripting against ``repro submit``
+    sees the same codes as against the one-shot CLI.
+    """
+
+    def __init__(self, kind: str, message: str, job_exit_code: int):
+        super().__init__(f"{kind}: {message}")
+        self.job_kind = kind
+        self.exit_code = job_exit_code
+
+
+def submit_or_raise(
+    client: ServiceClient,
+    job: str,
+    params: Optional[Dict[str, Any]] = None,
+    deadline: Optional[float] = None,
+    priority: int = 0,
+) -> Dict[str, Any]:
+    """One call: submit with retries, unwrap, raise taxonomy errors."""
+    return unwrap(client.submit(
+        job, params, deadline=deadline, priority=priority
+    ))

@@ -1,0 +1,279 @@
+"""Wire protocol of the compilation service: newline-delimited JSON.
+
+One request per line, one reply per line, UTF-8, in order per
+connection.  The framing is deliberately boring — every language can
+speak it from a shell one-liner (``echo '{"job":"ping"}' | nc -U ...``)
+— and the interesting guarantees live above it: schema validation with
+stable error strings, a hard frame-size ceiling (:data:`MAX_FRAME_BYTES`)
+so a misbehaving client cannot balloon the daemon, and reply statuses
+that map 1:1 onto the structured error taxonomy of :mod:`repro.errors`.
+
+Request shape::
+
+    {"id": "r1", "job": "crat", "params": {"target": "GAU"},
+     "deadline": 30.0, "priority": 0}
+
+``id`` is echoed verbatim in the reply so clients can pipeline.
+``job`` is one of :data:`JOB_TYPES`; ``params`` is job-specific and
+validated per job.  ``deadline`` (seconds, optional) bounds the
+request's total time in the service — a request still queued when its
+deadline passes is answered ``expired`` without ever running.
+``priority`` (optional int, default 0, higher runs earlier) orders the
+service queue.
+
+Reply statuses::
+
+    ok          {"id", "status": "ok", "result": {...}}
+    error       {"id", "status": "error", "error": {kind, message,
+                 exit_code}}           — the job itself failed
+    invalid     {"id"?, "status": "invalid", "error": {...}}
+                                       — the frame failed validation
+    overloaded  {"id", "status": "overloaded", "retry_after": s}
+                                       — queue full (429-style)
+    expired     {"id", "status": "expired"}  — deadline passed in queue
+    drained     {"id", "status": "drained"}  — server shut down before
+                 the queued job ran; it was checkpointed, resubmit
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional
+
+#: Protocol revision, echoed by ``ping``/``stats``; bump on breaking
+#: changes to the frame shape.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame (request or reply), newline included.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Evaluation jobs (queued, deduplicated, executed on workers) …
+EVAL_JOBS = ("crat", "simulate", "verify", "suite")
+#: … and control jobs (answered inline by the connection handler).
+CONTROL_JOBS = ("ping", "stats", "shutdown")
+JOB_TYPES = EVAL_JOBS + CONTROL_JOBS
+
+#: Per-job parameter schema: name -> (type, required).  ``params`` keys
+#: outside the schema are rejected — typos must not silently change a
+#: job's meaning (and its dedup signature).
+_COMMON_PARAMS: Dict[str, tuple] = {
+    "target": (str, False),   # app abbreviation (Table 3)
+    "ptx": (str, False),      # inline PTX-subset text
+    "config": (str, False),   # architecture preset (default "fermi")
+}
+PARAM_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "crat": {
+        **_COMMON_PARAMS,
+        "static": (bool, False),
+        "no_shm_spill": (bool, False),
+        "verify": (bool, False),
+        "fastpath_topk": (int, False),
+        "no_refine": (bool, False),
+    },
+    "simulate": {
+        **_COMMON_PARAMS,
+        "tlp": (int, False),
+        "grid": (int, False),
+    },
+    "verify": {
+        **_COMMON_PARAMS,
+        "strict": (bool, False),
+    },
+    "suite": {
+        "config": (str, False),
+        "apps": (list, False),
+        "verify": (bool, False),
+    },
+    "ping": {},
+    "stats": {
+        "include_events": (bool, False),
+    },
+    "shutdown": {
+        "drain": (bool, False),
+    },
+}
+
+
+class ProtocolError(Exception):
+    """A frame failed framing or schema validation (client bug)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One validated request, ready for the queue."""
+
+    job: str
+    params: Dict[str, Any]
+    id: Optional[str] = None
+    deadline: Optional[float] = None
+    priority: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire: Dict[str, Any] = {"job": self.job, "params": self.params}
+        if self.id is not None:
+            wire["id"] = self.id
+        if self.deadline is not None:
+            wire["deadline"] = self.deadline
+        if self.priority:
+            wire["priority"] = self.priority
+        return wire
+
+
+# ----------------------------------------------------------------------
+# Framing.
+# ----------------------------------------------------------------------
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message as a single NDJSON frame.
+
+    ``json.dumps`` with default separators never emits raw newlines, so
+    the frame invariant (exactly one ``\\n``, at the end) holds by
+    construction; oversized payloads are a :class:`ProtocolError`
+    rather than a silently unreadable frame on the peer.
+    """
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    frame = data.encode("utf-8") + b"\n"
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(frame)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return frame
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"undecodable frame: {err}")
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Schema validation.
+# ----------------------------------------------------------------------
+def validate_request(obj: Dict[str, Any]) -> Request:
+    """Validate a decoded frame into a :class:`Request`.
+
+    Every rejection names the offending field — the string travels back
+    to the client verbatim, so it has to be actionable on its own.
+    """
+    known_top = {"id", "job", "params", "deadline", "priority"}
+    unknown = sorted(set(obj) - known_top)
+    if unknown:
+        raise ProtocolError(f"unknown field(s): {', '.join(unknown)}")
+
+    job = obj.get("job")
+    if not isinstance(job, str):
+        raise ProtocolError("missing or non-string 'job'")
+    if job not in JOB_TYPES:
+        raise ProtocolError(
+            f"unknown job {job!r} (expected one of "
+            f"{', '.join(JOB_TYPES)})"
+        )
+
+    req_id = obj.get("id")
+    if req_id is not None and not isinstance(req_id, str):
+        raise ProtocolError("'id' must be a string")
+
+    deadline = obj.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            raise ProtocolError("'deadline' must be a number of seconds")
+        if deadline <= 0:
+            raise ProtocolError("'deadline' must be positive")
+        deadline = float(deadline)
+
+    priority = obj.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError("'priority' must be an integer")
+
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")
+    schema = PARAM_SCHEMAS[job]
+    unknown = sorted(set(params) - set(schema))
+    if unknown:
+        raise ProtocolError(
+            f"job {job!r}: unknown param(s): {', '.join(unknown)}"
+        )
+    for name, (expected, required) in schema.items():
+        if name not in params:
+            if required:
+                raise ProtocolError(f"job {job!r}: missing param {name!r}")
+            continue
+        value = params[name]
+        if expected in (int, float) and isinstance(value, bool):
+            raise ProtocolError(
+                f"job {job!r}: param {name!r} must be {expected.__name__}"
+            )
+        if not isinstance(value, expected):
+            raise ProtocolError(
+                f"job {job!r}: param {name!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if job in ("crat", "simulate", "verify"):
+        if ("target" in params) == ("ptx" in params):
+            raise ProtocolError(
+                f"job {job!r}: exactly one of 'target' or 'ptx' is required"
+            )
+    return Request(
+        job=job, params=dict(params), id=req_id,
+        deadline=deadline, priority=priority,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reply constructors (the only way the server builds replies, so the
+# reply vocabulary cannot drift between code paths).
+# ----------------------------------------------------------------------
+def ok_reply(req_id: Optional[str], result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": req_id, "status": "ok", "result": result}
+
+
+def error_reply(
+    req_id: Optional[str], kind: str, message: str, exit_code: int
+) -> Dict[str, Any]:
+    return {
+        "id": req_id,
+        "status": "error",
+        "error": {"kind": kind, "message": message, "exit_code": exit_code},
+    }
+
+
+def invalid_reply(req_id: Optional[str], message: str) -> Dict[str, Any]:
+    return {
+        "id": req_id,
+        "status": "invalid",
+        "error": {"kind": "ProtocolError", "message": message, "exit_code": 7},
+    }
+
+
+def overloaded_reply(
+    req_id: Optional[str], retry_after: float
+) -> Dict[str, Any]:
+    """The 429: queue full; ``retry_after`` is the server's estimate of
+    when capacity frees up (the client library honors it)."""
+    return {
+        "id": req_id,
+        "status": "overloaded",
+        "retry_after": round(retry_after, 3),
+    }
+
+
+def expired_reply(req_id: Optional[str]) -> Dict[str, Any]:
+    return {"id": req_id, "status": "expired"}
+
+
+def drained_reply(req_id: Optional[str]) -> Dict[str, Any]:
+    return {"id": req_id, "status": "drained"}

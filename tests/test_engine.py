@@ -268,3 +268,141 @@ class TestBenchIntegration:
         )
         with pytest.raises(ValueError, match="zero cycles"):
             broken.speedup("crat")
+
+
+class TestCacheBounding:
+    """LRU bounding of the in-memory result cache (the knob a
+    long-lived ``repro serve`` uses to keep its resident set flat)."""
+
+    @staticmethod
+    def _key(index):
+        return ("schema", f"fp{index}", "cfg", 4, (), 1, "gto")
+
+    def test_unbounded_by_default(self, monkeypatch):
+        from repro.engine.cache import SimResultCache
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES", raising=False)
+        cache = SimResultCache(disk_dir="")
+        for i in range(100):
+            cache.put(self._key(i), f"r{i}")
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
+    def test_bound_evicts_least_recently_used(self):
+        from repro.engine.cache import SimResultCache
+
+        cache = SimResultCache(disk_dir="", max_entries=3)
+        for i in range(4):
+            cache.put(self._key(i), f"r{i}")
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        assert cache.get(self._key(0)) == (None, "miss")
+        assert cache.get(self._key(3)) == (f"r3", "memory")
+
+    def test_get_refreshes_recency(self):
+        from repro.engine.cache import SimResultCache
+
+        cache = SimResultCache(disk_dir="", max_entries=3)
+        for i in range(3):
+            cache.put(self._key(i), f"r{i}")
+        cache.get(self._key(0))           # key 0 is now most-recent
+        cache.put(self._key(3), "r3")     # so key 1 is the LRU victim
+        assert cache.get(self._key(0)) == ("r0", "memory")
+        assert cache.get(self._key(1)) == (None, "miss")
+
+    def test_env_var_bounds(self, monkeypatch):
+        from repro.engine.cache import SimResultCache
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "2")
+        cache = SimResultCache(disk_dir="")
+        for i in range(5):
+            cache.put(self._key(i), f"r{i}")
+        assert len(cache) == 2
+        assert cache.evictions == 3
+
+    def test_resolve_max_entries_rules(self, monkeypatch):
+        from repro.engine import resolve_max_entries
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+        assert resolve_max_entries(None) == 7
+        assert resolve_max_entries(3) == 3      # explicit wins
+        assert resolve_max_entries(0) is None   # non-positive = unbounded
+        assert resolve_max_entries(-1) is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "lots")
+        assert resolve_max_entries(None) is None  # garbage env ignored
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES")
+        assert resolve_max_entries(None) is None
+
+    def test_set_max_entries_sheds_immediately(self):
+        from repro.engine.cache import SimResultCache
+
+        cache = SimResultCache(disk_dir="", max_entries=None)
+        for i in range(10):
+            cache.put(self._key(i), f"r{i}")
+        cache.set_max_entries(4)
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        cache.set_max_entries(0)  # unbound again
+        assert cache.max_entries is None
+
+    def test_evicted_entry_readmitted_from_disk(self, tmp_path):
+        from repro.engine.cache import SimResultCache
+
+        cache = SimResultCache(disk_dir=str(tmp_path), max_entries=1)
+        cache.put(self._key(0), "r0")
+        cache.put(self._key(1), "r1")  # evicts key 0 from memory only
+        assert cache.evictions == 1
+        result, source = cache.get(self._key(0))
+        assert (result, source) == ("r0", "disk")
+
+    def test_engine_snapshot_reports_bound(self, gau):
+        engine = EvaluationEngine(jobs=1, cache_max_entries=2)
+        for tlp in (1, 2, 3):
+            engine.simulate(gau.kernel, FERMI, tlp, grid_blocks=4,
+                            param_sizes=gau.param_sizes)
+        snapshot = engine.snapshot()
+        assert snapshot["cache_max_entries"] == 2
+        assert snapshot["cached_results"] == 2
+        assert snapshot["cache_evictions"] == 1
+
+    def test_configure_rebounds_shared_engine(self):
+        from repro.engine import configure, get_engine, set_engine
+
+        previous = get_engine()
+        try:
+            set_engine(EvaluationEngine(jobs=1))
+            engine = configure(cache_max_entries=5)
+            assert engine._sim_cache.max_entries == 5
+            engine = configure(cache_max_entries=0)
+            assert engine._sim_cache.max_entries is None
+        finally:
+            set_engine(previous)
+
+
+class TestEngineThreadSafety:
+    def test_concurrent_get_engine_yields_one_instance(self):
+        import threading
+
+        from repro.engine import engine as engine_mod
+        from repro.engine import get_engine, set_engine
+
+        previous = get_engine()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            seen.append(get_engine())
+
+        try:
+            # Reset the singleton so every thread races the lazy init.
+            with engine_mod._engine_lock:
+                engine_mod._default_engine = None
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len({id(e) for e in seen}) == 1
+        finally:
+            set_engine(previous)

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Service smoke test: many client processes against one warm daemon.
+
+The CI ``service-smoke`` job's driver, also runnable locally::
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+What it checks, end to end, with real processes and a real socket:
+
+1. a ``repro serve`` daemon boots (with an injected ``REPRO_FAULTS``
+   worker-crash rate, so the supervisor's recovery path is exercised
+   *through* the service);
+2. 50 mixed requests (``simulate``/``crat``/``verify``) issued from
+   8 concurrent client processes all succeed;
+3. every answer is identical to the same job executed one-shot on a
+   fresh, fault-free engine — the daemon (and the injected crashes)
+   must never change a result;
+4. SIGTERM drains cleanly: exit code 0, ``service_drained`` logged.
+
+Exit status: 0 on success, 1 on any mismatch or daemon misbehavior.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+TOTAL_REQUESTS = 50
+CLIENTS = 8
+
+
+def build_requests():
+    """A deterministic mixed stream: repeats (cache/dedup food), a few
+    distinct design points, and every queued job type."""
+    requests = []
+    for i in range(TOTAL_REQUESTS):
+        kind = i % 5
+        if kind in (0, 1, 2):
+            requests.append(("simulate", {"target": "GAU", "tlp": 1 + i % 3}))
+        elif kind == 3:
+            requests.append(("crat", {"target": "GAU"}))
+        else:
+            requests.append(("verify", {"target": "GAU"}))
+    return requests
+
+
+def run_worker(index, sock_path):
+    """Child-process mode: submit this worker's slice, print JSON."""
+    from repro.service import ServiceClient, submit_or_raise
+
+    requests = build_requests()
+    out = []
+    with ServiceClient(socket_path=sock_path, timeout=300.0) as client:
+        for i in range(index, len(requests), CLIENTS):
+            job, params = requests[i]
+            result = submit_or_raise(client, job, params)
+            out.append({"index": i, "result": result})
+    json.dump(out, sys.stdout)
+    return 0
+
+
+def compute_expected():
+    """One-shot ground truth: each unique job on a fresh clean engine."""
+    from repro.engine import EvaluationEngine, get_engine, set_engine
+    from repro.service import execute, prepare
+    from repro.service.protocol import Request
+
+    expected = {}
+    previous = get_engine()
+    try:
+        for job, params in build_requests():
+            key = json.dumps([job, params], sort_keys=True)
+            if key in expected:
+                continue
+            set_engine(EvaluationEngine(jobs=2, disk_cache=""))
+            expected[key] = execute(prepare(Request(job=job, params=params)))
+    finally:
+        set_engine(previous)
+    return expected
+
+
+def wait_for_socket(path, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        probe = socket.socket(socket.AF_UNIX)
+        try:
+            probe.settimeout(0.5)
+            probe.connect(path)
+        except OSError:
+            time.sleep(0.1)
+        else:
+            return True
+        finally:
+            probe.close()
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--worker", type=int, default=None)
+    parser.add_argument("--socket", default=None)
+    args = parser.parse_args()
+
+    if args.worker is not None:
+        return run_worker(args.worker, args.socket)
+
+    sock_path = os.path.join(
+        os.environ.get("TMPDIR", "/tmp"), f"repro-smoke-{os.getpid()}.sock"
+    )
+    print(f"computing one-shot ground truth for "
+          f"{len(set(json.dumps(r, sort_keys=True) for r in build_requests()))}"
+          f" unique jobs ...", flush=True)
+    expected = compute_expected()
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    # Injected worker crashes: the engine's supervisor must retry them
+    # invisibly — the service above it never sees a difference.
+    env["REPRO_FAULTS"] = "crash:0.2"
+    env["REPRO_FAULTS_SEED"] = "7"
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--socket", sock_path, "--workers", "2", "--jobs", "2",
+         "--log-interval", "0"],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    failures = 0
+    try:
+        if not wait_for_socket(sock_path):
+            print("FAIL: daemon never bound its socket", file=sys.stderr)
+            return 1
+        print(f"daemon up on {sock_path}; launching {CLIENTS} client "
+              f"processes for {TOTAL_REQUESTS} requests ...", flush=True)
+        clients = [
+            subprocess.Popen(
+                [sys.executable, __file__,
+                 "--worker", str(i), "--socket", sock_path],
+                env=env, stdout=subprocess.PIPE, text=True,
+            )
+            for i in range(CLIENTS)
+        ]
+        requests = build_requests()
+        answered = {}
+        for client in clients:
+            stdout, _ = client.communicate(timeout=600)
+            if client.returncode != 0:
+                print(f"FAIL: client exited {client.returncode}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            for record in json.loads(stdout):
+                answered[record["index"]] = record["result"]
+
+        for i, (job, params) in enumerate(requests):
+            key = json.dumps([job, params], sort_keys=True)
+            if i not in answered:
+                print(f"FAIL: request {i} ({job}) unanswered",
+                      file=sys.stderr)
+                failures += 1
+            elif answered[i] != expected[key]:
+                print(f"FAIL: request {i} ({job} {params}) diverged from "
+                      f"one-shot:\n  served:   {answered[i]}\n"
+                      f"  one-shot: {expected[key]}", file=sys.stderr)
+                failures += 1
+        print(f"{len(answered)}/{len(requests)} answered, "
+              f"{failures} mismatches", flush=True)
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            _, stderr = daemon.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            print("FAIL: daemon did not drain within 60s", file=sys.stderr)
+            return 1
+    if daemon.returncode != 0:
+        print(f"FAIL: daemon exited {daemon.returncode}", file=sys.stderr)
+        return 1
+    if "service_drained" not in stderr:
+        print("FAIL: no service_drained line in the daemon log",
+              file=sys.stderr)
+        return 1
+    if failures:
+        return 1
+    print("service smoke: OK (identical to one-shot, clean drain)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
