@@ -109,18 +109,23 @@ def evaluate_app(
     config_name: str = "fermi",
     input_scale: float = 1.0,
     verify: bool = False,
+    passes: str = "",
 ) -> AppEvaluation:
     """Run the whole pipeline for one app (memoized).
 
     ``verify`` is part of the memo key on purpose: a validated and an
     unvalidated evaluation are different runs (the former may raise a
     :class:`repro.errors.VerificationError` the latter would not).
+    ``passes`` (a ``--passes`` pipeline spec) likewise: pre-allocation
+    rewrites change the kernel the whole pipeline evaluates.
     """
     config = get_config(config_name)
     workload = load_workload(abbr, input_scale)
     engine = get_engine()
     with engine.stage(f"evaluate:{abbr}"):
-        optimizer = CRATOptimizer(config, enable_shm_spill=True, verify=verify)
+        optimizer = CRATOptimizer(
+            config, enable_shm_spill=True, verify=verify, passes=passes
+        )
         crat = optimizer.optimize(
             workload.kernel,
             default_reg=workload.default_reg,
@@ -128,7 +133,7 @@ def evaluate_app(
             param_sizes=workload.param_sizes,
         )
         local_optimizer = CRATOptimizer(
-            config, enable_shm_spill=False, verify=verify
+            config, enable_shm_spill=False, verify=verify, passes=passes
         )
         crat_local = local_optimizer.optimize(
             workload.kernel,

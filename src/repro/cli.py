@@ -33,6 +33,16 @@ TLP sweep statically, simulate only the top-K survivors plus a bracket
 walk; ``--no-refine`` skips the walk); the default keeps the exact
 exhaustive pipeline.
 
+``--passes P1,P2,...`` (on ``simulate``/``crat``/``suite``/``serve``/
+``submit``) runs a pre-allocation optimization pipeline over the kernel
+before evaluation — comma-separated rewrite-driver pass names
+(``copy-prop``, ``dce``, ``bypass``, ``mlp-sched``, ``minreg-sched``,
+``unroll``).  The default is the empty pipeline (the kernel is
+evaluated exactly as written); unknown names are a parse error (exit
+2).  The active spec is folded into engine cache keys and service
+dedup signatures, so runs under different pipelines never share a
+cached result.
+
 ``--verify`` (on ``allocate``/``simulate``/``crat``/``suite``/``bench``)
 turns on translation validation: input kernels are dataflow-checked and
 every candidate allocation is independently rechecked (register
@@ -77,6 +87,9 @@ def _engine_for(args):
         fastpath_topk=topk,
         fastpath_refine=False if no_refine else None,
         task_timeout=getattr(args, "task_timeout", None),
+        # Fold the active --passes pipeline into the engine's cache
+        # keys (validated here, so a typo exits 2 before any work).
+        passes=getattr(args, "passes", None),
     )
 
 
@@ -201,6 +214,10 @@ def cmd_simulate(args) -> int:
 
         verify_mod.lint_kernel(kernel, stage="input").raise_if_errors()
     engine = _engine_for(args)
+    if args.passes:
+        from .ir import run_pipeline
+
+        kernel = run_pipeline(kernel, args.passes, verify=args.verify).kernel
     sizes = workload.param_sizes if workload else None
     grid = args.grid or (workload.grid_blocks if workload else None)
     result = engine.simulate(kernel, config, tlp=args.tlp, grid_blocks=grid,
@@ -225,6 +242,7 @@ def cmd_crat(args) -> int:
         enable_shm_spill=not args.no_shm_spill,
         opt_tlp_mode="static" if args.static else "profile",
         verify=args.verify,
+        passes=args.passes,
     )
     result = optimizer.optimize(
         kernel,
@@ -304,14 +322,19 @@ def cmd_suite(args) -> int:
         note = f"FAILED ({failure.kind})" if failure else "done"
         print(f"  {abbr} {note}", file=sys.stderr)
 
+    # Only forward non-default knobs: tests monkeypatch two-argument
+    # drivers in place of ``evaluate_app``.
+    extra = {}
+    if args.verify:
+        extra["verify"] = True
+    if args.passes:
+        extra["passes"] = args.passes
     report = run_suite(
         [w.abbr for w in RESOURCE_SENSITIVE],
         config_name=args.config,
-        # Only forward ``verify`` when requested: tests monkeypatch
-        # two-argument drivers in place of ``evaluate_app``.
         evaluate=lambda abbr, config: (
-            bench.evaluate_app(abbr, config, verify=True)
-            if args.verify
+            bench.evaluate_app(abbr, config, **extra)
+            if extra
             else bench.evaluate_app(abbr, config)
         ),
         on_app=progress,
@@ -380,7 +403,13 @@ def cmd_serve(args) -> int:
         fastpath_refine=False if args.no_refine else None,
         task_timeout=args.task_timeout,
         cache_max_entries=bound,
+        passes=args.passes,
     )
+    # Daemon-wide default pipeline; per-request "passes" params
+    # override it (and re-key the single-flight signature).
+    from .service import jobs as service_jobs
+
+    service_jobs.set_default_passes(args.passes)
     return serve_main(
         socket_path=args.socket or None,
         host=host,
@@ -428,6 +457,8 @@ def _submit_params(args) -> dict:
             params["apps"] = [a.upper() for a in args.apps]
         if args.verify:
             params["verify"] = True
+    if args.job in ("crat", "simulate", "suite") and args.passes:
+        params["passes"] = args.passes
     return params
 
 
@@ -538,6 +569,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="treat warnings as errors (exit 6)")
     p_verify.set_defaults(func=cmd_verify)
 
+    def add_passes_flag(p):
+        p.add_argument("--passes", default="", metavar="P1,P2,...",
+                       help="pre-allocation optimization pipeline to run "
+                            "over the kernel (comma-separated pass names; "
+                            "see repro.ir: copy-prop, dce, bypass, "
+                            "mlp-sched, minreg-sched, unroll; default: "
+                            "none — the kernel is evaluated as written; "
+                            "unknown names exit 2)")
+
     def add_engine_flags(p, trace=True, fastpath=False):
         p.add_argument("--jobs", type=int, default=0,
                        help="simulation worker processes "
@@ -569,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--config", default="fermi")
     add_engine_flags(p_sim, trace=False)
     add_verify_flag(p_sim)
+    add_passes_flag(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_crat = sub.add_parser("crat", help="run the CRAT optimizer")
@@ -582,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write optimized PTX to this path")
     add_engine_flags(p_crat, fastpath=True)
     add_verify_flag(p_crat)
+    add_passes_flag(p_crat)
     p_crat.set_defaults(func=cmd_crat)
 
     p_suite = sub.add_parser("suite", help="Fig 13 table on the sensitive suite")
@@ -592,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "path")
     add_engine_flags(p_suite, fastpath=True)
     add_verify_flag(p_suite)
+    add_passes_flag(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_bench = sub.add_parser(
@@ -645,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="period of the structured stats log lines "
                               "on stderr (0 disables; default 30)")
     add_engine_flags(p_serve, trace=False, fastpath=True)
+    add_passes_flag(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -686,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="suite: explicit app list")
     p_submit.add_argument("--verify", action="store_true",
                           help="crat/suite: translation-validate")
+    add_passes_flag(p_submit)
     p_submit.set_defaults(func=cmd_submit)
 
     return parser

@@ -24,6 +24,7 @@ from ..arch.latency import measure_costs
 from ..arch.occupancy import compute_occupancy, spare_shm_per_block
 from ..engine import EvaluationEngine, FastPathPolicy, get_engine
 from ..errors import classify_error
+from ..ir.pipeline import pipeline_signature, run_pipeline
 from ..ptx.module import Kernel
 from ..regalloc.allocator import InsufficientRegistersError, allocate
 from ..sim.stats import SimResult
@@ -79,6 +80,13 @@ class CRATOptimizer:
     alike — is independently rechecked by
     :func:`repro.verify.verify_allocation`; any finding raises
     :class:`repro.errors.VerificationError`.
+
+    ``passes`` names an optimization pipeline (``--passes`` spec, e.g.
+    ``"copy-prop,dce,minreg-sched"``) run over the input kernel before
+    resource collection and allocation; with ``verify`` every
+    individual rewrite is additionally translation-validated.  The spec
+    is validated at construction (unknown names raise
+    :class:`repro.errors.ParseError`), never at optimize time.
     """
 
     def __init__(
@@ -91,9 +99,11 @@ class CRATOptimizer:
         engine: Optional[EvaluationEngine] = None,
         fastpath: Optional[FastPathPolicy] = None,
         verify: bool = False,
+        passes: str = "",
     ):
         if opt_tlp_mode not in ("profile", "static"):
             raise ValueError("opt_tlp_mode must be 'profile' or 'static'")
+        self.passes = pipeline_signature(passes)
         self.config = config
         self.enable_shm_spill = enable_shm_spill
         self.opt_tlp_mode = opt_tlp_mode
@@ -154,9 +164,13 @@ class CRATOptimizer:
             from ..verify import lint_kernel
 
             lint_kernel(kernel, stage="input").raise_if_errors()
-        usage = collect_resource_usage(kernel, config, default_reg=default_reg)
-
         engine = self.engine
+        if self.passes:
+            with engine.stage("passes"):
+                kernel = run_pipeline(
+                    kernel, self.passes, verify=self.verify
+                ).kernel
+        usage = collect_resource_usage(kernel, config, default_reg=default_reg)
         # Baselines are also the profiling source for OptTLP.
         t0 = time.perf_counter()
         if baselines is None:

@@ -42,6 +42,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.config import GPUConfig
+from ..ir.pipeline import PIPELINE_SCHEMA_VERSION
 from ..sim.stats import SimResult
 from . import faults
 from .fastpath import FASTPATH_SCHEMA_VERSION
@@ -94,15 +95,21 @@ def cache_schema_version() -> str:
     """The schema tag baked into every simulation-cache key.
 
     Combines the result-layout revision with the fast-path scoring
-    revision (:data:`repro.engine.fastpath.FASTPATH_SCHEMA_VERSION`):
-    on-disk entries written under a different scoring model — whose
-    pruning decided *which* points ever got simulated — are invalidated
-    wholesale by a version bump rather than trusted silently.
+    revision (:data:`repro.engine.fastpath.FASTPATH_SCHEMA_VERSION`)
+    and the optimization-pipeline revision
+    (:data:`repro.ir.pipeline.PIPELINE_SCHEMA_VERSION`): on-disk
+    entries written under a different scoring model — whose pruning
+    decided *which* points ever got simulated — or under pass semantics
+    that have since changed are invalidated wholesale by a version bump
+    rather than trusted silently.
     """
-    return f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
+    return (
+        f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
+        f".pp{PIPELINE_SCHEMA_VERSION}"
+    )
 
 
-SimKey = Tuple[str, str, str, int, Tuple[Tuple[str, int], ...], int, str]
+SimKey = Tuple[str, str, str, int, Tuple[Tuple[str, int], ...], int, str, str]
 
 
 def config_signature(config: GPUConfig) -> str:
@@ -123,9 +130,17 @@ def make_sim_key(
     param_sizes: Optional[Dict[str, int]],
     tlp: int,
     scheduler: str,
+    pipeline: str = "",
     schema: Optional[str] = None,
 ) -> SimKey:
-    """Build a cache key; ``schema`` defaults to the current version."""
+    """Build a cache key; ``schema`` defaults to the current version.
+
+    ``pipeline`` is the active ``--passes`` signature
+    (:func:`repro.ir.pipeline.pipeline_signature`); folding it into the
+    key means results produced under different pass pipelines can never
+    alias, even when a pass happens to leave a kernel's content (and
+    hence its fingerprint) unchanged.
+    """
     if schema is None:
         schema = cache_schema_version()
     params = tuple(sorted((param_sizes or {}).items()))
@@ -137,6 +152,7 @@ def make_sim_key(
         params,
         tlp,
         scheduler,
+        pipeline,
     )
 
 

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..arch.config import GPUConfig
 from ..errors import ReproError, classify_error
+from ..ir.pipeline import pipeline_signature
 from ..ptx.module import Kernel
 from ..sim.executor import BlockTrace
 from ..sim.gpu import simulate_traces, trace_grid
@@ -103,8 +104,13 @@ class EvaluationEngine:
         supervisor: Optional[SupervisorPolicy] = None,
         checkpoint_dir: Optional[str] = None,
         cache_max_entries: Optional[int] = None,
+        pipeline: str = "",
     ):
         self.jobs = resolve_jobs(jobs)
+        #: The active ``--passes`` signature; folded into every cache
+        #: key so results simulated under different pipelines never
+        #: alias (see :func:`repro.engine.cache.make_sim_key`).
+        self.pipeline = pipeline_signature(pipeline)
         self._sim_cache = SimResultCache(
             disk_cache,
             on_corrupt=self._on_cache_corrupt,
@@ -279,7 +285,7 @@ class EvaluationEngine:
             fp = fingerprints.setdefault(id(req.kernel), req.kernel.fingerprint())
             key = make_sim_key(
                 fp, req.config, req.resolved_grid(), req.param_sizes,
-                req.tlp, req.scheduler,
+                req.tlp, req.scheduler, pipeline=self.pipeline,
             )
             keys.append(key)
             cached, source = self._sim_cache.get(key)
@@ -581,6 +587,7 @@ class EvaluationEngine:
         """JSON-ready view of counters, timings and the event log."""
         return {
             "jobs": self.jobs,
+            "pipeline": self.pipeline,
             "cached_results": len(self._sim_cache),
             "cached_traces": len(self._trace_cache),
             "cache_max_entries": self._sim_cache.max_entries,
@@ -646,6 +653,7 @@ def configure(
     task_timeout: Optional[float] = None,
     checkpoint_dir: Optional[str] = None,
     cache_max_entries: Optional[int] = None,
+    passes: Optional[str] = None,
 ) -> EvaluationEngine:
     """Adjust the shared engine in place (the CLI's ``--jobs`` /
     ``--fastpath-topk`` / ``--task-timeout`` hook).  ``fastpath_topk=0``
@@ -655,9 +663,12 @@ def configure(
     fast paths.  ``task_timeout`` (seconds; 0 disables) bounds each
     supervised simulation attempt; ``checkpoint_dir`` ("" disables)
     points the resumption journal; ``cache_max_entries`` (0 unbounds)
-    LRU-bounds the in-memory result cache.  The whole adjustment runs
-    under the engine lock, so a concurrent ``get_engine`` caller sees
-    either the old or the new configuration, never a mix."""
+    LRU-bounds the in-memory result cache.  ``passes`` sets the active
+    optimization-pipeline signature folded into cache keys ("" clears
+    it; unknown pass names raise :class:`repro.errors.ParseError`).
+    The whole adjustment runs under the engine lock, so a concurrent
+    ``get_engine`` caller sees either the old or the new configuration,
+    never a mix."""
     with _engine_lock:
         engine = get_engine()
         if jobs is not None:
@@ -682,4 +693,8 @@ def configure(
             engine.set_checkpoint_dir(checkpoint_dir or None)
         if cache_max_entries is not None:
             engine._sim_cache.set_max_entries(cache_max_entries)
+        if passes is not None:
+            # Normalized (and validated) before taking effect: a typo'd
+            # spec must fail loudly, never silently tag cache keys.
+            engine.pipeline = pipeline_signature(passes)
         return engine

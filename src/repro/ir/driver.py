@@ -1,0 +1,199 @@
+"""Greedy fixpoint rewrite driver with provenance and per-rewrite
+translation validation.
+
+The driver sweeps the kernel in program order, offering each position
+to its patterns in priority (list) order.  The first pattern that
+matches has its :class:`~repro.ir.rewrite.Rewrite` applied through the
+audited :class:`~repro.ir.rewrite.Rewriter`; the analysis context is
+rebuilt and the sweep resumes *at the same position* (erasures shift
+the next instruction in; replacements no longer match, so re-offering
+is cheap and keeps the work-list implicit).  A sweep that applies no
+rewrite is the fixpoint.
+
+Every application is recorded as a :class:`RewriteApplication` —
+pattern name, anchor instruction, before/after text — and, when
+``verify`` is on, individually checked with
+:func:`repro.verify.verify_pass` in the pattern's declared mode, so a
+single bad rewrite is caught at its application site instead of being
+smeared across a whole-pass snapshot diff.
+
+Budget exhaustion (sweeps or rewrites) is never silent: the driver
+emits a structured :class:`RewriteBudgetWarning` and reports
+``converged=False``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from ..ptx.module import Kernel
+from .rewrite import Rewrite, RewritePattern, Rewriter
+from .view import InstrWindow, RewriteContext
+
+
+class RewriteBudgetWarning(UserWarning):
+    """The driver hit a sweep/rewrite budget before reaching a fixpoint.
+
+    Structured: carries the kernel name, the budget that tripped, and
+    the application count, so callers (and tests) can filter on more
+    than a message substring.
+    """
+
+    def __init__(self, kernel: str, budget: str, limit: int, applied: int):
+        self.kernel = kernel
+        self.budget = budget
+        self.limit = limit
+        self.applied = applied
+        super().__init__(
+            f"rewrite driver stopped before fixpoint on kernel "
+            f"{kernel!r}: {budget} budget of {limit} exhausted after "
+            f"{applied} applied rewrite(s)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RewriteApplication:
+    """Provenance record of one applied rewrite."""
+
+    pattern: str
+    anchor: int
+    before: str
+    after: str
+    sweep: int
+    note: str = ""
+    metadata: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class DriverResult:
+    """Outcome of one driver run."""
+
+    kernel: Kernel
+    applications: List[RewriteApplication]
+    counters: "Counter[str]"
+    sweeps: int
+    converged: bool
+
+    @property
+    def applied(self) -> int:
+        return len(self.applications)
+
+
+def _render_span(ctx: RewriteContext, rewrite: Rewrite) -> str:
+    parts = []
+    n = len(ctx)
+    for sp in rewrite.splices:
+        parts.extend(
+            str(ctx.instructions[p])
+            for p in range(sp.start, min(sp.start + sp.length, n))
+        )
+    return "; ".join(parts)
+
+
+def _render_replacement(rewrite: Rewrite) -> str:
+    parts = []
+    for sp in rewrite.splices:
+        parts.extend(str(inst) for inst in sp.replacement)
+    return "; ".join(parts)
+
+
+class GreedyRewriteDriver:
+    """Iterates a pattern set over a kernel to a fixpoint.
+
+    ``max_sweeps`` bounds full program-order passes (a pass framework's
+    "iterations"); ``max_rewrites`` bounds total applications and is
+    the safety net against a pattern that matches its own output.
+    ``warn_on_budget=False`` silences the structured warning for
+    callers that intentionally run a bounded number of sweeps (e.g. the
+    single-sweep legacy copy-prop semantics).
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[RewritePattern],
+        max_sweeps: int = 32,
+        max_rewrites: int = 100_000,
+        verify: bool = False,
+        warn_on_budget: bool = True,
+    ):
+        self.patterns = list(patterns)
+        self.max_sweeps = max_sweeps
+        self.max_rewrites = max_rewrites
+        self.verify = verify
+        self.warn_on_budget = warn_on_budget
+
+    def run(self, kernel: Kernel) -> DriverResult:
+        if self.verify:
+            from ..verify import verify_pass
+        current = kernel.copy()
+        applications: List[RewriteApplication] = []
+        counters: "Counter[str]" = Counter()
+        sweeps = 0
+        converged = False
+
+        def exhausted(budget: str, limit: int) -> None:
+            if self.warn_on_budget:
+                warnings.warn(
+                    RewriteBudgetWarning(
+                        kernel.name, budget, limit, len(applications)
+                    ),
+                    stacklevel=3,
+                )
+
+        while sweeps < self.max_sweeps:
+            sweeps += 1
+            ctx = RewriteContext(current)
+            pos = 0
+            applied_in_sweep = 0
+            while pos < len(ctx):
+                rewrite: Optional[Rewrite] = None
+                pattern: Optional[RewritePattern] = None
+                window = InstrWindow(ctx, pos)
+                for candidate in self.patterns:
+                    rewrite = candidate.match(window, ctx)
+                    if rewrite is not None:
+                        pattern = candidate
+                        break
+                if rewrite is None or pattern is None:
+                    pos += 1
+                    continue
+                if len(applications) >= self.max_rewrites:
+                    exhausted("rewrite", self.max_rewrites)
+                    return DriverResult(
+                        current, applications, counters, sweeps, False
+                    )
+                before_text = _render_span(ctx, rewrite)
+                new_kernel = Rewriter(current).apply(rewrite)
+                if self.verify:
+                    verify_pass(
+                        current,
+                        new_kernel,
+                        pattern.name,
+                        compare_effects=pattern.verify_mode == "exact",
+                    ).raise_if_errors()
+                applications.append(
+                    RewriteApplication(
+                        pattern=pattern.name,
+                        anchor=rewrite.anchor,
+                        before=before_text,
+                        after=_render_replacement(rewrite),
+                        sweep=sweeps,
+                        note=rewrite.note,
+                        metadata=dict(rewrite.metadata),
+                    )
+                )
+                counters[pattern.name] += 1
+                applied_in_sweep += 1
+                current = new_kernel
+                ctx = RewriteContext(current)
+                # Stay at the same position: erasures shift the next
+                # instruction in, replacements re-offer harmlessly.
+            if applied_in_sweep == 0:
+                converged = True
+                break
+        if not converged:
+            exhausted("sweep", self.max_sweeps)
+        return DriverResult(current, applications, counters, sweeps, converged)

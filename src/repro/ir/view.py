@@ -1,0 +1,115 @@
+"""Immutable instruction views for the rewrite driver.
+
+Patterns never see the mutable :class:`~repro.ptx.module.Kernel`
+directly.  They match against an :class:`InstrWindow` — one instruction
+position inside a :class:`RewriteContext` that exposes the kernel, its
+CFG, liveness, loops, and a generic analysis memo.  All analyses are
+computed lazily and cached for the lifetime of the context; the driver
+discards the context after every applied rewrite, so a pattern can
+trust that whatever it reads describes the *current* kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cfg.graph import CFG, BasicBlock
+from ..cfg.liveness import LivenessInfo
+from ..cfg.loops import Loop, find_loops
+from ..ptx.instruction import Instruction
+from ..ptx.module import Kernel
+
+
+class RewriteContext:
+    """Read-only analysis view of one kernel revision.
+
+    The context is rebuilt by the driver after each applied rewrite, so
+    every cached analysis (CFG, liveness, loops, pattern-specific memos
+    via :meth:`cached`) is always consistent with :attr:`kernel`.
+    Patterns must treat everything reachable from here as immutable —
+    mutation goes through :class:`repro.ir.rewrite.Rewriter` only.
+    """
+
+    def __init__(self, kernel: Kernel):
+        self._kernel = kernel
+        self._instructions: Optional[Tuple[Instruction, ...]] = None
+        self._cfg: Optional[CFG] = None
+        self._liveness: Optional[LivenessInfo] = None
+        self._loops: Optional[List[Loop]] = None
+        self._block_of_pos: Optional[Dict[int, BasicBlock]] = None
+        self._memo: Dict[Any, Any] = {}
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """All instructions in body order (labels skipped)."""
+        if self._instructions is None:
+            self._instructions = tuple(self._kernel.instructions())
+        return self._instructions
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = CFG(self._kernel)
+        return self._cfg
+
+    @property
+    def liveness(self) -> LivenessInfo:
+        if self._liveness is None:
+            self._liveness = LivenessInfo(self._kernel, self.cfg)
+        return self._liveness
+
+    @property
+    def loops(self) -> List[Loop]:
+        if self._loops is None:
+            self._loops = find_loops(self.cfg)
+        return self._loops
+
+    def block_of(self, pos: int) -> BasicBlock:
+        """The basic block containing global instruction position ``pos``."""
+        if self._block_of_pos is None:
+            mapping: Dict[int, BasicBlock] = {}
+            for block in self.cfg.blocks:
+                for p, _ in block.positions():
+                    mapping[p] = block
+            self._block_of_pos = mapping
+        return self._block_of_pos[pos]
+
+    def cached(self, key: Any, compute: Callable[["RewriteContext"], Any]) -> Any:
+        """Memoize a pattern-specific analysis for this kernel revision.
+
+        ``key`` should be unique per analysis (conventionally the
+        pattern name); ``compute`` receives the context and its result
+        is cached until the driver rebuilds the context.
+        """
+        if key not in self._memo:
+            self._memo[key] = compute(self)
+        return self._memo[key]
+
+
+@dataclasses.dataclass(frozen=True)
+class InstrWindow:
+    """One anchor position a pattern is asked to match at."""
+
+    ctx: RewriteContext
+    pos: int
+
+    @property
+    def instr(self) -> Instruction:
+        return self.ctx.instructions[self.pos]
+
+    @property
+    def block(self) -> BasicBlock:
+        return self.ctx.block_of(self.pos)
+
+    @property
+    def is_block_leader(self) -> bool:
+        """Whether this is the first instruction of its basic block."""
+        return self.block.start == self.pos

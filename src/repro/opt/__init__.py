@@ -1,21 +1,30 @@
-"""Pre-allocation optimization passes: copy propagation and DCE.
+"""Pre-allocation optimization passes on the pattern-rewrite driver.
+
+Every pass is a :class:`repro.ir.RewritePattern` applied by the
+:class:`repro.ir.GreedyRewriteDriver`; the historical function APIs
+(``propagate_copies``, ``eliminate_dead_code``, ...) remain as thin
+driver wrappers with unchanged result types and bit-identical output
+(enforced by the old-vs-new differential gate against
+:mod:`repro.opt.legacy`).
 
 ``optimize_kernel`` runs the standard cleanup pipeline the production
-toolchain applies before register allocation: propagate copies, then
-delete the dead definitions that propagation exposes, iterated to a
-fixed point.
+toolchain applies before register allocation: copy propagation and
+dead-code elimination as one interleaved pattern set, driven to the
+fixpoint where a full sweep applies no rewrite.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from ..ir.driver import GreedyRewriteDriver, RewriteBudgetWarning
 from ..ptx.module import Kernel
-from .bypass import BypassResult, apply_static_bypass
-from .copy_prop import CopyPropResult, propagate_copies
-from .dce import DCEResult, eliminate_dead_code
-from .schedule import ScheduleResult, schedule_for_mlp
-from .unroll import UnrollResult, unroll_loops
+from .bypass import BypassPattern, BypassResult, apply_static_bypass
+from .copy_prop import CopyPropPattern, CopyPropResult, propagate_copies
+from .dce import DCEPattern, DCEResult, eliminate_dead_code
+from .minreg import MinRegResult, MinRegSchedPattern, schedule_for_minreg
+from .schedule import MlpSchedPattern, ScheduleResult, schedule_for_mlp
+from .unroll import UnrollPattern, UnrollResult, unroll_loops
 
 
 @dataclasses.dataclass
@@ -33,50 +42,55 @@ def optimize_kernel(
 ) -> PipelineResult:
     """Copy-propagate and DCE to a fixed point; returns a new kernel.
 
-    With ``verify``, every individual pass application is translation-
-    validated (:func:`repro.verify.verify_pass`): a pass that changes
-    the kernel's observable effects or breaks its dataflow raises
-    :class:`repro.errors.VerificationError` immediately instead of
-    producing wrong benchmark numbers downstream.
+    Convergence is detected by the driver applying **no rewrites** in a
+    full sweep (not by comparing kernel snapshots); exhausting
+    ``max_iterations`` sweeps before that emits a structured
+    :class:`repro.ir.RewriteBudgetWarning` rather than silently
+    truncating.
+
+    With ``verify``, every individual rewrite is translation-validated
+    (:func:`repro.verify.verify_pass`): a rewrite that changes the
+    kernel's observable effects or breaks its dataflow raises
+    :class:`repro.errors.VerificationError` at its application site
+    instead of producing wrong benchmark numbers downstream.
     """
-    if verify:
-        from ..verify import verify_pass
-    current = kernel
-    total_rewritten = 0
-    total_removed = 0
-    iterations = 0
-    for _ in range(max_iterations):
-        iterations += 1
-        cp = propagate_copies(current)
-        if verify:
-            verify_pass(current, cp.kernel, "copy_prop").raise_if_errors()
-        dce = eliminate_dead_code(cp.kernel)
-        if verify:
-            verify_pass(cp.kernel, dce.kernel, "dce").raise_if_errors()
-        total_rewritten += cp.rewritten_uses
-        total_removed += dce.removed
-        current = dce.kernel
-        if cp.rewritten_uses == 0 and dce.removed == 0:
-            break
+    driver = GreedyRewriteDriver(
+        [CopyPropPattern(), DCEPattern()],
+        max_sweeps=max_iterations,
+        verify=verify,
+    )
+    result = driver.run(kernel)
     return PipelineResult(
-        kernel=current,
-        rewritten_uses=total_rewritten,
-        removed_instructions=total_removed,
-        iterations=iterations,
+        kernel=result.kernel,
+        rewritten_uses=sum(
+            app.metadata.get("rewritten_uses", 0)
+            for app in result.applications
+        ),
+        removed_instructions=result.counters["dce"],
+        iterations=result.sweeps,
     )
 
 
 __all__ = [
+    "BypassPattern",
     "BypassResult",
+    "CopyPropPattern",
     "CopyPropResult",
-    "apply_static_bypass",
+    "DCEPattern",
     "DCEResult",
+    "MinRegResult",
+    "MinRegSchedPattern",
+    "MlpSchedPattern",
     "PipelineResult",
+    "RewriteBudgetWarning",
+    "ScheduleResult",
+    "UnrollPattern",
+    "UnrollResult",
+    "apply_static_bypass",
     "eliminate_dead_code",
     "optimize_kernel",
     "propagate_copies",
-    "ScheduleResult",
+    "schedule_for_minreg",
     "schedule_for_mlp",
-    "UnrollResult",
     "unroll_loops",
 ]

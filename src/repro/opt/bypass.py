@@ -14,16 +14,24 @@ its address register is (transitively, through copies/adds with
 immediates) rooted at a register that is *monotonically advanced* in a
 loop — redefined by ``add reg, reg, <imm>`` with no masking — and that
 register has no other definition inside the loop.
+
+Expressed as :class:`BypassPattern` on the rewrite driver: the
+streaming-roots/loop-membership analysis is memoized on the rewrite
+context (it only reads defs, which flipping a load's cache operator
+never changes), and each matching load is replaced individually.
+Flipped loads carry ``cache_op="cg"`` and no longer match, so the
+driver converges after one productive sweep.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..cfg.graph import CFG
-from ..cfg.loops import find_loops
-from ..ptx.instruction import Imm, Instruction, Label, Reg
+from ..ir.driver import GreedyRewriteDriver
+from ..ir.rewrite import Rewrite, RewritePattern
+from ..ir.view import InstrWindow, RewriteContext
+from ..ptx.instruction import Imm, Instruction, Reg
 from ..ptx.isa import Opcode, Space
 from ..ptx.module import Kernel
 
@@ -36,22 +44,22 @@ class BypassResult:
     bypassed_loads: int
 
 
-def apply_static_bypass(kernel: Kernel) -> BypassResult:
-    """Mark streaming global loads ``.cg``; returns a new kernel."""
-    out = kernel.copy()
-    cfg = CFG(out)
-    loops = find_loops(cfg)
+def _streaming_analysis(ctx: RewriteContext) -> Tuple[Set[str], Set[int]]:
+    """(streaming root names, loop-resident instruction positions)."""
+    cfg = ctx.cfg
     loop_blocks: Set[int] = set()
-    for loop in loops:
+    for loop in ctx.loops:
         loop_blocks.update(loop.body)
 
     # Registers advanced monotonically inside a loop: exactly one
     # in-loop definition of the form  add r, r, imm  (self-increment).
     defs_in_loop: Dict[str, List[Instruction]] = {}
+    pos_in_loop: Set[int] = set()
     for block in cfg.blocks:
         if block.index not in loop_blocks:
             continue
-        for inst in block.instructions:
+        for pos, inst in block.positions():
+            pos_in_loop.add(pos)
             for dreg in inst.defs():
                 defs_in_loop.setdefault(dreg.name, []).append(inst)
 
@@ -70,37 +78,41 @@ def apply_static_bypass(kernel: Kernel) -> BypassResult:
             and int(inst.srcs[1].value) > 0
         ):
             streaming_roots.add(name)
+    return streaming_roots, pos_in_loop
 
-    if not streaming_roots:
-        return BypassResult(kernel=out, bypassed_loads=0)
 
-    # Mark loop-resident global loads addressed through a streaming root.
-    new_body: List = []
-    count = 0
-    position = 0
-    pos_in_loop: Set[int] = set()
-    for block in cfg.blocks:
-        in_loop = block.index in loop_blocks
-        for pos, _ in block.positions():
-            if in_loop:
-                pos_in_loop.add(pos)
-    for item in out.body:
-        if isinstance(item, Label):
-            new_body.append(item)
-            continue
-        inst = item
-        if (
-            position in pos_in_loop
-            and inst.opcode is Opcode.LD
+class BypassPattern(RewritePattern):
+    """Flip one loop-resident streaming ``ld.global.ca`` to ``.cg``."""
+
+    name = "bypass"
+    verify_mode = "exact"  # cache_op is excluded from effect summaries
+
+    def match(
+        self, window: InstrWindow, ctx: RewriteContext
+    ) -> Optional[Rewrite]:
+        inst = window.instr
+        if not (
+            inst.opcode is Opcode.LD
             and inst.space is Space.GLOBAL
             and inst.cache_op == "ca"
             and inst.mem is not None
             and isinstance(inst.mem.base, Reg)
-            and inst.mem.base.name in streaming_roots
         ):
-            inst = dataclasses.replace(inst, cache_op="cg")
-            count += 1
-        new_body.append(inst)
-        position += 1
-    out.body = new_body
-    return BypassResult(kernel=out, bypassed_loads=count)
+            return None
+        roots, pos_in_loop = ctx.cached(self.name, _streaming_analysis)
+        if window.pos not in pos_in_loop or inst.mem.base.name not in roots:
+            return None
+        rewrite = Rewrite(
+            window.pos,
+            note=f"bypass streaming load via {inst.mem.base.name}",
+        )
+        rewrite.replace(window.pos, dataclasses.replace(inst, cache_op="cg"))
+        rewrite.metadata["bypassed_loads"] = 1
+        return rewrite
+
+
+def apply_static_bypass(kernel: Kernel) -> BypassResult:
+    """Mark streaming global loads ``.cg``; returns a new kernel."""
+    driver = GreedyRewriteDriver([BypassPattern()])
+    result = driver.run(kernel)
+    return BypassResult(kernel=result.kernel, bypassed_loads=result.applied)

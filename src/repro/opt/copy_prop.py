@@ -9,15 +9,23 @@ delete the movs and shortens live ranges before allocation.
 Only register-to-register movs are propagated — immediates are left to
 the allocator's rematerialization, and special-register reads must stay
 (they are the canonical definition points).
+
+Expressed as :class:`CopyPropPattern` on the rewrite driver: the
+pattern anchors at any instruction with rewritable uses, reconstructs
+the copy map over its (already final) block prefix, and replaces the
+one instruction.  A single driver sweep therefore reproduces the
+original one-pass walk exactly.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, Optional
 
-from ..cfg.graph import CFG
-from ..ptx.instruction import Instruction, Label, Reg
+from ..ir.driver import GreedyRewriteDriver
+from ..ir.rewrite import Rewrite, RewritePattern
+from ..ir.view import InstrWindow, RewriteContext
+from ..ptx.instruction import Instruction, Reg
 from ..ptx.isa import Opcode
 from ..ptx.module import Kernel
 
@@ -30,56 +38,73 @@ class CopyPropResult:
     rewritten_uses: int
 
 
+class CopyPropPattern(RewritePattern):
+    """Rewrite one instruction's uses through the block's copy map."""
+
+    name = "copy-prop"
+    verify_mode = "exact"
+
+    def match(
+        self, window: InstrWindow, ctx: RewriteContext
+    ) -> Optional[Rewrite]:
+        inst = window.instr
+        if not inst.uses():
+            return None
+        copies: Dict[str, Reg] = {}
+        for pos, prior in window.block.positions():
+            if pos == window.pos:
+                break
+            _track_copies(copies, prior)
+        mapping: Dict[str, Reg] = {}
+        for reg in inst.uses():
+            source = _resolve(copies, reg)
+            if source is not None and source.name != reg.name:
+                mapping[reg.name] = Reg(source.name, reg.dtype)
+        if not mapping:
+            return None
+        rewrite = Rewrite(window.pos, note="propagate copies")
+        rewrite.replace(
+            window.pos, inst.rewrite_regs(lambda r: mapping.get(r.name, r))
+        )
+        rewrite.metadata["rewritten_uses"] = len(mapping)
+        return rewrite
+
+
+def _track_copies(copies: Dict[str, Reg], inst: Instruction) -> None:
+    """Advance the copy map across one (already final) instruction."""
+    # Kill copies invalidated by this definition.
+    for dreg in inst.defs():
+        copies.pop(dreg.name, None)
+        stale = [d for d, s in copies.items() if s.name == dreg.name]
+        for name in stale:
+            del copies[name]
+    # Record a new copy.
+    if (
+        inst.opcode is Opcode.MOV
+        and inst.guard is None
+        and inst.dst is not None
+        and len(inst.srcs) == 1
+        and isinstance(inst.srcs[0], Reg)
+        and _compatible(inst.dst, inst.srcs[0])
+    ):
+        copies[inst.dst.name] = inst.srcs[0]
+
+
 def propagate_copies(kernel: Kernel) -> CopyPropResult:
-    """Propagate register copies within basic blocks; returns a new kernel."""
-    out = kernel.copy()
-    cfg = CFG(out)
-    rewritten = 0
-    new_instructions: Dict[int, Instruction] = {}
+    """Propagate register copies within basic blocks; returns a new kernel.
 
-    for block in cfg.blocks:
-        copies: Dict[str, Reg] = {}  # dst name -> source register
-        for pos, inst in block.positions():
-            # Rewrite uses through the current copy map (transitively).
-            mapping: Dict[str, Reg] = {}
-            for reg in inst.uses():
-                source = _resolve(copies, reg)
-                if source is not None and source.name != reg.name:
-                    mapping[reg.name] = Reg(source.name, reg.dtype)
-            if mapping:
-                inst = inst.rewrite_regs(lambda r: mapping.get(r.name, r))
-                new_instructions[pos] = inst
-                rewritten += len(mapping)
-            # Kill copies invalidated by this definition.
-            for dreg in inst.defs():
-                copies.pop(dreg.name, None)
-                stale = [
-                    d for d, s in copies.items() if s.name == dreg.name
-                ]
-                for name in stale:
-                    del copies[name]
-            # Record a new copy.
-            if (
-                inst.opcode is Opcode.MOV
-                and inst.guard is None
-                and inst.dst is not None
-                and len(inst.srcs) == 1
-                and isinstance(inst.srcs[0], Reg)
-                and _compatible(inst.dst, inst.srcs[0])
-            ):
-                copies[inst.dst.name] = inst.srcs[0]
-
-    if new_instructions:
-        body: List = []
-        position = 0
-        for item in out.body:
-            if isinstance(item, Label):
-                body.append(item)
-                continue
-            body.append(new_instructions.get(position, item))
-            position += 1
-        out.body = body
-    return CopyPropResult(kernel=out, rewritten_uses=rewritten)
+    One driver sweep — the historical single-pass semantics; chains
+    longer than the resolution bound need another call (in practice
+    :func:`repro.opt.optimize_kernel` iterates to the fixpoint).
+    """
+    driver = GreedyRewriteDriver(
+        [CopyPropPattern()], max_sweeps=1, warn_on_budget=False
+    )
+    result = driver.run(kernel)
+    rewritten = sum(
+        app.metadata.get("rewritten_uses", 0) for app in result.applications
+    )
+    return CopyPropResult(kernel=result.kernel, rewritten_uses=rewritten)
 
 
 def _resolve(copies: Dict[str, Reg], reg: Reg, limit: int = 8):

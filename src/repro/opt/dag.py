@@ -1,0 +1,82 @@
+"""Per-block dependency DAG shared by the instruction schedulers.
+
+Both schedulers (:mod:`repro.opt.schedule` hoisting for MLP,
+:mod:`repro.opt.minreg` minimizing MaxLive) legalize against the same
+dependence relation:
+
+* register RAW/WAR/WAW edges (guards included),
+* conservative memory edges: stores order against all other memory
+  operations of any space; loads reorder freely among themselves,
+* barriers and terminators are full fences.
+
+The edge-construction walk is the one the original MLP scheduler used;
+keeping it in one place means a scheduling bug cannot exist in only one
+of the two passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..ptx.instruction import Instruction
+from ..ptx.isa import Opcode
+
+
+def build_dependency_dag(
+    insts: Sequence[Instruction],
+) -> Tuple[List[Set[int]], List[int]]:
+    """Dependence edges within one basic block.
+
+    Returns ``(succs, preds_count)``: ``succs[i]`` is the set of
+    instruction indices that must follow ``i``; ``preds_count[i]`` the
+    number of direct predecessors of ``i``.
+    """
+    n = len(insts)
+    succs: List[Set[int]] = [set() for _ in range(n)]
+    preds_count = [0] * n
+    last_def: Dict[str, int] = {}
+    last_uses: Dict[str, List[int]] = {}
+    last_store = -1
+    last_mems: List[int] = []
+    fence = -1
+
+    def add_edge(a: int, b: int) -> None:
+        if a != b and b not in succs[a]:
+            succs[a].add(b)
+            preds_count[b] += 1
+
+    for i, inst in enumerate(insts):
+        if fence >= 0:
+            add_edge(fence, i)
+        for reg in inst.uses():
+            if reg.name in last_def:
+                add_edge(last_def[reg.name], i)  # RAW
+        for reg in inst.defs():
+            if reg.name in last_def:
+                add_edge(last_def[reg.name], i)  # WAW
+            for use_site in last_uses.get(reg.name, ()):
+                add_edge(use_site, i)  # WAR
+        # Memory ordering: stores are ordered against everything
+        # memory; loads only against stores.
+        if inst.opcode is Opcode.ST:
+            for m in last_mems:
+                add_edge(m, i)
+            last_mems.append(i)
+            last_store = i
+        elif inst.opcode is Opcode.LD:
+            if last_store >= 0:
+                add_edge(last_store, i)
+            last_mems.append(i)
+        # Barriers/terminators are full fences.
+        if inst.opcode in (Opcode.BAR, Opcode.BRA, Opcode.RET, Opcode.EXIT):
+            for j in range(i):
+                add_edge(j, i)
+            fence = i
+        # Bookkeeping.
+        for reg in inst.uses():
+            last_uses.setdefault(reg.name, []).append(i)
+        for reg in inst.defs():
+            last_def[reg.name] = i
+            last_uses[reg.name] = []
+
+    return succs, preds_count

@@ -3,22 +3,29 @@
 Removes instructions whose results are never observed: a definition is
 dead when its register is not live out of the defining instruction and
 the instruction has no side effect (stores, barriers and control flow
-are always live).  Iterates to a fixed point, since removing one dead
+are always live).  Driven to a fixed point, since removing one dead
 definition can kill the chain that fed it.
 
 The generator and hand-written kernels occasionally carry such chains
 (e.g. a loaded value only used by an eliminated update); running DCE
 before register allocation lowers the register demand the allocator
 sees, exactly as production PTX optimizers do before ``ptxas``.
+
+Expressed as :class:`DCEPattern` on the rewrite driver: the pattern
+erases one dead definition per match against the context's cached
+liveness, which the driver refreshes after every erasure — so chains
+unravel within a single sweep and the driver's no-rewrites sweep is the
+fixpoint.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import Optional
 
-from ..cfg.liveness import LivenessInfo
-from ..ptx.instruction import Instruction, Label
+from ..ir.driver import GreedyRewriteDriver
+from ..ir.rewrite import Rewrite, RewritePattern
+from ..ir.view import InstrWindow, RewriteContext
 from ..ptx.isa import Opcode
 from ..ptx.module import Kernel
 
@@ -37,40 +44,36 @@ class DCEResult:
     passes: int
 
 
+class DCEPattern(RewritePattern):
+    """Erase one definition that is not live out of its position."""
+
+    name = "dce"
+    verify_mode = "exact"
+
+    def match(
+        self, window: InstrWindow, ctx: RewriteContext
+    ) -> Optional[Rewrite]:
+        inst = window.instr
+        if inst.opcode in _SIDE_EFFECTS or inst.dst is None:
+            return None
+        if inst.dst.name in ctx.liveness.live_out[window.pos]:
+            return None
+        rewrite = Rewrite(
+            window.pos, note=f"dead definition of {inst.dst.name}"
+        )
+        rewrite.erase(window.pos)
+        return rewrite
+
+
 def eliminate_dead_code(kernel: Kernel, max_passes: int = 16) -> DCEResult:
-    """Remove dead definitions; returns a new kernel."""
-    current = kernel.copy()
-    total_removed = 0
-    passes = 0
-    while passes < max_passes:
-        passes += 1
-        removed = _one_pass(current)
-        total_removed += removed
-        if removed == 0:
-            break
-    return DCEResult(kernel=current, removed=total_removed, passes=passes)
+    """Remove dead definitions; returns a new kernel.
 
-
-def _one_pass(kernel: Kernel) -> int:
-    info = LivenessInfo(kernel)
-    dead_positions = set()
-    for pos, inst in enumerate(info.instructions):
-        if inst.opcode in _SIDE_EFFECTS:
-            continue
-        if inst.dst is None:
-            continue
-        if inst.dst.name not in info.live_out[pos]:
-            dead_positions.add(pos)
-    if not dead_positions:
-        return 0
-    new_body: List = []
-    position = 0
-    for item in kernel.body:
-        if isinstance(item, Label):
-            new_body.append(item)
-            continue
-        if position not in dead_positions:
-            new_body.append(item)
-        position += 1
-    kernel.body = new_body
-    return len(dead_positions)
+    ``max_passes`` bounds driver sweeps; hitting it emits a structured
+    :class:`repro.ir.driver.RewriteBudgetWarning` instead of silently
+    truncating.
+    """
+    driver = GreedyRewriteDriver([DCEPattern()], max_sweeps=max_passes)
+    result = driver.run(kernel)
+    return DCEResult(
+        kernel=result.kernel, removed=result.applied, passes=result.sweeps
+    )

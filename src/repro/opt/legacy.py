@@ -1,0 +1,575 @@
+"""Frozen pre-driver implementations of the optimization passes.
+
+These are the hand-rolled pass implementations exactly as they existed
+before :mod:`repro.opt` was rebuilt on the pattern-rewrite driver
+(:mod:`repro.ir`).  They are kept verbatim as the **golden reference**
+for the old-vs-new differential gate (``tools/opt_rewrite_gate.py``,
+``tests/test_opt_differential.py``): every driver-based pass must
+produce a bit-identical kernel to its legacy counterpart on the example
+corpus and the full workload suite.
+
+Do not edit the transform logic here.  If a pass's behaviour must
+change, change the pattern in its own module, bump
+``repro.ir.pipeline.PIPELINE_SCHEMA_VERSION``, and update the golden
+expectations — this file only moves when a deliberate semantic change
+retires the old behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.graph import CFG
+from ..cfg.liveness import LivenessInfo
+from ..cfg.loops import find_loops
+from ..ptx.instruction import Imm, Instruction, Label, Reg
+from ..ptx.isa import CmpOp, Opcode, Space
+from ..ptx.module import Kernel
+from .bypass import BypassResult
+from .copy_prop import CopyPropResult
+from .dce import DCEResult
+from .schedule import ScheduleResult
+from .unroll import UnrollResult
+
+# ----------------------------------------------------------------------
+# Copy propagation (pre-driver).
+# ----------------------------------------------------------------------
+
+
+def propagate_copies(kernel: Kernel) -> CopyPropResult:
+    """Propagate register copies within basic blocks; returns a new kernel."""
+    out = kernel.copy()
+    cfg = CFG(out)
+    rewritten = 0
+    new_instructions: Dict[int, Instruction] = {}
+
+    for block in cfg.blocks:
+        copies: Dict[str, Reg] = {}  # dst name -> source register
+        for pos, inst in block.positions():
+            # Rewrite uses through the current copy map (transitively).
+            mapping: Dict[str, Reg] = {}
+            for reg in inst.uses():
+                source = _resolve(copies, reg)
+                if source is not None and source.name != reg.name:
+                    mapping[reg.name] = Reg(source.name, reg.dtype)
+            if mapping:
+                inst = inst.rewrite_regs(lambda r: mapping.get(r.name, r))
+                new_instructions[pos] = inst
+                rewritten += len(mapping)
+            # Kill copies invalidated by this definition.
+            for dreg in inst.defs():
+                copies.pop(dreg.name, None)
+                stale = [
+                    d for d, s in copies.items() if s.name == dreg.name
+                ]
+                for name in stale:
+                    del copies[name]
+            # Record a new copy.
+            if (
+                inst.opcode is Opcode.MOV
+                and inst.guard is None
+                and inst.dst is not None
+                and len(inst.srcs) == 1
+                and isinstance(inst.srcs[0], Reg)
+                and _compatible(inst.dst, inst.srcs[0])
+            ):
+                copies[inst.dst.name] = inst.srcs[0]
+
+    if new_instructions:
+        body: List = []
+        position = 0
+        for item in out.body:
+            if isinstance(item, Label):
+                body.append(item)
+                continue
+            body.append(new_instructions.get(position, item))
+            position += 1
+        out.body = body
+    return CopyPropResult(kernel=out, rewritten_uses=rewritten)
+
+
+def _resolve(copies: Dict[str, Reg], reg: Reg, limit: int = 8):
+    """Follow the copy chain from ``reg`` (bounded)."""
+    current = reg
+    seen = 0
+    while current.name in copies and seen < limit:
+        current = copies[current.name]
+        seen += 1
+    return current if seen else None
+
+
+def _compatible(a: Reg, b: Reg) -> bool:
+    if a.dtype.reg_class is not b.dtype.reg_class:
+        return False
+    return a.dtype.bits == b.dtype.bits
+
+
+# ----------------------------------------------------------------------
+# Dead-code elimination (pre-driver).
+# ----------------------------------------------------------------------
+
+_SIDE_EFFECTS = frozenset(
+    {Opcode.ST, Opcode.BAR, Opcode.BRA, Opcode.RET, Opcode.EXIT}
+)
+
+
+def eliminate_dead_code(kernel: Kernel, max_passes: int = 16) -> DCEResult:
+    """Remove dead definitions; returns a new kernel."""
+    current = kernel.copy()
+    total_removed = 0
+    passes = 0
+    while passes < max_passes:
+        passes += 1
+        removed = _one_pass(current)
+        total_removed += removed
+        if removed == 0:
+            break
+    return DCEResult(kernel=current, removed=total_removed, passes=passes)
+
+
+def _one_pass(kernel: Kernel) -> int:
+    info = LivenessInfo(kernel)
+    dead_positions = set()
+    for pos, inst in enumerate(info.instructions):
+        if inst.opcode in _SIDE_EFFECTS:
+            continue
+        if inst.dst is None:
+            continue
+        if inst.dst.name not in info.live_out[pos]:
+            dead_positions.add(pos)
+    if not dead_positions:
+        return 0
+    new_body: List = []
+    position = 0
+    for item in kernel.body:
+        if isinstance(item, Label):
+            new_body.append(item)
+            continue
+        if position not in dead_positions:
+            new_body.append(item)
+        position += 1
+    kernel.body = new_body
+    return len(dead_positions)
+
+
+# ----------------------------------------------------------------------
+# Combined cleanup pipeline (pre-driver).
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LegacyPipelineResult:
+    """Outcome of the pre-driver cleanup pipeline."""
+
+    kernel: Kernel
+    rewritten_uses: int
+    removed_instructions: int
+    iterations: int
+
+
+def optimize_kernel(
+    kernel: Kernel, max_iterations: int = 8, verify: bool = False
+) -> LegacyPipelineResult:
+    """Copy-propagate and DCE to a fixed point; returns a new kernel."""
+    if verify:
+        from ..verify import verify_pass
+    current = kernel
+    total_rewritten = 0
+    total_removed = 0
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        cp = propagate_copies(current)
+        if verify:
+            verify_pass(current, cp.kernel, "copy_prop").raise_if_errors()
+        dce = eliminate_dead_code(cp.kernel)
+        if verify:
+            verify_pass(cp.kernel, dce.kernel, "dce").raise_if_errors()
+        total_rewritten += cp.rewritten_uses
+        total_removed += dce.removed
+        current = dce.kernel
+        if cp.rewritten_uses == 0 and dce.removed == 0:
+            break
+    return LegacyPipelineResult(
+        kernel=current,
+        rewritten_uses=total_rewritten,
+        removed_instructions=total_removed,
+        iterations=iterations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Static cache bypass (pre-driver).
+# ----------------------------------------------------------------------
+
+
+def apply_static_bypass(kernel: Kernel) -> BypassResult:
+    """Mark streaming global loads ``.cg``; returns a new kernel."""
+    out = kernel.copy()
+    cfg = CFG(out)
+    loops = find_loops(cfg)
+    loop_blocks: Set[int] = set()
+    for loop in loops:
+        loop_blocks.update(loop.body)
+
+    # Registers advanced monotonically inside a loop: exactly one
+    # in-loop definition of the form  add r, r, imm  (self-increment).
+    defs_in_loop: Dict[str, List[Instruction]] = {}
+    for block in cfg.blocks:
+        if block.index not in loop_blocks:
+            continue
+        for inst in block.instructions:
+            for dreg in inst.defs():
+                defs_in_loop.setdefault(dreg.name, []).append(inst)
+
+    streaming_roots: Set[str] = set()
+    for name, sites in defs_in_loop.items():
+        if len(sites) != 1:
+            continue
+        inst = sites[0]
+        if (
+            inst.opcode is Opcode.ADD
+            and inst.dst is not None
+            and len(inst.srcs) == 2
+            and isinstance(inst.srcs[0], Reg)
+            and inst.srcs[0].name == name
+            and isinstance(inst.srcs[1], Imm)
+            and int(inst.srcs[1].value) > 0
+        ):
+            streaming_roots.add(name)
+
+    if not streaming_roots:
+        return BypassResult(kernel=out, bypassed_loads=0)
+
+    # Mark loop-resident global loads addressed through a streaming root.
+    new_body: List = []
+    count = 0
+    position = 0
+    pos_in_loop: Set[int] = set()
+    for block in cfg.blocks:
+        in_loop = block.index in loop_blocks
+        for pos, _ in block.positions():
+            if in_loop:
+                pos_in_loop.add(pos)
+    for item in out.body:
+        if isinstance(item, Label):
+            new_body.append(item)
+            continue
+        inst = item
+        if (
+            position in pos_in_loop
+            and inst.opcode is Opcode.LD
+            and inst.space is Space.GLOBAL
+            and inst.cache_op == "ca"
+            and inst.mem is not None
+            and isinstance(inst.mem.base, Reg)
+            and inst.mem.base.name in streaming_roots
+        ):
+            inst = dataclasses.replace(inst, cache_op="cg")
+            count += 1
+        new_body.append(inst)
+        position += 1
+    out.body = new_body
+    return BypassResult(kernel=out, bypassed_loads=count)
+
+
+# ----------------------------------------------------------------------
+# MLP list scheduling (pre-driver).
+# ----------------------------------------------------------------------
+
+
+def schedule_for_mlp(kernel: Kernel) -> ScheduleResult:
+    """Hoist loads (and their address chains) within each basic block."""
+    out = kernel.copy()
+    cfg = CFG(out)
+    new_order: Dict[int, List[Instruction]] = {}
+    moved = 0
+    for block in cfg.blocks:
+        scheduled = _schedule_block(block.instructions)
+        if scheduled is not None:
+            new_order[block.index] = scheduled
+            moved += sum(
+                1
+                for a, b in zip(block.instructions, scheduled)
+                if a is not b
+            )
+    if not new_order:
+        return ScheduleResult(out, 0)
+
+    new_body: List = []
+    by_start = {block.start: block for block in cfg.blocks}
+    position = 0
+    idx = 0
+    items = list(out.body)
+    while idx < len(items):
+        item = items[idx]
+        if isinstance(item, Label):
+            new_body.append(item)
+            idx += 1
+            continue
+        block = by_start.get(position)
+        if block is not None and block.index in new_order:
+            new_body.extend(new_order[block.index])
+            idx += len(block.instructions)
+            position += len(block.instructions)
+            continue
+        new_body.append(item)
+        idx += 1
+        position += 1
+    out.body = new_body
+    return ScheduleResult(out, moved)
+
+
+def _schedule_block(insts: List[Instruction]):
+    """Return the rescheduled instruction list, or None if unchanged."""
+    n = len(insts)
+    if n < 3:
+        return None
+    loads = [
+        i
+        for i, inst in enumerate(insts)
+        if inst.opcode is Opcode.LD
+    ]
+    if not loads:
+        return None
+
+    # --- dependency DAG -------------------------------------------------
+    succs: List[Set[int]] = [set() for _ in range(n)]
+    preds_count = [0] * n
+    last_def: Dict[str, int] = {}
+    last_uses: Dict[str, List[int]] = {}
+    last_store = -1
+    last_mems: List[int] = []
+    fence = -1
+
+    def add_edge(a: int, b: int) -> None:
+        if a != b and b not in succs[a]:
+            succs[a].add(b)
+            preds_count[b] += 1
+
+    for i, inst in enumerate(insts):
+        if fence >= 0:
+            add_edge(fence, i)
+        for reg in inst.uses():
+            if reg.name in last_def:
+                add_edge(last_def[reg.name], i)  # RAW
+        for reg in inst.defs():
+            if reg.name in last_def:
+                add_edge(last_def[reg.name], i)  # WAW
+            for use_site in last_uses.get(reg.name, ()):
+                add_edge(use_site, i)  # WAR
+        # Memory ordering: stores are ordered against everything
+        # memory; loads only against stores.
+        if inst.opcode is Opcode.ST:
+            for m in last_mems:
+                add_edge(m, i)
+            last_mems.append(i)
+            last_store = i
+        elif inst.opcode is Opcode.LD:
+            if last_store >= 0:
+                add_edge(last_store, i)
+            last_mems.append(i)
+        # Barriers/terminators are full fences.
+        if inst.opcode in (Opcode.BAR, Opcode.BRA, Opcode.RET, Opcode.EXIT):
+            for j in range(i):
+                add_edge(j, i)
+            fence = i
+        # Bookkeeping.
+        for reg in inst.uses():
+            last_uses.setdefault(reg.name, []).append(i)
+        for reg in inst.defs():
+            last_def[reg.name] = i
+            last_uses[reg.name] = []
+
+    # --- priority: does this instruction lead to a load? ----------------
+    leads_to_load = [False] * n
+    for i in range(n - 1, -1, -1):
+        if insts[i].opcode is Opcode.LD:
+            leads_to_load[i] = True
+            continue
+        leads_to_load[i] = any(leads_to_load[s] for s in succs[i])
+
+    # --- list schedule ---------------------------------------------------
+    import heapq
+
+    ready = [
+        ((not leads_to_load[i]), i) for i in range(n) if preds_count[i] == 0
+    ]
+    heapq.heapify(ready)
+    order: List[int] = []
+    remaining = list(preds_count)
+    while ready:
+        _, i = heapq.heappop(ready)
+        order.append(i)
+        for s in succs[i]:
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                heapq.heappush(ready, ((not leads_to_load[s]), s))
+    if len(order) != n:  # pragma: no cover - DAG is acyclic by build
+        return None
+    if order == list(range(n)):
+        return None
+    return [insts[i] for i in order]
+
+
+# ----------------------------------------------------------------------
+# Partial loop unrolling (pre-driver).
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _CountedLoop:
+    header_index: int
+    latch_index: int
+    counter: str
+    trip: int
+
+
+def _match_counted_loop(cfg: CFG, header: int, body) -> Optional[_CountedLoop]:
+    """Recognize the canonical two-block counted loop."""
+    if len(body) != 2:
+        return None
+    latch = next(b for b in body if b != header)
+    head_block = cfg.blocks[header]
+    latch_block = cfg.blocks[latch]
+    insts = head_block.instructions
+    if len(insts) != 2:
+        return None
+    setp, bra = insts
+    if setp.opcode is not Opcode.SETP or setp.cmp is not CmpOp.GE:
+        return None
+    if not (
+        isinstance(setp.srcs[0], Reg)
+        and isinstance(setp.srcs[1], Imm)
+    ):
+        return None
+    if bra.opcode is not Opcode.BRA or bra.guard is None:
+        return None
+    if bra.guard.name != setp.dst.name or bra.guard_negated:
+        return None
+    counter = setp.srcs[0].name
+    trip = int(setp.srcs[1].value)
+
+    # Latch: straight-line, ends with an unconditional branch to the
+    # header, contains exactly one `add counter, counter, 1`.
+    last = latch_block.instructions[-1]
+    if not (last.opcode is Opcode.BRA and last.guard is None):
+        return None
+    increments = [
+        inst
+        for inst in latch_block.instructions
+        if inst.opcode is Opcode.ADD
+        and inst.dst is not None
+        and inst.dst.name == counter
+    ]
+    if len(increments) != 1:
+        return None
+    inc = increments[0]
+    if not (
+        len(inc.srcs) == 2
+        and isinstance(inc.srcs[0], Reg)
+        and inc.srcs[0].name == counter
+        and isinstance(inc.srcs[1], Imm)
+        and int(inc.srcs[1].value) == 1
+    ):
+        return None
+    return _CountedLoop(
+        header_index=header, latch_index=latch, counter=counter, trip=trip
+    )
+
+
+def _local_defs(straight: List[Instruction]) -> List[str]:
+    """Registers whose first occurrence in the body is a definition."""
+    seen_use = set()
+    locals_: List[str] = []
+    for inst in straight:
+        for reg in inst.uses():
+            if reg.name not in locals_:
+                seen_use.add(reg.name)
+        for reg in inst.defs():
+            if reg.name not in seen_use and reg.name not in locals_:
+                locals_.append(reg.name)
+    return locals_
+
+
+def _rename_replica(
+    straight: List[Instruction], locals_: List[str], suffix: str
+) -> List[Instruction]:
+    mapping = {name: f"{name}u{suffix}" for name in locals_}
+
+    def remap(reg: Reg) -> Reg:
+        new = mapping.get(reg.name)
+        return Reg(new, reg.dtype) if new else reg
+
+    return [inst.rewrite_regs(remap) for inst in straight]
+
+
+def unroll_loops(
+    kernel: Kernel, factor: int = 2, rename_locals: bool = True
+) -> UnrollResult:
+    """Unroll every matching innermost counted loop by ``factor``."""
+    if factor < 2:
+        raise ValueError("unroll factor must be at least 2")
+    out = kernel.copy()
+    cfg = CFG(out)
+    loops = find_loops(cfg)
+    # Innermost loops: those whose body contains no other loop's header.
+    headers = {loop.header for loop in loops}
+    unrolled = 0
+    skipped = 0
+    replications: List[Tuple[int, int]] = []  # (latch block, copies)
+    for loop in loops:
+        inner_headers = (loop.body - {loop.header}) & headers
+        if inner_headers:
+            continue  # not innermost
+        matched = _match_counted_loop(cfg, loop.header, loop.body)
+        if matched is None or matched.trip % factor != 0:
+            skipped += 1
+            continue
+        replications.append((matched.latch_index, factor))
+        unrolled += 1
+
+    if not replications:
+        return UnrollResult(out, 0, skipped, factor)
+
+    latch_spans = {}
+    for latch_index, copies in replications:
+        block = cfg.blocks[latch_index]
+        start = block.start
+        end = start + len(block.instructions)
+        latch_spans[start] = (end, copies)
+
+    new_body: List = []
+    position = 0
+    items = list(out.body)
+    idx = 0
+    while idx < len(items):
+        item = items[idx]
+        if isinstance(item, Label):
+            new_body.append(item)
+            idx += 1
+            continue
+        if position in latch_spans:
+            end, copies = latch_spans[position]
+            latch_insts: List[Instruction] = []
+            while position < end:
+                latch_insts.append(items[idx])
+                idx += 1
+                position += 1
+            straight, branch = latch_insts[:-1], latch_insts[-1]
+            locals_ = _local_defs(straight) if rename_locals else []
+            for copy_index in range(copies):
+                if rename_locals and copy_index > 0:
+                    new_body.extend(
+                        _rename_replica(straight, locals_, str(copy_index))
+                    )
+                else:
+                    new_body.extend(straight)
+            new_body.append(branch)
+            continue
+        new_body.append(item)
+        idx += 1
+        position += 1
+    out.body = new_body
+    return UnrollResult(out, unrolled, skipped, factor)

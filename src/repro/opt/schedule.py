@@ -8,27 +8,32 @@ consumer.  Combined with :mod:`repro.opt.unroll`, this reproduces the
 classic ILP-vs-occupancy tension that CRAT's coordinated register/TLP
 search resolves.
 
-The scheduler works per basic block on a dependency DAG:
+The scheduler works per basic block on the shared dependency DAG
+(:mod:`repro.opt.dag`).  Ready instructions whose subtree leads to a
+load are scheduled first (hoisting whole address chains); ties keep
+program order, so the pass is deterministic, idempotent, and a no-op
+on blocks without loads.
 
-* register RAW/WAR/WAW edges (guards included),
-* conservative memory edges: stores order against all other memory
-  operations of any space; loads reorder freely among themselves,
-* barriers and terminators are fences.
-
-Ready instructions whose subtree leads to a load are scheduled first
-(hoisting whole address chains); ties keep program order, so the pass
-is deterministic and a no-op on blocks without loads.
+Expressed as :class:`MlpSchedPattern` on the rewrite driver: the
+pattern anchors at block leaders and splices the whole rescheduled
+block.  Idempotence (rescheduling a scheduled block returns it
+unchanged, which the pattern reports as no match) is what makes the
+driver's fixpoint identical to the original one-shot per-block pass.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Set
+import heapq
+from typing import List, Optional, Sequence
 
-from ..cfg.graph import CFG
-from ..ptx.instruction import Instruction, Label
-from ..ptx.isa import Opcode, Space
+from ..ir.driver import GreedyRewriteDriver
+from ..ir.rewrite import Rewrite, RewritePattern
+from ..ir.view import InstrWindow, RewriteContext
+from ..ptx.instruction import Instruction
+from ..ptx.isa import Opcode
 from ..ptx.module import Kernel
+from .dag import build_dependency_dag
 
 
 @dataclasses.dataclass
@@ -39,108 +44,46 @@ class ScheduleResult:
     moved_instructions: int
 
 
+class MlpSchedPattern(RewritePattern):
+    """Reschedule one basic block to hoist loads."""
+
+    name = "mlp-sched"
+    verify_mode = "exact"
+
+    def match(
+        self, window: InstrWindow, ctx: RewriteContext
+    ) -> Optional[Rewrite]:
+        if not window.is_block_leader:
+            return None
+        block = window.block
+        scheduled = _schedule_block(block.instructions)
+        if scheduled is None:
+            return None
+        rewrite = Rewrite(window.pos, note="hoist loads for MLP")
+        rewrite.splice(block.start, len(block.instructions), scheduled)
+        rewrite.metadata["moved"] = sum(
+            1 for a, b in zip(block.instructions, scheduled) if a is not b
+        )
+        return rewrite
+
+
 def schedule_for_mlp(kernel: Kernel) -> ScheduleResult:
     """Hoist loads (and their address chains) within each basic block."""
-    out = kernel.copy()
-    cfg = CFG(out)
-    new_order: Dict[int, List[Instruction]] = {}
-    moved = 0
-    for block in cfg.blocks:
-        scheduled = _schedule_block(block.instructions)
-        if scheduled is not None:
-            new_order[block.index] = scheduled
-            moved += sum(
-                1
-                for a, b in zip(block.instructions, scheduled)
-                if a is not b
-            )
-    if not new_order:
-        return ScheduleResult(out, 0)
-
-    new_body: List = []
-    by_start = {block.start: block for block in cfg.blocks}
-    position = 0
-    idx = 0
-    items = list(out.body)
-    while idx < len(items):
-        item = items[idx]
-        if isinstance(item, Label):
-            new_body.append(item)
-            idx += 1
-            continue
-        block = by_start.get(position)
-        if block is not None and block.index in new_order:
-            new_body.extend(new_order[block.index])
-            idx += len(block.instructions)
-            position += len(block.instructions)
-            continue
-        new_body.append(item)
-        idx += 1
-        position += 1
-    out.body = new_body
-    return ScheduleResult(out, moved)
+    driver = GreedyRewriteDriver([MlpSchedPattern()])
+    result = driver.run(kernel)
+    moved = sum(app.metadata.get("moved", 0) for app in result.applications)
+    return ScheduleResult(result.kernel, moved)
 
 
-def _schedule_block(insts: List[Instruction]):
+def _schedule_block(insts: Sequence[Instruction]):
     """Return the rescheduled instruction list, or None if unchanged."""
     n = len(insts)
     if n < 3:
         return None
-    loads = [
-        i
-        for i, inst in enumerate(insts)
-        if inst.opcode is Opcode.LD
-    ]
-    if not loads:
+    if not any(inst.opcode is Opcode.LD for inst in insts):
         return None
 
-    # --- dependency DAG -------------------------------------------------
-    succs: List[Set[int]] = [set() for _ in range(n)]
-    preds_count = [0] * n
-    last_def: Dict[str, int] = {}
-    last_uses: Dict[str, List[int]] = {}
-    last_store = -1
-    last_mems: List[int] = []
-    fence = -1
-
-    def add_edge(a: int, b: int) -> None:
-        if a != b and b not in succs[a]:
-            succs[a].add(b)
-            preds_count[b] += 1
-
-    for i, inst in enumerate(insts):
-        if fence >= 0:
-            add_edge(fence, i)
-        for reg in inst.uses():
-            if reg.name in last_def:
-                add_edge(last_def[reg.name], i)  # RAW
-        for reg in inst.defs():
-            if reg.name in last_def:
-                add_edge(last_def[reg.name], i)  # WAW
-            for use_site in last_uses.get(reg.name, ()):
-                add_edge(use_site, i)  # WAR
-        # Memory ordering: stores are ordered against everything
-        # memory; loads only against stores.
-        if inst.opcode is Opcode.ST:
-            for m in last_mems:
-                add_edge(m, i)
-            last_mems.append(i)
-            last_store = i
-        elif inst.opcode is Opcode.LD:
-            if last_store >= 0:
-                add_edge(last_store, i)
-            last_mems.append(i)
-        # Barriers/terminators are full fences.
-        if inst.opcode in (Opcode.BAR, Opcode.BRA, Opcode.RET, Opcode.EXIT):
-            for j in range(i):
-                add_edge(j, i)
-            fence = i
-        # Bookkeeping.
-        for reg in inst.uses():
-            last_uses.setdefault(reg.name, []).append(i)
-        for reg in inst.defs():
-            last_def[reg.name] = i
-            last_uses[reg.name] = []
+    succs, preds_count = build_dependency_dag(insts)
 
     # --- priority: does this instruction lead to a load? ----------------
     leads_to_load = [False] * n
@@ -151,8 +94,6 @@ def _schedule_block(insts: List[Instruction]):
         leads_to_load[i] = any(leads_to_load[s] for s in succs[i])
 
     # --- list schedule ---------------------------------------------------
-    import heapq
-
     ready = [
         ((not leads_to_load[i]), i) for i in range(n) if preds_count[i] == 0
     ]

@@ -20,6 +20,12 @@ increment replicates with it, so iteration-dependent addresses stay
 correct).  Only branch-free bodies are transformed, and only when the
 factor divides the trip count — otherwise the loop is left alone and
 reported as skipped.
+
+Expressed as :class:`UnrollPattern` on the rewrite driver: the pattern
+anchors at a loop header's leader and splices the replicated latch.
+The unrolled latch carries ``factor`` counter increments, so the
+canonical-shape match rejects it on the next offer — the rewrite
+retires its own match, which is the driver's termination argument.
 """
 
 from __future__ import annotations
@@ -29,7 +35,10 @@ from typing import List, Optional, Tuple
 
 from ..cfg.graph import CFG
 from ..cfg.loops import find_loops
-from ..ptx.instruction import Imm, Instruction, Label, Reg
+from ..ir.driver import GreedyRewriteDriver
+from ..ir.rewrite import Rewrite, RewritePattern
+from ..ir.view import InstrWindow, RewriteContext
+from ..ptx.instruction import Imm, Instruction, Reg
 from ..ptx.isa import CmpOp, Opcode
 from ..ptx.module import Kernel
 
@@ -136,6 +145,78 @@ def _rename_replica(
     return [inst.rewrite_regs(remap) for inst in straight]
 
 
+class UnrollPattern(RewritePattern):
+    """Replicate one matching innermost counted loop's latch body.
+
+    Unrolling legitimately multiplies the static store sequence, so the
+    pattern validates in ``structure`` mode (CFG health + dataflow
+    regressions); its semantic weight is carried by dedicated
+    functional tests.
+    """
+
+    name = "unroll"
+    verify_mode = "structure"
+
+    def __init__(self, factor: int = 2, rename_locals: bool = True):
+        if factor < 2:
+            raise ValueError("unroll factor must be at least 2")
+        self.factor = factor
+        self.rename_locals = rename_locals
+
+    def match(
+        self, window: InstrWindow, ctx: RewriteContext
+    ) -> Optional[Rewrite]:
+        if not window.is_block_leader:
+            return None
+        header = window.block.index
+        loop = next((l for l in ctx.loops if l.header == header), None)
+        if loop is None:
+            return None
+        headers = {l.header for l in ctx.loops}
+        if (loop.body - {loop.header}) & headers:
+            return None  # not innermost
+        matched = _match_counted_loop(ctx.cfg, loop.header, loop.body)
+        if matched is None or matched.trip % self.factor != 0:
+            return None
+        latch_block = ctx.cfg.blocks[matched.latch_index]
+        latch_insts = latch_block.instructions
+        straight, branch = latch_insts[:-1], latch_insts[-1]
+        locals_ = _local_defs(straight) if self.rename_locals else []
+        replacement: List[Instruction] = []
+        for copy_index in range(self.factor):
+            if self.rename_locals and copy_index > 0:
+                replacement.extend(
+                    _rename_replica(straight, locals_, str(copy_index))
+                )
+            else:
+                replacement.extend(straight)
+        replacement.append(branch)
+        rewrite = Rewrite(
+            window.pos,
+            note=f"unroll x{self.factor} counter {matched.counter}",
+        )
+        rewrite.splice(latch_block.start, len(latch_insts), replacement)
+        rewrite.metadata["unrolled_loops"] = 1
+        return rewrite
+
+
+def _count_skipped(kernel: Kernel, factor: int) -> int:
+    """Innermost loops that do not match the canonical counted shape
+    (or whose trip count the factor does not divide), on the original
+    kernel — a pattern can only report matches, not near-misses."""
+    cfg = CFG(kernel)
+    loops = find_loops(cfg)
+    headers = {loop.header for loop in loops}
+    skipped = 0
+    for loop in loops:
+        if (loop.body - {loop.header}) & headers:
+            continue  # not innermost
+        matched = _match_counted_loop(cfg, loop.header, loop.body)
+        if matched is None or matched.trip % factor != 0:
+            skipped += 1
+    return skipped
+
+
 def unroll_loops(
     kernel: Kernel, factor: int = 2, rename_locals: bool = True
 ) -> UnrollResult:
@@ -147,74 +228,11 @@ def unroll_loops(
     at the cost of proportionally higher register pressure (the
     coordination problem CRAT resolves).
     """
-    if factor < 2:
-        raise ValueError("unroll factor must be at least 2")
-    out = kernel.copy()
-    cfg = CFG(out)
-    loops = find_loops(cfg)
-    # Innermost loops: those whose body contains no other loop's header.
-    headers = {loop.header for loop in loops}
-    unrolled = 0
-    skipped = 0
-    replications: List[Tuple[int, int]] = []  # (latch block, copies)
-    for loop in loops:
-        inner_headers = (loop.body - {loop.header}) & headers
-        if inner_headers:
-            continue  # not innermost
-        matched = _match_counted_loop(cfg, loop.header, loop.body)
-        if matched is None or matched.trip % factor != 0:
-            skipped += 1
-            continue
-        replications.append((matched.latch_index, factor))
-        unrolled += 1
-
-    if not replications:
-        return UnrollResult(out, 0, skipped, factor)
-
-    # Rebuild the body, replicating the chosen latch blocks' straight
-    # line instructions (everything but the trailing branch) factor
-    # times; the final increment of each replica advances the counter.
-    latch_spans = {}
-    for latch_index, copies in replications:
-        block = cfg.blocks[latch_index]
-        start = block.start
-        end = start + len(block.instructions)
-        latch_spans[start] = (end, copies)
-
-    new_body: List = []
-    position = 0
-    body_iter = iter(out.body)
-    # Map positions back to body items (labels carry no position).
-    items = list(out.body)
-    idx = 0
-    while idx < len(items):
-        item = items[idx]
-        if isinstance(item, Label):
-            new_body.append(item)
-            idx += 1
-            continue
-        if position in latch_spans:
-            end, copies = latch_spans[position]
-            # Collect the latch instructions (and any interleaved labels
-            # would violate the straight-line guarantee — none exist).
-            latch_insts: List[Instruction] = []
-            while position < end:
-                latch_insts.append(items[idx])
-                idx += 1
-                position += 1
-            straight, branch = latch_insts[:-1], latch_insts[-1]
-            locals_ = _local_defs(straight) if rename_locals else []
-            for copy_index in range(copies):
-                if rename_locals and copy_index > 0:
-                    new_body.extend(
-                        _rename_replica(straight, locals_, str(copy_index))
-                    )
-                else:
-                    new_body.extend(straight)
-            new_body.append(branch)
-            continue
-        new_body.append(item)
-        idx += 1
-        position += 1
-    out.body = new_body
-    return UnrollResult(out, unrolled, skipped, factor)
+    driver = GreedyRewriteDriver([UnrollPattern(factor, rename_locals)])
+    result = driver.run(kernel)
+    return UnrollResult(
+        kernel=result.kernel,
+        unrolled_loops=result.applied,
+        skipped_loops=_count_skipped(kernel, factor),
+        factor=factor,
+    )

@@ -70,11 +70,13 @@ PARAM_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "verify": (bool, False),
         "fastpath_topk": (int, False),
         "no_refine": (bool, False),
+        "passes": (str, False),
     },
     "simulate": {
         **_COMMON_PARAMS,
         "tlp": (int, False),
         "grid": (int, False),
+        "passes": (str, False),
     },
     "verify": {
         **_COMMON_PARAMS,
@@ -84,6 +86,7 @@ PARAM_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "config": (str, False),
         "apps": (list, False),
         "verify": (bool, False),
+        "passes": (str, False),
     },
     "ping": {},
     "stats": {

@@ -69,6 +69,11 @@ PASS_MODES: Dict[str, str] = {
     "bypass": "exact",
     "unroll": "structure",
     "optimize": "exact",  # the copy_prop+dce fixed-point driver
+    # Rewrite-driver pattern names (repro.ir.pipeline registry); the
+    # driver also passes each pattern's declared mode explicitly.
+    "copy-prop": "exact",
+    "mlp-sched": "exact",
+    "minreg-sched": "exact",
 }
 
 Value = Tuple[Any, ...]

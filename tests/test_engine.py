@@ -58,6 +58,8 @@ class TestCacheKeys:
         assert make_sim_key(fp, FERMI, 4, {"a": 128}, 2, "gto") != base
         assert make_sim_key(fp, FERMI, 4, {"a": 64}, 2, "lrr") != base
         assert make_sim_key("x" * 64, FERMI, 4, {"a": 64}, 2, "gto") != base
+        assert make_sim_key(fp, FERMI, 4, {"a": 64}, 2, "gto",
+                            pipeline="dce") != base
 
     def test_param_order_does_not_matter(self, gau):
         fp = gau.kernel.fingerprint()
@@ -122,12 +124,16 @@ class TestSchemaVersioning:
     version, so results produced under a different scoring model can
     never satisfy a lookup."""
 
-    def test_schema_tag_covers_both_versions(self):
+    def test_schema_tag_covers_all_versions(self):
         from repro.engine import FASTPATH_SCHEMA_VERSION, cache_schema_version
         from repro.engine.cache import RESULT_SCHEMA_VERSION
+        from repro.ir import PIPELINE_SCHEMA_VERSION
 
         tag = cache_schema_version()
-        assert tag == f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
+        assert tag == (
+            f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
+            f".pp{PIPELINE_SCHEMA_VERSION}"
+        )
 
     def test_key_leads_with_schema_tag(self, gau):
         from repro.engine import cache_schema_version
@@ -168,6 +174,83 @@ class TestSchemaVersioning:
                        param_sizes=gau.param_sizes)
         assert third.stats.sim_misses == 0
         assert third.stats.disk_hits == 1
+
+    def test_pipeline_version_bump_misses_disk_cache(
+        self, gau, tmp_path, monkeypatch
+    ):
+        """Mirrors the fast-path bump: a pass-semantics revision
+        (``PIPELINE_SCHEMA_VERSION``) invalidates persisted results
+        wholesale instead of serving entries produced by passes that no
+        longer generate the same kernels."""
+        first = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        first.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+        assert first.stats.sim_misses == 1
+        assert list(tmp_path.glob("sim-*.pkl"))
+
+        import repro.engine.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "PIPELINE_SCHEMA_VERSION",
+            cache_mod.PIPELINE_SCHEMA_VERSION + 1,
+        )
+        bumped = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        bumped.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert bumped.stats.sim_misses == 1
+        assert bumped.stats.disk_hits == 0
+
+        monkeypatch.undo()
+        third = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        third.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+        assert third.stats.sim_misses == 0
+        assert third.stats.disk_hits == 1
+
+
+class TestPipelineKeying:
+    """The active ``--passes`` signature is part of every cache key, so
+    runs under different pipelines can never share a cached result."""
+
+    def test_different_pipelines_never_alias(self, gau, tmp_path):
+        plain = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        plain.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+        assert plain.stats.sim_misses == 1
+
+        tagged = EvaluationEngine(jobs=1, disk_cache=str(tmp_path),
+                                  pipeline="dce")
+        tagged.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert tagged.stats.sim_misses == 1  # no alias to the plain entry
+        assert tagged.stats.disk_hits == 0
+
+        # Same pipeline does share across engine restarts.
+        again = EvaluationEngine(jobs=1, disk_cache=str(tmp_path),
+                                 pipeline="dce")
+        again.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+        assert again.stats.sim_misses == 0
+        assert again.stats.disk_hits == 1
+
+    def test_engine_normalizes_and_validates_pipeline(self):
+        from repro.errors import ParseError
+
+        assert EvaluationEngine(jobs=1, pipeline=" dce , copy-prop ")\
+            .pipeline == "dce,copy-prop"
+        with pytest.raises(ParseError):
+            EvaluationEngine(jobs=1, pipeline="nonsense")
+
+    def test_configure_sets_shared_engine_pipeline(self):
+        from repro.engine import configure
+
+        engine = configure(passes="copy-prop,dce")
+        try:
+            assert engine.pipeline == "copy-prop,dce"
+            assert engine.snapshot()["pipeline"] == "copy-prop,dce"
+        finally:
+            configure(passes="")
+        assert engine.pipeline == ""
 
 
 class TestParallelDeterminism:

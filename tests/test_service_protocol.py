@@ -89,6 +89,19 @@ class TestValidation:
         with pytest.raises(ProtocolError, match="unknown param.*targe"):
             validate_request(self._valid(params={"targe": "GAU"}))
 
+    def test_passes_param_accepted_on_eval_jobs(self):
+        # --passes rides the wire on crat, simulate and suite.
+        for job, params in (
+            ("crat", {"target": "GAU", "passes": "minreg-sched"}),
+            ("simulate", {"target": "GAU", "passes": "copy-prop,dce"}),
+            ("suite", {"passes": "dce"}),
+        ):
+            req = validate_request({"job": job, "params": params})
+            assert req.params["passes"] == params["passes"]
+        with pytest.raises(ProtocolError, match="'passes' must be str"):
+            validate_request(self._valid(params={"target": "GAU",
+                                                 "passes": 3}))
+
     def test_param_type_enforced(self):
         with pytest.raises(ProtocolError, match="'tlp' must be int"):
             validate_request({

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Old-vs-new optimization pipeline differential gate.
+
+Runs every driver-based pass in :mod:`repro.opt` against its frozen
+pre-driver reference (:mod:`repro.opt.legacy`) over the whole corpus —
+``examples/*.ptx`` plus all 22 suite apps — and fails on:
+
+* **output drift**: any pass whose kernel (canonical printed form) or
+  headline counters differ from the legacy implementation;
+* **verification diagnostics**: any individual rewrite that fails
+  per-pattern translation validation when the full registry pipeline
+  runs with ``--verify`` semantics.
+
+CI runs this as the ``opt-rewrite-gate`` job; run locally with::
+
+    PYTHONPATH=src python tools/opt_rewrite_gate.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro import opt  # noqa: E402
+from repro.errors import VerificationError  # noqa: E402
+from repro.ir import run_pipeline  # noqa: E402
+from repro.opt import legacy  # noqa: E402
+from repro.ptx import parse_kernel, print_kernel  # noqa: E402
+from repro.workloads import full_suite, load_workload  # noqa: E402
+
+#: (label, legacy callable, driver callable, counter attributes).
+PASS_PAIRS = [
+    ("copy_prop", legacy.propagate_copies, opt.propagate_copies,
+     ("rewritten_uses",)),
+    ("dce", legacy.eliminate_dead_code, opt.eliminate_dead_code,
+     ("removed",)),
+    ("bypass", legacy.apply_static_bypass, opt.apply_static_bypass,
+     ("bypassed_loads",)),
+    ("schedule", legacy.schedule_for_mlp, opt.schedule_for_mlp,
+     ("moved_instructions",)),
+    ("unroll", legacy.unroll_loops, opt.unroll_loops,
+     ("unrolled_loops", "skipped_loops")),
+    ("optimize", legacy.optimize_kernel, opt.optimize_kernel,
+     ("rewritten_uses", "removed_instructions")),
+]
+
+#: The registry pipeline exercised under per-rewrite verification.
+VERIFIED_SPEC = "unroll,copy-prop,dce,mlp-sched,bypass,minreg-sched"
+
+
+def corpus():
+    """Yield (name, kernel) over examples/*.ptx and the full suite."""
+    for path in sorted(glob.glob(os.path.join(REPO, "examples", "*.ptx"))):
+        with open(path) as handle:
+            yield os.path.basename(path), parse_kernel(handle.read())
+    for workload in full_suite():
+        yield workload.abbr, load_workload(workload.abbr).kernel
+
+
+def main() -> int:
+    failures = []
+    kernels = 0
+    comparisons = 0
+    verified_rewrites = 0
+    for name, kernel in corpus():
+        kernels += 1
+        for label, old_fn, new_fn, counter_attrs in PASS_PAIRS:
+            old = old_fn(kernel)
+            new = new_fn(kernel)
+            comparisons += 1
+            if print_kernel(old.kernel) != print_kernel(new.kernel):
+                failures.append(
+                    f"{name}: {label}: output drift (kernels differ)"
+                )
+                continue
+            for attr in counter_attrs:
+                if getattr(old, attr) != getattr(new, attr):
+                    failures.append(
+                        f"{name}: {label}: counter {attr} drifted "
+                        f"({getattr(old, attr)} -> {getattr(new, attr)})"
+                    )
+        try:
+            result = run_pipeline(kernel, VERIFIED_SPEC, verify=True)
+            verified_rewrites += result.total_applied
+        except VerificationError as err:
+            failures.append(
+                f"{name}: verified pipeline raised: {err} "
+                f"({len(err.diagnostics)} diagnostic(s))"
+            )
+    print(
+        f"opt-rewrite-gate: {kernels} kernels, {comparisons} old-vs-new "
+        f"comparisons, {verified_rewrites} individually verified rewrites"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        print(f"opt-rewrite-gate: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("opt-rewrite-gate: zero drift, zero diagnostics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
