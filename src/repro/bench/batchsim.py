@@ -1,0 +1,223 @@
+"""Batched-vs-scalar simulation core benchmark (``repro bench --batchsim``).
+
+Measures the :class:`repro.sim.batch.BatchedSimulator` against the
+scalar :class:`repro.sim.simulator.SMSimulator` reference on the same
+profile sweeps the CRAT pipeline runs: one TLP staircase (1..max_tlp)
+per app, every point simulated from the same traces.  The comparison
+is core-vs-core — both sides run in-process on cold state, with no
+result cache and no worker pool — so the reported speedup is the
+batched interpreter's own, not an artifact of caching or parallelism.
+
+Bit-identity is asserted, not assumed: every :class:`~repro.sim.stats.
+SimResult` field of every point is diffed against the scalar oracle,
+and a run with any drift reports ``identical=False`` (the CLI exits
+non-zero).  ``record()`` appends the run to a JSON ledger
+(``BENCH_batchsim.json``) so CI can track the speedup over time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.config import get_config
+from ..core import collect_resource_usage
+from ..sim import simulate_traces, simulate_traces_batched, trace_grid
+from ..workloads.suite import RESOURCE_SENSITIVE, load_workload
+from .runner import geomean
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSimAppRow:
+    """One app's scalar-vs-batched profile-sweep comparison."""
+
+    abbr: str
+    points: int  # TLP staircase size (1..max_tlp)
+    scalar_seconds: float
+    batched_seconds: float
+    #: Points whose results differ from the scalar oracle (must be 0).
+    drift: int
+
+    @property
+    def speedup(self) -> float:
+        if not self.batched_seconds:
+            return math.inf
+        return self.scalar_seconds / self.batched_seconds
+
+    @property
+    def identical(self) -> bool:
+        return self.drift == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["speedup"] = round(self.speedup, 3)
+        return data
+
+
+@dataclasses.dataclass
+class BatchSimComparison:
+    """Suite-level result of a batched-core benchmark run."""
+
+    config_name: str
+    scheduler: str
+    repeats: int
+    rows: List[BatchSimAppRow]
+
+    @property
+    def points(self) -> int:
+        return sum(r.points for r in self.rows)
+
+    @property
+    def drift(self) -> int:
+        return sum(r.drift for r in self.rows)
+
+    @property
+    def identical(self) -> bool:
+        return self.drift == 0
+
+    @property
+    def scalar_seconds(self) -> float:
+        return sum(r.scalar_seconds for r in self.rows)
+
+    @property
+    def batched_seconds(self) -> float:
+        return sum(r.batched_seconds for r in self.rows)
+
+    @property
+    def geomean_speedup(self) -> float:
+        return geomean([r.speedup for r in self.rows])
+
+    def table(self) -> str:
+        """Human-readable report (what ``repro bench --batchsim`` prints)."""
+        lines = [
+            f"batched simulation core: config={self.config_name}, "
+            f"scheduler={self.scheduler}, best of {self.repeats}",
+            f"{'app':<6} {'points':>6} {'scalar':>9} {'batched':>9} "
+            f"{'speedup':>8} {'identical':>9}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.abbr:<6} {r.points:>6} {r.scalar_seconds:>8.3f}s "
+                f"{r.batched_seconds:>8.3f}s {r.speedup:>7.2f}x "
+                f"{'yes' if r.identical else 'NO':>9}"
+            )
+        lines.append(
+            f"{self.points} points, wall-clock {self.scalar_seconds:.2f}s "
+            f"-> {self.batched_seconds:.2f}s, geomean speedup "
+            f"{self.geomean_speedup:.2f}x, "
+            + ("bit-identical"
+               if self.identical
+               else f"{self.drift} DRIFTING POINTS")
+        )
+        return "\n".join(lines)
+
+    def to_record(self) -> Dict[str, object]:
+        """One JSON-ready run record for the ``BENCH_batchsim.json`` ledger."""
+        return {
+            "date": time.strftime("%Y-%m-%d", time.gmtime()),
+            "config": self.config_name,
+            "scheduler": self.scheduler,
+            "repeats": self.repeats,
+            "points": self.points,
+            "scalar_seconds": round(self.scalar_seconds, 3),
+            "batched_seconds": round(self.batched_seconds, 3),
+            "geomean_speedup": round(self.geomean_speedup, 3),
+            "identical": self.identical,
+            "apps": [r.to_dict() for r in self.rows],
+        }
+
+
+def compare_batchsim(
+    abbrs: Optional[Sequence[str]] = None,
+    config_name: str = "fermi",
+    scheduler: str = "gto",
+    repeats: int = 1,
+) -> BatchSimComparison:
+    """Run every app's TLP staircase through both cores and diff them.
+
+    Traces are generated once per app and shared by both sides (trace
+    generation is identical either way and would only dilute the
+    measurement).  With ``repeats > 1`` each side keeps its best
+    (minimum) wall-clock over that many runs, which filters scheduler
+    noise out of small sweeps; drift is checked on every repeat.
+    """
+    config = get_config(config_name)
+    if abbrs is None:
+        abbrs = [w.abbr for w in RESOURCE_SENSITIVE]
+    repeats = max(1, repeats)
+    rows = []
+    for abbr in abbrs:
+        workload = load_workload(abbr)
+        traces = trace_grid(
+            workload.kernel, config, workload.grid_blocks,
+            workload.param_sizes,
+        )
+        usage = collect_resource_usage(
+            workload.kernel, config, default_reg=workload.default_reg
+        )
+        tlps = list(range(1, usage.max_tlp + 1))
+        scalar_best = batched_best = math.inf
+        drift = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            scalar = [
+                simulate_traces(traces, config, tlp, scheduler=scheduler)
+                for tlp in tlps
+            ]
+            t1 = time.perf_counter()
+            batched = simulate_traces_batched(
+                traces, config, tlps, scheduler=scheduler
+            )
+            t2 = time.perf_counter()
+            scalar_best = min(scalar_best, t1 - t0)
+            batched_best = min(batched_best, t2 - t1)
+            drift = sum(
+                1
+                for s, b in zip(scalar, batched)
+                if dataclasses.asdict(s) != dataclasses.asdict(b)
+            )
+        rows.append(
+            BatchSimAppRow(
+                abbr=abbr,
+                points=len(tlps),
+                scalar_seconds=scalar_best,
+                batched_seconds=batched_best,
+                drift=drift,
+            )
+        )
+    return BatchSimComparison(
+        config_name=config_name,
+        scheduler=scheduler,
+        repeats=repeats,
+        rows=rows,
+    )
+
+
+def record_batchsim(comparison: BatchSimComparison, path: str) -> None:
+    """Append one run record to the JSON ledger at ``path``.
+
+    The ledger is ``{"runs": [...]}``; an unreadable or foreign file is
+    replaced rather than crashing the benchmark (the ledger is an
+    artifact, not an input).
+    """
+    ledger: Dict[str, object] = {"runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("runs"), list
+            ):
+                ledger = loaded
+        except (OSError, ValueError):
+            pass
+    runs = ledger["runs"]
+    assert isinstance(runs, list)
+    runs.append(comparison.to_record())
+    with open(path, "w") as handle:
+        json.dump(ledger, handle, indent=2)
+        handle.write("\n")

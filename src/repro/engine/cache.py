@@ -43,6 +43,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.config import GPUConfig
 from ..ir.pipeline import PIPELINE_SCHEMA_VERSION
+from ..sim.batch import BATCH_SCHEMA_VERSION
 from ..sim.stats import SimResult
 from . import faults
 from .fastpath import FASTPATH_SCHEMA_VERSION
@@ -95,17 +96,20 @@ def cache_schema_version() -> str:
     """The schema tag baked into every simulation-cache key.
 
     Combines the result-layout revision with the fast-path scoring
-    revision (:data:`repro.engine.fastpath.FASTPATH_SCHEMA_VERSION`)
-    and the optimization-pipeline revision
-    (:data:`repro.ir.pipeline.PIPELINE_SCHEMA_VERSION`): on-disk
-    entries written under a different scoring model — whose pruning
-    decided *which* points ever got simulated — or under pass semantics
-    that have since changed are invalidated wholesale by a version bump
-    rather than trusted silently.
+    revision (:data:`repro.engine.fastpath.FASTPATH_SCHEMA_VERSION`),
+    the optimization-pipeline revision
+    (:data:`repro.ir.pipeline.PIPELINE_SCHEMA_VERSION`) and the batched
+    simulation core's revision
+    (:data:`repro.sim.batch.BATCH_SCHEMA_VERSION`): on-disk entries
+    written under a different scoring model — whose pruning decided
+    *which* points ever got simulated — under pass semantics that have
+    since changed, or by a batched core whose semantics have since been
+    revised, are invalidated wholesale by a version bump rather than
+    trusted silently.
     """
     return (
         f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
-        f".pp{PIPELINE_SCHEMA_VERSION}"
+        f".pp{PIPELINE_SCHEMA_VERSION}.b{BATCH_SCHEMA_VERSION}"
     )
 
 

@@ -57,6 +57,22 @@ class BatchEvent:
 
 
 @dataclasses.dataclass(frozen=True)
+class BatchSimEvent:
+    """One group of design points evaluated by the batched SoA core
+    (:class:`repro.sim.batch.BatchedSimulator`) instead of point-by-
+    point supervised simulation.  ``points`` is the lane count of the
+    group (one lane per TLP); results are bit-identical to the scalar
+    path, so this event is a performance trace, not a semantic one.
+    """
+
+    kind: ClassVar[str] = "batchsim"
+
+    points: int
+    scheduler: str
+    seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
 class StageEvent:
     """One named pipeline stage (OptTLP profiling, candidate search...)."""
 
@@ -190,6 +206,7 @@ EngineEvent = Union[
     TraceEvent,
     SimulationEvent,
     BatchEvent,
+    BatchSimEvent,
     StageEvent,
     FastPathEvent,
     FaultEvent,
@@ -218,6 +235,8 @@ class EngineStats:
     trace_hits: int = 0
     trace_misses: int = 0
     batches: int = 0
+    batched_points: int = 0
+    batched_groups: int = 0
     fastpath_scored: int = 0
     fastpath_skipped: int = 0
     retries: int = 0
@@ -265,6 +284,11 @@ class EngineStats:
             f"({self.trace_hits} reused), "
             f"{self.sim_seconds + self.trace_seconds:.2f}s simulating"
         )
+        if self.batched_points:
+            line += (
+                f", {self.batched_points} points batched "
+                f"({self.batched_groups} groups)"
+            )
         if self.fastpath_scored:
             line += (
                 f", fast path skipped {self.fastpath_skipped}/"

@@ -5,6 +5,12 @@ SM timing model: GTO warp scheduling, a banked L1 with finite MSHRs, an
 L2 slice, a DRAM bandwidth model, and a GPUWattch-style energy model.
 """
 
+from .batch import (
+    BATCH_SCHEMA_VERSION,
+    BatchedSimulator,
+    PackedGrid,
+    simulate_traces_batched,
+)
 from .cache import Cache, CacheStats, DRAMModel, MSHRFullError, ProbeResult
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel, attach_energy
 from .executor import (
@@ -22,6 +28,8 @@ from .sm import SMSimulator
 from .stats import SimResult
 
 __all__ = [
+    "BATCH_SCHEMA_VERSION",
+    "BatchedSimulator",
     "BlockExecutor",
     "BlockMemory",
     "BlockTrace",
@@ -35,6 +43,7 @@ __all__ = [
     "GlobalMemory",
     "LRRScheduler",
     "MSHRFullError",
+    "PackedGrid",
     "ProbeResult",
     "SMSimulator",
     "SimResult",
@@ -46,6 +55,7 @@ __all__ = [
     "simulate",
     "simulate_multi_sm",
     "simulate_traces",
+    "simulate_traces_batched",
     "makespan",
     "trace_grid",
 ]

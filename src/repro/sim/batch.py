@@ -1,0 +1,1016 @@
+"""Batched structure-of-arrays simulation of many design points at once.
+
+The paper's methodology sweeps one kernel across many (reg, TLP) design
+points; the scalar :class:`~repro.sim.sm.SMSimulator` advances one
+python-interpreter pass per point, which makes the cycle simulator the
+hot path under the suite, the fast-path screen and the service.  This
+module simulates a whole sweep in **one** pass:
+
+* **Shared packing** — the block traces are compiled *once per batch*
+  into structure-of-arrays form: per-warp op streams become flat arrays
+  of kind codes, pre-resolved latencies, dense integer register ids and
+  coalesced line addresses (:class:`PackedGrid`), replacing per-issue
+  dataclass attribute walks and string-keyed scoreboard lookups.  The
+  same packed grid drives every lane of the batch, and ops the trace
+  shares between warps are packed once (memoized by identity).
+* **Static counters** — every dynamic instruction issues exactly once
+  per run regardless of TLP, so instruction counts, per-class issue
+  counts and local/shared/global/bypass totals are properties of the
+  *trace*, not of the timing.  They are reduced once at pack time with
+  one ``np.bincount`` over the per-op category codes and never touched
+  in the hot loop.
+* **SoA lane state** — the batch keeps per-lane virtual clocks, active
+  masks and progress counters in numpy arrays
+  (:attr:`BatchedSimulator.clock` / :attr:`~BatchedSimulator.active`)
+  and advances every active lane in a lockstep chunk loop; finished
+  lanes are masked out and never touched again.
+
+**Why per-lane clocks (and not one shared clock).**  The scalar
+simulator jumps its clock to *its own* next event when no warp can
+issue (``now = max(now + 1, next_event)``).  Under a single shared
+batch clock a stalled lane would instead be re-stepped at every other
+lane's issue cycle and would observe its wakeup at the first *shared*
+cycle at or after the event — a different (often fractional-cycle
+later) issue time, hence different cycle counts.  Bit-identity
+therefore requires each lane to advance on its own clock; the batch
+wins by sharing the packing, the static reductions and a much leaner
+per-issue code path, not by merging clocks.  Lanes are fully
+independent, so chunked lockstep interleaving is exact by construction
+— the differential gate (``tools/batch_sim_gate.py``) and the property
+tests hold it to zero drift against the scalar oracle.
+
+Schema: :data:`BATCH_SCHEMA_VERSION` is folded into the engine's
+simulation-cache keys, so results produced before/after a change in the
+batched core's semantics can never alias.
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.config import GPUConfig
+from ..ptx.isa import LatencyClass, Space
+from .cache import CacheStats
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel, attach_energy
+from .executor import BlockTrace
+from .sm import make_l2_slice_config
+from .stats import SimResult
+
+#: Revision of the batched core's semantics; folded into engine cache
+#: keys (see :func:`repro.engine.cache.cache_schema_version`) so a
+#: change here invalidates previously cached results wholesale.
+BATCH_SCHEMA_VERSION = 1
+
+# Packed op kind codes.
+_COMPUTE = 0
+_MEM = 1
+_BARRIER = 2
+
+# Packed memory modes (mirrors the branch order of
+# ``SMSimulator._issue_memory`` exactly).
+_MEM_SHARED = 0
+_MEM_GSTORE = 1
+_MEM_BYPASS = 2
+_MEM_L1 = 3
+
+# Per-op counting categories, reduced with one bincount at pack time:
+# 0 alu · 1 sfu · 2 ctrl · 3 barrier · 4 local load · 5 local store ·
+# 6 shared · 7 global · 8 global bypassed load · 9 local bypassed load.
+_N_CATEGORIES = 10
+_KIND_OF_CATEGORY = np.array(
+    [_COMPUTE, _COMPUTE, _COMPUTE, _BARRIER,
+     _MEM, _MEM, _MEM, _MEM, _MEM, _MEM],
+    dtype=np.int8,
+)
+
+
+class _FastCache:
+    """Bit-exact, allocation-free re-expression of :class:`sim.cache.Cache`.
+
+    Same tag/LRU/MSHR state machine and the same stats counters, but:
+    plain dicts instead of ``OrderedDict`` (``del`` + reinsert is the
+    same LRU move; ``del next(iter(d))`` the same FIFO-of-insertion
+    eviction as ``popitem(last=False)``), floats returned instead of
+    ``ProbeResult`` objects, and MSHR exhaustion — at this level or any
+    level below — reported by returning ``None`` (with :attr:`retry_at`
+    holding the stalling level's earliest free-up time) instead of
+    constructing and unwinding an exception per stall, a path the
+    scalar simulator hits millions of times per sweep.  Addresses are
+    pre-aligned to line granularity at pack time, so probes take the
+    line address directly.
+    """
+
+    __slots__ = (
+        "sets", "num_sets", "line_bytes", "assoc", "entries",
+        "hit_latency", "next_cache", "next_mem", "mshr", "fill_heap",
+        "retry_at", "accesses", "hits", "misses", "merges",
+        "full_events", "evictions", "write_accesses",
+    )
+
+    def __init__(self, config, hit_latency: int, next_cache=None,
+                 next_mem=None):
+        self.num_sets = config.num_sets
+        self.line_bytes = config.line_bytes
+        self.assoc = config.associativity
+        self.entries = config.mshr_entries
+        self.hit_latency = hit_latency
+        self.next_cache: Optional[_FastCache] = next_cache
+        self.next_mem = next_mem
+        self.sets: List[Dict[int, bool]] = [{} for _ in range(self.num_sets)]
+        self.mshr: Dict[int, float] = {}
+        self.fill_heap: List[Tuple[float, int]] = []
+        self.retry_at = 0.0
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.merges = 0
+        self.full_events = 0
+        self.evictions = 0
+        self.write_accesses = 0
+
+    def _promote(self, now: float) -> None:
+        heap = self.fill_heap
+        mshr = self.mshr
+        sets = self.sets
+        line_bytes = self.line_bytes
+        num_sets = self.num_sets
+        assoc = self.assoc
+        while heap and heap[0][0] <= now:
+            fill_time, line = heappop(heap)
+            if mshr.get(line) == fill_time:
+                del mshr[line]
+                cache_set = sets[(line // line_bytes) % num_sets]
+                if len(cache_set) >= assoc:
+                    del cache_set[next(iter(cache_set))]
+                    self.evictions += 1
+                cache_set[line] = True
+
+    def probe(self, line: int, now: float, is_write: bool) -> Optional[float]:
+        """Returns the data-ready cycle, or ``None`` on MSHR exhaustion
+        at this or a lower level (:attr:`retry_at` holds the earliest
+        free-up time of the exhausted level)."""
+        fill_heap = self.fill_heap
+        if fill_heap and fill_heap[0][0] <= now:
+            self._promote(now)
+        cache_set = self.sets[(line // self.line_bytes) % self.num_sets]
+        self.accesses += 1
+        if is_write:
+            self.write_accesses += 1
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = True
+            self.hits += 1
+            return now + self.hit_latency
+        self.misses += 1
+        pending = self.mshr.get(line)
+        if pending is not None:
+            self.merges += 1
+            return pending
+        if len(self.mshr) >= self.entries:
+            self.full_events += 1
+            self.retry_at = fill_heap[0][0]
+            return None
+        nxt = self.next_cache
+        if nxt is None:
+            ready_at = self.next_mem(line, now)
+        else:
+            ready_at = nxt.probe(line, now, False)
+            if ready_at is None:
+                # Lower level exhausted before this one allocated: no
+                # local MSHR entry, exactly like the scalar's unwound
+                # exception (stats partially updated, no allocation).
+                self.retry_at = nxt.retry_at
+                return None
+        self.mshr[line] = ready_at
+        heappush(self.fill_heap, (ready_at, line))
+        return ready_at
+
+    def probe_no_allocate(self, line: int, now: float) -> Optional[float]:
+        """Write-evict access (Fermi global stores)."""
+        if self.fill_heap and self.fill_heap[0][0] <= now:
+            self._promote(now)
+        cache_set = self.sets[(line // self.line_bytes) % self.num_sets]
+        self.accesses += 1
+        self.write_accesses += 1
+        if line in cache_set:
+            del cache_set[line]
+            self.evictions += 1
+        nxt = self.next_cache
+        if nxt is None:
+            return self.next_mem(line, now)
+        ready = nxt.probe(line, now, False)
+        if ready is None:
+            self.retry_at = nxt.retry_at
+        return ready
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            mshr_merges=self.merges,
+            mshr_full_events=self.full_events,
+            evictions=self.evictions,
+            write_accesses=self.write_accesses,
+        )
+
+
+class _FastDram:
+    """Re-expression of :class:`sim.cache.DRAMModel` (same arithmetic)."""
+
+    __slots__ = (
+        "latency", "bytes_per_cycle", "line_bytes", "busy_until",
+        "transactions", "bytes_transferred",
+    )
+
+    def __init__(self, latency: int, bytes_per_cycle: float, line_bytes: int):
+        self.latency = latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.line_bytes = line_bytes
+        self.busy_until = 0.0
+        self.transactions = 0
+        self.bytes_transferred = 0
+
+    def access(self, line_addr: int, now: float) -> float:
+        service_start = max(now, self.busy_until)
+        transfer = self.line_bytes / self.bytes_per_cycle
+        self.busy_until = service_start + transfer
+        self.transactions += 1
+        self.bytes_transferred += self.line_bytes
+        return service_start + transfer + self.latency
+
+
+class _Warp:
+    __slots__ = ("pc", "ops", "n", "rr", "slot", "barrier_arrival")
+
+    def __init__(self, ops, slot: int, nregs: int):
+        self.pc = 0
+        self.ops = ops
+        self.n = len(ops)
+        self.rr = [0.0] * nregs
+        self.slot = slot
+        self.barrier_arrival = 0.0
+
+
+class _Sched:
+    """Inline GTO/LRR scheduler state (same picks, same tie-breaks).
+
+    Two deliberate departures from the scalar scheduler's *data
+    structures* (the pick sequence is provably unchanged):
+
+    * **GTO side channel** — the greedy warp never round-trips through
+      the pending heap.  Its single next-ready time lives in
+      :attr:`gready` (``None`` while the warp is being issued); the
+      side channel is flushed back into the heap the moment another
+      warp takes over the greedy slot, so the (time, warp-id) multiset
+      — and therefore every pick and every event jump — stays identical
+      to the scalar scheduler's.  GTO pins issue to one warp for long
+      runs, so this removes the majority of all heap traffic.
+    * **Eligible list** — the scalar keeps an eligible *heap* plus a
+      membership set with lazy deletion because its API allows stale
+      entries.  Here every live warp holds exactly one token at a time
+      (a pending entry, an eligible entry, or the greedy side channel),
+      so eligibility is a plain list: the pick is ``min()`` — the same
+      lowest-warp-id choice the heap makes — and the list is almost
+      always one or two entries long.
+    """
+
+    __slots__ = ("pending", "eligible", "greedy", "gready", "last")
+
+    def __init__(self):
+        self.pending: List[Tuple[float, int]] = []
+        self.eligible: List[int] = []
+        self.greedy: Optional[int] = None  # GTO
+        self.gready: Optional[float] = None  # greedy warp's parked time
+        self.last: int = -1  # LRR
+
+    def add(self, warp_id: int, ready_at: float, now: float) -> None:
+        if ready_at <= now:
+            self.eligible.append(warp_id)
+        else:
+            heappush(self.pending, (ready_at, warp_id))
+
+    def next_event(self) -> Optional[float]:
+        if self.eligible:
+            return 0.0
+        t = self.pending[0][0] if self.pending else None
+        g = self.gready if self.greedy is not None else None
+        if g is not None and (t is None or g < t):
+            return g
+        return t
+
+
+class _Slot:
+    __slots__ = ("live", "barrier_count", "waiters")
+
+    def __init__(self):
+        self.live = 0
+        self.barrier_count = 0
+        self.waiters: List[int] = []
+
+
+def _pack_op(op, reg_index: Dict[str, int], alu: int, sfu: int, ctrl: int,
+             shared_lat: int, line_bytes: int) -> Tuple[tuple, int]:
+    """Compile one :class:`WarpOp` to its uniform tuple + category code."""
+    setdefault = reg_index.setdefault
+    dst = op.dst
+    dst_idx = -1 if dst is None else setdefault(dst, len(reg_index))
+    srcs = tuple(setdefault(s, len(reg_index)) for s in op.srcs)
+    kind = op.kind
+    if kind is LatencyClass.MEM:
+        space = op.space
+        is_store = op.is_store
+        bypass_load = op.bypass_l1 and not is_store
+        if space is Space.LOCAL:
+            category = 5 if is_store else (9 if bypass_load else 4)
+        elif space is Space.SHARED:
+            category = 6
+        else:
+            category = 8 if bypass_load else 7
+        if space is Space.SHARED:
+            cost = shared_lat + 2 * (op.conflict - 1)
+            return (_MEM, _MEM_SHARED, cost, dst_idx, srcs, (), False), 6
+        if is_store and space is Space.GLOBAL:
+            mode = _MEM_GSTORE
+        elif bypass_load:
+            mode = _MEM_BYPASS
+        else:
+            mode = _MEM_L1
+        # Align once here so probes skip per-access line arithmetic
+        # (the executor already emits aligned lines; this is a no-op
+        # guard against traces packed with a different geometry).
+        lines = tuple(a - a % line_bytes for a in op.lines)
+        return (_MEM, mode, 0, dst_idx, srcs, lines, is_store), category
+    if kind is LatencyClass.BARRIER:
+        return (_BARRIER, 0, 0, -1, srcs, (), False), 3
+    if kind is LatencyClass.ALU:
+        return (_COMPUTE, alu, 0, dst_idx, srcs, (), False), 0
+    if kind is LatencyClass.SFU:
+        return (_COMPUTE, sfu, 0, dst_idx, srcs, (), False), 1
+    # CTRL: issue latency doubles as the post-issue pipeline bubble.
+    return (_COMPUTE, ctrl, ctrl, dst_idx, srcs, (), False), 2
+
+
+class PackedGrid:
+    """Traces compiled to structure-of-arrays form, shared by all lanes.
+
+    ``blocks`` holds per-block lists of per-warp op streams; each op is
+    a uniform 7-tuple ``(kind, a, b, dst, srcs, lines, store)``:
+
+    ==========  =======================================================
+    kind        ``_COMPUTE`` / ``_MEM`` / ``_BARRIER``
+    a           compute: issue latency; mem: memory mode
+    b           compute: post-issue bubble (ctrl); mem-shared: the full
+                pre-resolved shared-memory cost ``lat + 2*(conflict-1)``
+    dst         dense register index of the destination (-1: none)
+    srcs        tuple of dense source register indices
+    lines       coalesced cache-line addresses (mem only)
+    store       bool, mem mode ``_MEM_L1`` only
+    ==========  =======================================================
+
+    Ops are memoized by object identity: the trace executor appends the
+    *same* ``WarpOp`` object to every warp of a block for uniform
+    instructions, so each is compiled once.  ``category_codes`` (one
+    int8 per dynamic instruction of the whole grid) is the SoA row the
+    static counters are reduced from in a single ``np.bincount``;
+    ``kind_codes`` is its projection onto the three kind codes.
+    """
+
+    __slots__ = (
+        "blocks", "num_warps", "nregs", "category_codes", "kind_codes",
+        "instructions", "issued_by_class", "local_load_insts",
+        "local_store_insts", "shared_insts", "global_insts",
+        "bypassed_insts",
+    )
+
+    def __init__(self, traces: Sequence[BlockTrace], config: GPUConfig):
+        lat = config.latency
+        alu, sfu, ctrl = lat.alu, lat.sfu, lat.ctrl
+        shared_lat = lat.shared_mem
+        line_bytes = config.l1.line_bytes
+        reg_index: Dict[str, int] = {}
+        memo: Dict[int, Tuple[tuple, int]] = {}
+        self.blocks: List[List[List[tuple]]] = []
+        self.num_warps: List[int] = []
+        codes: List[int] = []
+        code_append = codes.append
+        memo_get = memo.get
+        for trace in traces:
+            packed_block: List[List[tuple]] = []
+            for ops in trace.warp_ops:
+                stream: List[tuple] = []
+                append = stream.append
+                for op in ops:
+                    key = id(op)
+                    entry = memo_get(key)
+                    if entry is None:
+                        entry = memo[key] = _pack_op(
+                            op, reg_index, alu, sfu, ctrl, shared_lat,
+                            line_bytes,
+                        )
+                    append(entry[0])
+                    code_append(entry[1])
+                packed_block.append(stream)
+            self.blocks.append(packed_block)
+            self.num_warps.append(trace.num_warps)
+        self.nregs = len(reg_index)
+        self.category_codes = np.asarray(codes, dtype=np.int8)
+        self.kind_codes = _KIND_OF_CATEGORY[self.category_codes]
+        counts = np.bincount(self.category_codes, minlength=_N_CATEGORIES)
+        self.instructions = len(codes)
+        by_class: Dict[str, int] = {}
+        for category, klass in (
+            (0, LatencyClass.ALU), (1, LatencyClass.SFU),
+            (2, LatencyClass.CTRL), (3, LatencyClass.BARRIER),
+        ):
+            if counts[category]:
+                by_class[klass.value] = int(counts[category])
+        mem_total = int(counts[4:].sum())
+        if mem_total:
+            by_class[LatencyClass.MEM.value] = mem_total
+        self.issued_by_class = by_class
+        self.local_load_insts = int(counts[4] + counts[9])
+        self.local_store_insts = int(counts[5])
+        self.shared_insts = int(counts[6])
+        self.global_insts = int(counts[7] + counts[8])
+        self.bypassed_insts = int(counts[8] + counts[9])
+
+
+class _Lane:
+    """One design point's timing state, advanced in chunks.
+
+    A faithful re-expression of :class:`~repro.sim.sm.SMSimulator.run`
+    over a :class:`PackedGrid`: the same scheduler heaps, the same
+    cache/DRAM state machines, the same float arithmetic in the same
+    order — verified bit-identical by the differential gate.
+    """
+
+    __slots__ = (
+        "config", "packed", "tlp", "requested_tlp", "gto",
+        "scheds", "nsched", "warps", "slots", "next_block",
+        "blocks_executed", "active_warps", "now", "finish",
+        "idle_cycles", "mshr_stall_events", "mshr_stall_cycles",
+        "barrier_stall_cycles", "l1", "l2", "dram", "block_launch",
+        "deadlocked",
+    )
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        packed: PackedGrid,
+        tlp: int,
+        scheduler: str,
+    ):
+        if tlp <= 0:
+            raise ValueError("tlp must be positive")
+        if scheduler not in ("gto", "lrr"):
+            raise ValueError(f"unknown scheduler kind {scheduler!r}")
+        self.config = config
+        self.packed = packed
+        nblocks = len(packed.blocks)
+        self.tlp = min(tlp, nblocks) if nblocks else tlp
+        self.requested_tlp = tlp
+        self.gto = scheduler == "gto"
+        lat = config.latency
+        self.dram = _FastDram(
+            latency=lat.dram - lat.l2_hit,
+            bytes_per_cycle=config.dram_bytes_per_cycle,
+            line_bytes=config.l1.line_bytes,
+        )
+        self.l2 = _FastCache(
+            make_l2_slice_config(config),
+            hit_latency=lat.l2_hit - lat.l1_hit,
+            next_mem=self.dram.access,
+        )
+        self.l1 = _FastCache(
+            config.l1, hit_latency=lat.l1_hit, next_cache=self.l2
+        )
+        self.block_launch = lat.block_launch
+        self.nsched = config.num_schedulers
+        self.scheds = [_Sched() for _ in range(self.nsched)]
+        self.warps: List[_Warp] = []
+        self.slots = [_Slot() for _ in range(self.tlp)]
+        self.next_block = 0
+        self.blocks_executed = 0
+        self.active_warps = 0
+        self.now = 0.0
+        self.finish: Optional[float] = None
+        self.idle_cycles = 0.0
+        self.mshr_stall_events = 0
+        self.mshr_stall_cycles = 0.0
+        self.barrier_stall_cycles = 0.0
+        self.deadlocked = False
+        # Launch the initial wave (SMSimulator.start(0.0)).
+        for slot_idx in range(self.tlp):
+            if self.next_block < nblocks:
+                self._launch_block(slot_idx, 0.0)
+        if self.active_warps == 0:
+            self.finish = 0.0
+
+    # ------------------------------------------------------------------
+    def _launch_block(self, slot_idx: int, now: float) -> None:
+        packed = self.packed
+        block_idx = self.next_block
+        block = packed.blocks[block_idx]
+        slot = self.slots[slot_idx]
+        slot.live = packed.num_warps[block_idx]
+        slot.barrier_count = 0
+        slot.waiters = []
+        self.next_block = block_idx + 1
+        launch_at = now + self.block_launch
+        nregs = packed.nregs
+        nsched = self.nsched
+        scheds = self.scheds
+        warps = self.warps
+        for stream in block:
+            warp_id = len(warps)
+            warps.append(_Warp(stream, slot_idx, nregs))
+            self.active_warps += 1
+            scheds[warp_id % nsched].add(warp_id, launch_at, now)
+
+    def _retire_warp(self, warp_id: int, warp: _Warp, sched: _Sched,
+                     now: float) -> None:
+        self.active_warps -= 1
+        if sched.greedy == warp_id:
+            sched.greedy = None
+            sched.gready = None
+        slot = self.slots[warp.slot]
+        slot.live -= 1
+        if slot.live == 0:
+            self.blocks_executed += 1
+            if self.next_block < len(self.packed.blocks):
+                self._launch_block(warp.slot, now)
+
+    def _next_ready(self, warp: _Warp, base: float) -> float:
+        dep = base
+        rr = warp.rr
+        for src in warp.ops[warp.pc][4]:
+            t = rr[src]
+            if t > dep:
+                dep = t
+        return dep
+
+    def _arrive_barrier(self, warp_id: int, warp: _Warp, sched: _Sched,
+                        now: float) -> None:
+        slot = self.slots[warp.slot]
+        if sched.greedy == warp_id:
+            sched.greedy = None
+            sched.gready = None
+        warp.barrier_arrival = now
+        slot.barrier_count += 1
+        slot.waiters.append(warp_id)
+        if slot.barrier_count < slot.live:
+            return
+        release = now + 1
+        nsched = self.nsched
+        scheds = self.scheds
+        warps = self.warps
+        for waiting_id in slot.waiters:
+            waiting = warps[waiting_id]
+            self.barrier_stall_cycles += release - waiting.barrier_arrival
+            wsched = scheds[waiting_id % nsched]
+            if waiting.pc >= waiting.n:
+                self._retire_warp(waiting_id, waiting, wsched, now)
+            else:
+                wsched.add(
+                    waiting_id, self._next_ready(waiting, release), now
+                )
+        slot.barrier_count = 0
+        slot.waiters = []
+
+    # ------------------------------------------------------------------
+    def _issue(self, warp_id: int, now: float, sched: _Sched) -> None:
+        warp = self.warps[warp_id]
+        ops = warp.ops
+        op = ops[warp.pc]
+        kind = op[0]
+
+        if kind == _COMPUTE:
+            dst = op[3]
+            if dst >= 0:
+                warp.rr[dst] = now + op[1]
+            pc = warp.pc + 1
+            warp.pc = pc
+            if pc >= warp.n:
+                self._retire_warp(warp_id, warp, sched, now)
+                return
+            dep = now + 1 + op[2]
+            srcs = ops[pc][4]
+            if srcs:
+                rr = warp.rr
+                for src in srcs:
+                    t = rr[src]
+                    if t > dep:
+                        dep = t
+            # Re-add: dep > now always, so the scalar path is a pending
+            # push; the GTO greedy warp parks in the side channel.
+            if self.gto:
+                sched.gready = dep
+            else:
+                heappush(sched.pending, (dep, warp_id))
+            return
+
+        if kind == _MEM:
+            mode = op[1]
+            lines = op[5]
+            if mode == _MEM_L1:
+                is_store = op[6]
+                l1 = self.l1
+                l1_probe = l1.probe
+                l1_sets = l1.sets
+                l1_lb = l1.line_bytes
+                l1_ns = l1.num_sets
+                ready = now
+                for i, line in enumerate(lines):
+                    t = now + i
+                    fh = l1.fill_heap
+                    cs = l1_sets[(line // l1_lb) % l1_ns]
+                    if (not fh or fh[0][0] > t) and line in cs:
+                        # Inlined L1 hit (same stats/LRU as ``probe``).
+                        del cs[line]
+                        cs[line] = True
+                        l1.accesses += 1
+                        l1.hits += 1
+                        if is_store:
+                            l1.write_accesses += 1
+                        r = t + l1.hit_latency
+                    else:
+                        r = l1_probe(line, t, is_store)
+                    if r is None:
+                        # MSHR congestion stall, inlined (hot on
+                        # memory-bound kernels).
+                        retry = l1.retry_at
+                        floor = now + 1
+                        if floor > retry:
+                            retry = floor
+                        self.mshr_stall_events += 1
+                        self.mshr_stall_cycles += retry - now
+                        heappush(sched.pending, (retry, warp_id))
+                        if sched.greedy == warp_id:
+                            sched.greedy = None
+                            sched.gready = None
+                        return
+                    if r > ready:
+                        ready = r
+                complete = now + 1 + len(lines) if is_store else ready
+            elif mode == _MEM_SHARED:
+                complete = now + op[2]
+            elif mode == _MEM_GSTORE:
+                l1 = self.l1
+                probe_no_alloc = l1.probe_no_allocate
+                for i, line in enumerate(lines):
+                    if probe_no_alloc(line, now + i) is None:
+                        self._mshr_stall(warp_id, l1.retry_at, now, sched)
+                        return
+                complete = now + 1 + len(lines)
+            else:  # _MEM_BYPASS
+                l2 = self.l2
+                l2_probe = l2.probe
+                ready = now
+                for i, line in enumerate(lines):
+                    r = l2_probe(line, now + i, False)
+                    if r is None:
+                        self._mshr_stall(warp_id, l2.retry_at, now, sched)
+                        return
+                    if r > ready:
+                        ready = r
+                complete = ready
+            dst = op[3]
+            if dst >= 0:
+                warp.rr[dst] = complete
+            pc = warp.pc + 1
+            warp.pc = pc
+            if pc >= warp.n:
+                self._retire_warp(warp_id, warp, sched, now)
+                return
+            dep = now + 1
+            srcs = ops[pc][4]
+            if srcs:
+                rr = warp.rr
+                for src in srcs:
+                    t = rr[src]
+                    if t > dep:
+                        dep = t
+            if self.gto:
+                sched.gready = dep
+            else:
+                heappush(sched.pending, (dep, warp_id))
+            return
+
+        # _BARRIER
+        warp.pc += 1
+        self._arrive_barrier(warp_id, warp, sched, now)
+
+    def _mshr_stall(self, warp_id: int, retry_at: float, now: float,
+                    sched: _Sched) -> None:
+        retry = max(retry_at, now + 1)
+        self.mshr_stall_events += 1
+        self.mshr_stall_cycles += retry - now
+        heappush(sched.pending, (retry, warp_id))
+        if sched.greedy == warp_id:
+            sched.greedy = None
+            sched.gready = None
+
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> Optional[float]:
+        times = [
+            t for t in (s.next_event() for s in self.scheds) if t is not None
+        ]
+        return min(times) if times else None
+
+    def advance(self, budget: int) -> bool:
+        """Run up to ``budget`` iterations of the scalar run loop on
+        this lane's own clock; returns False once the lane finished."""
+        if self.finish is not None:
+            return False
+        now = self.now
+        scheds = self.scheds
+        warps = self.warps
+        gto = self.gto
+        push = heappush
+        pop = heappop
+        for _ in range(budget):
+            issued = False
+            # Earliest event among the scheds that did NOT issue this
+            # cycle, folded into the main pass so a no-issue cycle
+            # needs no second scan to find its jump target.
+            next_time = None
+            for sched in scheds:
+                if gto:
+                    g = sched.greedy
+                    if g is not None and sched.gready <= now:
+                        # Greedy chain: no heap traffic at all.  The
+                        # compute case and the single-line L1 access —
+                        # together the bulk of all issue slots — are
+                        # inlined; everything else falls through to
+                        # ``_issue``.
+                        warp = warps[g]
+                        wops = warp.ops
+                        pc = warp.pc
+                        op = wops[pc]
+                        k = op[0]
+                        if k == _COMPUTE:
+                            rr = warp.rr
+                            dst = op[3]
+                            if dst >= 0:
+                                rr[dst] = now + op[1]
+                            pc += 1
+                            warp.pc = pc
+                            if pc < warp.n:
+                                dep = now + 1 + op[2]
+                                for src in wops[pc][4]:
+                                    t = rr[src]
+                                    if t > dep:
+                                        dep = t
+                                sched.gready = dep
+                            else:
+                                self._retire_warp(g, warp, sched, now)
+                            issued = True
+                            continue
+                        lines = op[5]
+                        if k == _MEM and op[1] == _MEM_L1 \
+                                and len(lines) == 1:
+                            line = lines[0]
+                            is_store = op[6]
+                            l1 = self.l1
+                            fh = l1.fill_heap
+                            cs = l1.sets[
+                                (line // l1.line_bytes) % l1.num_sets
+                            ]
+                            if (not fh or fh[0][0] > now) and line in cs:
+                                # L1 hit with no fills due: same stats,
+                                # same LRU move as ``probe``, no call.
+                                del cs[line]
+                                cs[line] = True
+                                l1.accesses += 1
+                                l1.hits += 1
+                                if is_store:
+                                    l1.write_accesses += 1
+                                r = now + l1.hit_latency
+                            else:
+                                r = l1.probe(line, now, is_store)
+                            if r is None:
+                                retry = l1.retry_at
+                                floor = now + 1
+                                if floor > retry:
+                                    retry = floor
+                                self.mshr_stall_events += 1
+                                self.mshr_stall_cycles += retry - now
+                                push(sched.pending, (retry, g))
+                                sched.greedy = None
+                                sched.gready = None
+                            else:
+                                rr = warp.rr
+                                dst = op[3]
+                                if dst >= 0:
+                                    rr[dst] = now + 2 if is_store else r
+                                pc += 1
+                                warp.pc = pc
+                                if pc < warp.n:
+                                    dep = now + 1
+                                    for src in wops[pc][4]:
+                                        t = rr[src]
+                                        if t > dep:
+                                            dep = t
+                                    sched.gready = dep
+                                else:
+                                    self._retire_warp(g, warp, sched, now)
+                            issued = True
+                            continue
+                        sched.gready = None
+                        self._issue(g, now, sched)
+                        issued = True
+                        continue
+                    pending = sched.pending
+                    elig = sched.eligible
+                    if pending and pending[0][0] <= now:
+                        while pending and pending[0][0] <= now:
+                            elig.append(pop(pending)[1])
+                    if not elig:
+                        t = pending[0][0] if pending else None
+                        if g is not None:
+                            gr = sched.gready
+                            if t is None or gr < t:
+                                t = gr
+                        if t is not None and (next_time is None
+                                              or t < next_time):
+                            next_time = t
+                        continue
+                    if len(elig) == 1:
+                        warp_id = elig.pop()
+                    else:
+                        warp_id = min(elig)
+                        elig.remove(warp_id)
+                    if g is not None:
+                        # Greedy switch: flush the parked warp back to
+                        # the heap so the multiset matches the scalar's.
+                        push(pending, (sched.gready, g))
+                    sched.greedy = warp_id
+                    sched.gready = None
+                    self._issue(warp_id, now, sched)
+                    issued = True
+                else:  # lrr
+                    pending = sched.pending
+                    elig = sched.eligible
+                    if pending and pending[0][0] <= now:
+                        while pending and pending[0][0] <= now:
+                            elig.append(pop(pending)[1])
+                    if not elig:
+                        if pending:
+                            t = pending[0][0]
+                            if next_time is None or t < next_time:
+                                next_time = t
+                        continue
+                    last = sched.last
+                    above = [w for w in elig if w > last]
+                    warp_id = min(above) if above else min(elig)
+                    elig.remove(warp_id)
+                    sched.last = warp_id
+                    self._issue(warp_id, now, sched)
+                    issued = True
+            if self.active_warps == 0:
+                self.now = now
+                self.finish = now
+                return False
+            if issued:
+                now += 1
+            else:
+                if next_time is None:
+                    self.now = now
+                    self.deadlocked = True
+                    raise RuntimeError(
+                        "simulation deadlock: active warps but no pending "
+                        "events (mismatched barriers?)"
+                    )
+                self.idle_cycles += max(0.0, next_time - now)
+                now = max(now + 1, next_time)
+        self.now = now
+        return True
+
+    # ------------------------------------------------------------------
+    def result(self) -> SimResult:
+        packed = self.packed
+        return SimResult(
+            cycles=self.finish if self.finish is not None else self.now,
+            instructions=packed.instructions,
+            tlp=self.requested_tlp,
+            blocks_executed=self.blocks_executed,
+            l1=self.l1.stats(),
+            l2=self.l2.stats(),
+            mshr_stall_events=self.mshr_stall_events,
+            mshr_stall_cycles=self.mshr_stall_cycles,
+            barrier_stall_cycles=self.barrier_stall_cycles,
+            idle_cycles=self.idle_cycles,
+            local_load_insts=packed.local_load_insts,
+            local_store_insts=packed.local_store_insts,
+            shared_insts=packed.shared_insts,
+            global_insts=packed.global_insts,
+            bypassed_insts=packed.bypassed_insts,
+            dram_transactions=self.dram.transactions,
+            dram_bytes=self.dram.bytes_transferred,
+            issued_by_class=dict(packed.issued_by_class),
+        )
+
+
+class BatchedSimulator:
+    """Simulate N design points of one kernel in a single batched pass.
+
+    ``tlps`` names the design points (one lane each; duplicates are
+    allowed and produce duplicate lanes).  All lanes share one
+    :class:`PackedGrid`; per-lane clocks, active masks and issue
+    progress live in SoA numpy arrays (:attr:`clock`, :attr:`active`)
+    and the run loop advances every active lane in lockstep chunks,
+    masking lanes out as they retire.  Results are bit-identical to
+    running :class:`~repro.sim.sm.SMSimulator` once per TLP.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        traces: Sequence[BlockTrace],
+        tlps: Sequence[int],
+        scheduler: str = "gto",
+        chunk: int = 4096,
+    ):
+        if not tlps:
+            raise ValueError("batch needs at least one design point")
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        self.config = config
+        self.scheduler = scheduler
+        self.chunk = chunk
+        self.packed = PackedGrid(traces, config)
+        self.lanes = [
+            _Lane(config, self.packed, tlp, scheduler) for tlp in tlps
+        ]
+        n = len(self.lanes)
+        #: SoA batch state: per-lane virtual clocks and activity mask.
+        self.clock = np.zeros(n, dtype=np.float64)
+        self.active = np.array(
+            [lane.finish is None for lane in self.lanes], dtype=bool
+        )
+        self.steps = 0
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending event across the batch (min over active
+        lanes); ``None`` once every lane has retired."""
+        times = [
+            t
+            for lane, live in zip(self.lanes, self.active)
+            if live
+            for t in (lane.next_event_time(),)
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    def step(self) -> bool:
+        """Advance every active lane by one chunk; returns True while
+        any lane remains active."""
+        lanes = self.lanes
+        active = self.active
+        clock = self.clock
+        chunk = self.chunk
+        any_live = False
+        for i in np.flatnonzero(active):
+            lane = lanes[i]
+            live = lane.advance(chunk)
+            clock[i] = lane.now
+            if not live:
+                active[i] = False
+            else:
+                any_live = True
+        self.steps += 1
+        return any_live
+
+    def run(self) -> List[SimResult]:
+        # The hot loop allocates no reference cycles (heap tuples and
+        # floats only), but the packed grid holds hundreds of thousands
+        # of container objects the cyclic GC would otherwise rescan on
+        # every generational collection mid-run.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            while self.step():
+                pass
+        finally:
+            if was_enabled:
+                gc.enable()
+        return [lane.result() for lane in self.lanes]
+
+
+def simulate_traces_batched(
+    traces: Sequence[BlockTrace],
+    config: GPUConfig,
+    tlps: Sequence[int],
+    scheduler: str = "gto",
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> List[SimResult]:
+    """Batched counterpart of :func:`repro.sim.gpu.simulate_traces`:
+    one result per requested TLP, bit-identical to the scalar path."""
+    sim = BatchedSimulator(config, traces, tlps, scheduler=scheduler)
+    return [attach_energy(result, energy_model) for result in sim.run()]

@@ -31,7 +31,9 @@ def simulate_multi_sm(
     scheduler: str = "gto",
 ) -> List[SimResult]:
     """Simulate ``num_sms`` SMs (default: the config's count) sharing
-    the chip-level L2 and DRAM; returns one :class:`SimResult` per SM.
+    the chip-level L2 and DRAM; returns exactly one :class:`SimResult`
+    per SM — including SMs the round-robin deal left without blocks,
+    which report zero cycles and zero work.
 
     The block list is dealt round-robin across SMs, mirroring the
     hardware block scheduler's greedy distribution.
@@ -55,26 +57,32 @@ def simulate_multi_sm(
         name="l2-shared",
     )
 
-    sms = []
-    for sm_index in range(n):
-        sm_traces = traces[sm_index::n]
-        if not sm_traces:
-            continue
-        sms.append(
-            SMSimulator(
-                config,
-                sm_traces,
-                tlp=tlp,
-                scheduler=scheduler,
-                shared_l2=l2,
-                shared_dram=dram,
-            )
+    # One simulator per SM slot, trace-less SMs included: the returned
+    # list always has ``n`` entries, so callers can index it by SM and
+    # chip-level aggregates (makespan, per-SM load skew) see the idle
+    # SMs instead of a silently shorter list.
+    sms = [
+        SMSimulator(
+            config,
+            traces[sm_index::n],
+            tlp=tlp,
+            scheduler=scheduler,
+            shared_l2=l2,
+            shared_dram=dram,
         )
+        for sm_index in range(n)
+    ]
 
     now = 0.0
-    for sm in sms:
+    # ``None`` = "has not finished yet"; a numeric value is the cycle
+    # the SM drained (0.0 is a legitimate finish time for an SM with no
+    # blocks, which the old ``finish_at[idx] > 0`` test misreported as
+    # running until the chip-wide end).
+    finish_at: List[Optional[float]] = [None] * n
+    for idx, sm in enumerate(sms):
         sm.start(now)
-    finish_at = [0.0] * len(sms)
+        if not sm.active():
+            finish_at[idx] = now
     while any(sm.active() for sm in sms):
         issued = False
         for idx, sm in enumerate(sms):
@@ -100,7 +108,7 @@ def simulate_multi_sm(
 
     results = []
     for idx, sm in enumerate(sms):
-        cycles = finish_at[idx] if finish_at[idx] > 0 else now
+        cycles = finish_at[idx] if finish_at[idx] is not None else now
         results.append(sm.result(cycles))
     return results
 

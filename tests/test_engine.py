@@ -128,11 +128,12 @@ class TestSchemaVersioning:
         from repro.engine import FASTPATH_SCHEMA_VERSION, cache_schema_version
         from repro.engine.cache import RESULT_SCHEMA_VERSION
         from repro.ir import PIPELINE_SCHEMA_VERSION
+        from repro.sim.batch import BATCH_SCHEMA_VERSION
 
         tag = cache_schema_version()
         assert tag == (
             f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
-            f".pp{PIPELINE_SCHEMA_VERSION}"
+            f".pp{PIPELINE_SCHEMA_VERSION}.b{BATCH_SCHEMA_VERSION}"
         )
 
     def test_key_leads_with_schema_tag(self, gau):
@@ -278,6 +279,93 @@ class TestParallelDeterminism:
         ]
         results = engine.simulate_many(requests)
         assert [r.tlp for r in results] == tlps
+
+
+class TestBatchedRouting:
+    """Multi-point sweeps route through the batched SoA core by
+    default; the supervised scalar path stays the oracle and the
+    fallback, and flipping the toggle never changes a result."""
+
+    def _requests(self, gau, tlps):
+        return [
+            SimRequest(gau.kernel, FERMI, tlp, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+            for tlp in tlps
+        ]
+
+    def test_batch_toggle_is_bit_identical(self, gau):
+        on = EvaluationEngine(jobs=1, disk_cache="")
+        off = EvaluationEngine(jobs=1, disk_cache="", batch=False)
+        requests = self._requests(gau, [1, 2, 3])
+        a = on.simulate_many(requests)
+        b = off.simulate_many(self._requests(gau, [1, 2, 3]))
+        assert a == b
+        assert on.stats.batched_points == 3
+        assert on.stats.batched_groups == 1
+        assert off.stats.batched_points == 0
+
+    def test_batchsim_event_emitted(self, gau):
+        from repro.engine import BatchSimEvent
+
+        engine = EvaluationEngine(jobs=1, disk_cache="")
+        engine.simulate_many(self._requests(gau, [1, 2]))
+        events = [e for e in engine.events if isinstance(e, BatchSimEvent)]
+        assert len(events) == 1
+        assert events[0].points == 2
+        assert events[0].scheduler == "gto"
+
+    def test_singleton_group_stays_supervised(self, gau):
+        engine = EvaluationEngine(jobs=1, disk_cache="")
+        engine.simulate_many(self._requests(gau, [2]))
+        assert engine.stats.batched_points == 0
+
+    def test_evaluate_batch_forces_batching(self, gau):
+        engine = EvaluationEngine(jobs=1, disk_cache="", batch=False)
+        results = engine.evaluate_batch(self._requests(gau, [1, 2]))
+        assert [r.tlp for r in results] == [1, 2]
+        assert engine.stats.batched_points == 2
+
+    def test_fault_plan_disables_batching(self, gau, monkeypatch):
+        """Under an active fault plan the supervised machinery must
+        stay in the loop (that is what the plan exercises), so batching
+        steps aside; results still match the clean batched run."""
+        clean = EvaluationEngine(jobs=1, disk_cache="")
+        expected = clean.simulate_many(self._requests(gau, [1, 2]))
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt-cache:0.5")
+        engine = EvaluationEngine(jobs=1, disk_cache="")
+        results = engine.simulate_many(self._requests(gau, [1, 2]))
+        assert engine.stats.batched_points == 0
+        assert results == expected
+
+    def test_configure_and_snapshot_expose_batch(self):
+        from repro.engine import configure, get_engine, set_engine
+
+        original = get_engine()
+        try:
+            engine = EvaluationEngine(jobs=1, disk_cache="")
+            set_engine(engine)
+            assert engine.snapshot()["batch"] is True
+            configure(batch=False)
+            assert engine.batch is False
+            assert engine.snapshot()["batch"] is False
+            configure(batch=True)
+            assert engine.batch is True
+        finally:
+            set_engine(original)
+
+    def test_mixed_schedulers_group_separately(self, gau):
+        engine = EvaluationEngine(jobs=1, disk_cache="")
+        requests = [
+            SimRequest(gau.kernel, FERMI, tlp, grid_blocks=4,
+                       param_sizes=gau.param_sizes, scheduler=sched)
+            for tlp, sched in [(1, "gto"), (2, "gto"), (1, "lrr"),
+                               (2, "lrr")]
+        ]
+        results = engine.simulate_many(requests)
+        assert engine.stats.batched_groups == 2
+        assert engine.stats.batched_points == 4
+        solo = EvaluationEngine(jobs=1, disk_cache="", batch=False)
+        assert results == solo.simulate_many(list(requests))
 
 
 class TestInstrumentation:

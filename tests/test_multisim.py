@@ -63,3 +63,52 @@ class TestMultiSM:
         workload, traces = hst_traces
         results = simulate_multi_sm(traces[:2], FERMI, tlp=2, num_sms=8)
         assert sum(r.blocks_executed for r in results) == 2
+
+    def test_one_result_per_sm_including_traceless(self, hst_traces):
+        """The result list always has ``num_sms`` entries; SMs the
+        round-robin deal left without blocks report zero work (the old
+        code silently dropped them, so per-SM indexing was off)."""
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces[:3], FERMI, tlp=2, num_sms=8)
+        assert len(results) == 8
+        for idx, result in enumerate(results):
+            if idx < 3:  # round-robin: blocks 0..2 land on SMs 0..2
+                assert result.blocks_executed == 1
+                assert result.cycles > 0
+            else:
+                assert result.blocks_executed == 0
+                assert result.instructions == 0
+                assert result.cycles == 0.0
+
+    def test_traceless_sm_not_charged_chip_makespan(self, hst_traces):
+        """Regression for the ``finish_at[idx] > 0`` sentinel bug: an
+        SM that finishes at cycle 0 (no blocks) must report 0 cycles,
+        not inherit the chip-wide final clock."""
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces[:1], FERMI, tlp=2, num_sms=4)
+        chip = makespan(results)
+        assert chip > 0
+        assert [r.cycles for r in results[1:]] == [0.0, 0.0, 0.0]
+
+    def test_lockstep_clock_bounds_per_sm_finish(self, hst_traces):
+        """Lock-step global clock: every SM's reported finish time is
+        bounded by the chip makespan, and busy SMs finish strictly
+        after cycle 0."""
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces, FERMI, tlp=2, num_sms=4)
+        chip = makespan(results)
+        for result in results:
+            assert 0 < result.cycles <= chip
+
+    def test_event_jump_terminates_at_minimum_tlp(self, hst_traces):
+        """TLP=1 maximizes no-issue cycles (a single warp per SM is
+        stalled most of the time); the clock must jump to the earliest
+        pending event rather than crawling, and still conserve work."""
+        workload, traces = hst_traces
+        results = simulate_multi_sm(traces, FERMI, tlp=1, num_sms=4)
+        assert sum(r.blocks_executed for r in results) == len(traces)
+        assert all(r.idle_cycles >= 0 for r in results)
+        # Stalls exist at TLP=1 but the jump keeps them accounted, not
+        # simulated cycle-by-cycle (the run above finishing quickly is
+        # itself the evidence; correctness is the conserved work).
+        assert makespan(results) > 0
