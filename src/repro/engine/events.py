@@ -180,6 +180,28 @@ class RequestEvent:
 
 
 @dataclasses.dataclass(frozen=True)
+class ShardEvent:
+    """One fleet-supervision action on an engine shard.
+
+    Emitted by the fleet router/supervisor into its engine's event log
+    (so ``--trace-json`` and the periodic structured log lines carry
+    them) and mirrored into the fleet counters that ``repro fleet
+    status`` and the chaos smoke read — recovery behavior is asserted
+    from data, not scraped from logs.  ``action`` is one of ``spawn``,
+    ``ready``, ``heartbeat-miss``, ``dead``, ``restart``, ``restore``,
+    ``handoff`` or ``reroute``; ``epoch`` counts the shard's restarts
+    (0 = first boot).
+    """
+
+    kind: ClassVar[str] = "shard"
+
+    shard: str
+    action: str
+    epoch: int
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class CacheCorruptEvent:
     """One corrupt/truncated/legacy persistent-cache entry, detected by
     checksum verification on read and deleted (the point re-simulates
@@ -213,6 +235,7 @@ EngineEvent = Union[
     RetryEvent,
     DegradeEvent,
     RequestEvent,
+    ShardEvent,
     CacheCorruptEvent,
     CheckpointEvent,
 ]

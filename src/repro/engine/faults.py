@@ -26,6 +26,22 @@ Four fault kinds exist:
     permanent failure that forces the engine's degradation ladder
     (analytical fast-path estimate instead of a simulated point).
 
+Three further kinds target the *service tier* (they are consulted only
+by engine-shard server processes — plain ``repro`` runs and the
+single-process daemon never check them):
+
+``shard-crash``
+    A shard process exits abruptly (``os._exit``) just before
+    executing a job — the fleet supervisor must detect the death,
+    re-route the in-flight jobs and restart the shard.
+``shard-hang``
+    A shard stops answering health checks (its control plane sleeps),
+    tripping the supervisor's missed-heartbeat threshold.
+``net-drop``
+    A shard writes only half of a reply frame and drops the
+    connection, exercising the truncated-frame (``ProtocolError``)
+    path and the router's failover replay.
+
 Decisions are **deterministic**: each is a pure function of the seed
 (``REPRO_FAULTS_SEED``, default 0), the fault kind, and a stable token
 (the design point's cache-key digest plus, for transient kinds, the
@@ -49,7 +65,12 @@ FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
 HANG_SECONDS_ENV = "REPRO_FAULT_HANG_SECONDS"
 
 #: Recognized fault kinds (anything else in the spec is an error).
-KINDS = ("crash", "hang", "corrupt-cache", "fail")
+#: The ``shard-*`` / ``net-drop`` kinds perturb engine-shard server
+#: processes; the rest perturb the engine's own workers and cache I/O.
+KINDS = (
+    "crash", "hang", "corrupt-cache", "fail",
+    "shard-crash", "shard-hang", "net-drop",
+)
 
 #: Per-process write counters for ``corrupt-cache`` decisions (see
 #: :func:`corrupt_payload`).
@@ -207,6 +228,40 @@ def corrupt_payload(token: str, payload: bytes) -> bytes:
     return payload[: max(1, len(payload) // 2)] + b"\x00INJECTED"
 
 
+def shard_fault(token: str) -> Optional[str]:
+    """Decide a service-level shard fault for one job dispatch.
+
+    Returns ``"crash"`` (the shard must die abruptly), ``"hang"`` (the
+    shard's control plane must stop answering health checks) or
+    ``None``.  The token is built by the shard server from the job's
+    dedup signature plus the dispatch attempt, the shard id and the
+    shard's restart epoch — so a replayed job re-rolls instead of
+    chasing the fleet through an infinite kill loop, while the decision
+    stays a pure function of ``(seed, kind, token)``.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    if plan.decide("shard-crash", token):
+        return "crash"
+    if plan.decide("shard-hang", token):
+        return "hang"
+    return None
+
+
+def shard_net_drop(token: str) -> bool:
+    """Decide whether a shard truncates this reply mid-write.
+
+    Same token discipline as :func:`shard_fault`; the router must see
+    the partial frame as a typed :class:`ProtocolError` and replay the
+    (idempotent) job elsewhere.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    return plan.decide("net-drop", token)
+
+
 __all__ = [
     "FAULTS_ENV",
     "FAULTS_SEED_ENV",
@@ -218,4 +273,6 @@ __all__ = [
     "active_plan",
     "corrupt_payload",
     "perturb_task",
+    "shard_fault",
+    "shard_net_drop",
 ]

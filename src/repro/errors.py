@@ -213,12 +213,19 @@ def classify_error(
     from .ptx.parser import PTXParseError
     from .ptx.verifier import VerificationError as LegacyVerificationError
     from .regalloc.allocator import InsufficientRegistersError
+    from .service.protocol import ProtocolError
     from .sim.cache import MSHRFullError
     from .sim.executor import DivergentBranchError
 
     context = dict(
         app=app, kernel=kernel, design_point=design_point, stage=stage
     )
+    if isinstance(exc, ProtocolError):
+        # Wire-level damage (truncated frame, oversized or malformed
+        # JSON) is a transport failure: exit 7, never a JSON traceback.
+        err = ServiceError(f"protocol violation: {exc}", **context)
+        err.__cause__ = exc
+        return err
     if isinstance(exc, (PTXParseError, LegacyVerificationError)):
         cls = ParseError
     elif isinstance(exc, InsufficientRegistersError):

@@ -5,12 +5,26 @@ TCP, and bakes in the polite-client behavior the server's backpressure
 contract expects:
 
 * an ``overloaded`` reply is retried after the server's ``retry_after``
-  hint (plus a deterministic multiplicative backoff per consecutive
-  rejection — the hint is the floor, not the schedule);
+  hint *plus* decorrelated jitter — the hint is a hard floor, the
+  jitter on top is what keeps a thundering herd from re-arriving in
+  lockstep at exactly ``retry_after`` seconds;
 * a connection failure (daemon restarting, socket not yet bound)
-  retries on the same backoff ladder;
+  retries on the same jittered schedule;
 * everything else — job errors included — is returned to the caller
   exactly once, as the server sent it.
+
+The backoff is AWS-style *decorrelated jitter*: each retry sleeps
+``uniform(base, 3 * previous_sleep)`` capped at ``cap``.  Unlike the
+old deterministic ladder (``base * growth**attempt``), two clients
+rejected at the same instant do not compute the same schedule and
+collide again on every subsequent attempt.  The RNG is injectable so
+tests can pin the schedule.
+
+:class:`FleetClient` adds shard-aware routing on top: it learns the
+fleet topology from the router's ``health`` reply, computes the job's
+content signature locally, and dials the owning shard directly —
+skipping one router hop — falling back to the router (which also
+re-routes around dead shards) whenever the direct path fails.
 
 The library never interprets job results; it returns reply dicts.
 :func:`submit_or_raise` is the one-call convenience that converts
@@ -22,9 +36,10 @@ failures are re-raised as their original kind's exit code).
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from ..errors import ServiceError
 from .protocol import (
@@ -35,11 +50,29 @@ from .protocol import (
 )
 from .server import default_socket_path
 
-#: Backoff ladder for connect failures / overload rejections:
-#: ``base * growth**attempt``, capped.
+#: Decorrelated-jitter parameters for connect failures / overload
+#: rejections: sleep ``uniform(base, 3 * previous_sleep)``, capped.
 DEFAULT_BACKOFF_BASE = 0.1
-DEFAULT_BACKOFF_GROWTH = 2.0
 DEFAULT_BACKOFF_CAP = 5.0
+#: Kept for callers that imported the old ladder's growth factor; the
+#: jittered schedule no longer uses it.
+DEFAULT_BACKOFF_GROWTH = 2.0
+
+
+def decorrelated_jitter(
+    rng: random.Random,
+    previous_sleep: float,
+    base: float = DEFAULT_BACKOFF_BASE,
+    cap: float = DEFAULT_BACKOFF_CAP,
+) -> float:
+    """Next sleep in a decorrelated-jitter schedule.
+
+    ``uniform(base, 3 * previous_sleep)`` clamped to ``[base, cap]``;
+    pass the returned value back in as ``previous_sleep`` next time.
+    Growth is still roughly exponential in expectation, but no two
+    clients share a schedule.
+    """
+    return min(cap, rng.uniform(base, max(base, previous_sleep * 3.0)))
 
 
 class ServiceClient:
@@ -58,6 +91,7 @@ class ServiceClient:
         timeout: Optional[float] = 60.0,
         max_retries: int = 5,
         sleep=time.sleep,
+        rng: Optional[random.Random] = None,
     ):
         if host is not None and port is None:
             raise ValueError("TCP connections need both host and port")
@@ -69,6 +103,7 @@ class ServiceClient:
         self.timeout = timeout
         self.max_retries = max_retries
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._ids = itertools.count(1)
@@ -153,7 +188,10 @@ class ServiceClient:
             self._drop_connection()
             raise ServiceError("service closed the connection mid-request")
         try:
-            return decode_frame(line)
+            # require_newline: a peer killed mid-write leaves a partial
+            # frame with no terminator — that must surface as a typed
+            # transport error even if the fragment parses as JSON.
+            return decode_frame(line, require_newline=True)
         except ProtocolError as err:
             self._drop_connection()
             raise ServiceError(f"undecodable reply from service: {err}")
@@ -165,15 +203,14 @@ class ServiceClient:
         deadline: Optional[float] = None,
         priority: int = 0,
     ) -> Dict[str, Any]:
-        """Round trip with the retry/backoff policy: honors the
-        server's ``retry_after`` hints on ``overloaded``, retries
-        transport faults, and returns the first definitive reply."""
+        """Round trip with the retry/backoff policy: decorrelated
+        jitter on transport faults, the server's ``retry_after`` hint
+        as a hard floor (jitter added *on top*) on ``overloaded``,
+        first definitive reply returned.  Exhausting ``max_retries``
+        raises :class:`ServiceError` (exit 7)."""
         last_error: Optional[ServiceError] = None
+        sleep_s = DEFAULT_BACKOFF_BASE
         for attempt in range(self.max_retries + 1):
-            backoff = min(
-                DEFAULT_BACKOFF_CAP,
-                DEFAULT_BACKOFF_BASE * DEFAULT_BACKOFF_GROWTH ** attempt,
-            )
             try:
                 reply = self.request_once(
                     job, params, deadline=deadline, priority=priority
@@ -181,16 +218,24 @@ class ServiceClient:
             except ServiceError as err:
                 last_error = err
                 if attempt < self.max_retries:
-                    self._sleep(backoff)
+                    sleep_s = decorrelated_jitter(self._rng, sleep_s)
+                    self._sleep(sleep_s)
                 continue
             if reply.get("status") == "overloaded":
                 if attempt < self.max_retries:
                     hint = reply.get("retry_after")
-                    wait = max(
-                        float(hint) if isinstance(hint, (int, float)) else 0.0,
-                        backoff,
+                    floor = (
+                        float(hint)
+                        if isinstance(hint, (int, float))
+                        and not isinstance(hint, bool)
+                        else 0.0
                     )
-                    self._sleep(wait)
+                    sleep_s = decorrelated_jitter(self._rng, sleep_s)
+                    # Additive, not max(): with max() every client that
+                    # got the same hint wakes at the same instant and
+                    # stampedes again; hint + jitter keeps the floor
+                    # AND spreads the re-arrivals.
+                    self._sleep(floor + sleep_s)
                     continue
                 last_error = ServiceError(
                     f"service overloaded after {attempt + 1} attempts",
@@ -275,3 +320,140 @@ def submit_or_raise(
     return unwrap(client.submit(
         job, params, deadline=deadline, priority=priority
     ))
+
+
+class FleetClient:
+    """Shard-aware client for a ``repro serve --shards N`` fleet.
+
+    Keeps a routing table (hash ring + shard socket map) learned from
+    the router's ``health`` control job.  ``submit_routed`` computes
+    the job's content signature locally — the same
+    :func:`repro.service.jobs.prepare` the shards use — and dials the
+    owning shard's socket directly, saving the router hop on the hot
+    path.  Any failure on the direct path (stale table, dead shard,
+    unprepared params, non-definitive reply) invalidates the table and
+    falls back to the router, whose own failover re-routes around dead
+    shards.  Correctness never depends on the table being fresh.
+    """
+
+    def __init__(
+        self,
+        router_socket: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+        max_retries: int = 5,
+        sleep=time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
+        self.router = ServiceClient(
+            socket_path=router_socket,
+            timeout=timeout,
+            max_retries=max_retries,
+            sleep=sleep,
+            rng=rng,
+        )
+        self.timeout = timeout
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._ring = None  # HashRing, lazily imported
+        self._shard_sockets: Dict[str, str] = {}
+        self._live: Set[str] = set()
+        #: Diagnostics: how many submits went direct vs via the router.
+        self.direct_hits = 0
+        self.router_fallbacks = 0
+
+    def close(self) -> None:
+        self.router.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def invalidate_routing_table(self) -> None:
+        self._ring = None
+        self._shard_sockets = {}
+        self._live = set()
+
+    def refresh_routing_table(self) -> List[str]:
+        """(Re)learn the fleet topology from the router's ``health``
+        reply; returns the live shard ids."""
+        from .fleet import HashRing  # local import: no cycle at module load
+
+        payload = unwrap(self.router.submit("health"))
+        shards = payload.get("shards")
+        fleet = payload.get("fleet")
+        if not isinstance(shards, dict) or not isinstance(fleet, dict):
+            raise ServiceError(
+                "health reply has no fleet topology — is the service "
+                "running with --shards?"
+            )
+        sockets: Dict[str, str] = {}
+        live: Set[str] = set()
+        for sid, status in shards.items():
+            if not isinstance(status, dict):
+                continue
+            sock = status.get("socket")
+            if isinstance(sock, str):
+                sockets[sid] = sock
+            if status.get("live"):
+                live.add(sid)
+        if not sockets:
+            raise ServiceError("fleet health reply lists no shards")
+        self._ring = HashRing(sockets.keys())
+        self._shard_sockets = sockets
+        self._live = live
+        return sorted(live)
+
+    def _signature_for(self, job: str, params: Dict[str, Any]) -> str:
+        from . import jobs as jobs_mod
+        from .protocol import Request
+
+        request = Request(id=None, job=job, params=params)
+        return jobs_mod.prepare(request).signature
+
+    def submit_routed(
+        self,
+        job: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit with direct-to-shard routing and router fallback."""
+        params = params or {}
+        owner_socket: Optional[str] = None
+        try:
+            if self._ring is None:
+                self.refresh_routing_table()
+            signature = self._signature_for(job, params)
+            assert self._ring is not None
+            owner = self._ring.owner(signature, self._live)
+            if owner is not None:
+                owner_socket = self._shard_sockets.get(owner)
+        except Exception:
+            owner_socket = None  # fall back; the router always works
+        if owner_socket is not None:
+            direct = ServiceClient(
+                socket_path=owner_socket,
+                timeout=self.timeout,
+                max_retries=0,
+                sleep=self._sleep,
+                rng=self._rng,
+            )
+            try:
+                reply = direct.request_once(
+                    job, params, deadline=deadline, priority=priority
+                )
+                if reply.get("status") in ("ok", "error", "expired"):
+                    self.direct_hits += 1
+                    return reply
+            except ServiceError:
+                pass
+            finally:
+                direct.close()
+            # Dead/overloaded/draining shard: the table is stale.
+            self.invalidate_routing_table()
+        self.router_fallbacks += 1
+        return self.router.submit(
+            job, params, deadline=deadline, priority=priority
+        )

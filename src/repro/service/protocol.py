@@ -51,7 +51,12 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: Evaluation jobs (queued, deduplicated, executed on workers) …
 EVAL_JOBS = ("crat", "simulate", "verify", "suite")
 #: … and control jobs (answered inline by the connection handler).
-CONTROL_JOBS = ("ping", "stats", "shutdown")
+#: ``health`` is the fleet heartbeat: shard identity + live counters,
+#: cheap enough to poll sub-second.  ``handoff`` asks a shard to
+#: snapshot its queued jobs into the checkpoint journal and return a
+#: manifest of the journal files, so the fleet can replicate its warm
+#: state to the shard's ring successor.
+CONTROL_JOBS = ("ping", "stats", "shutdown", "health", "handoff")
 JOB_TYPES = EVAL_JOBS + CONTROL_JOBS
 
 #: Per-job parameter schema: name -> (type, required).  ``params`` keys
@@ -95,6 +100,8 @@ PARAM_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "shutdown": {
         "drain": (bool, False),
     },
+    "health": {},
+    "handoff": {},
 }
 
 
@@ -104,13 +111,21 @@ class ProtocolError(Exception):
 
 @dataclasses.dataclass(frozen=True)
 class Request:
-    """One validated request, ready for the queue."""
+    """One validated request, ready for the queue.
+
+    ``attempt`` counts fleet-level dispatch replays (0 = first try).
+    It never enters the dedup signature — a replayed job must collide
+    with its original — but shard-level fault-injection tokens include
+    it, so a job that killed one shard re-rolls on the next instead of
+    deterministically chasing the fleet through a kill loop.
+    """
 
     job: str
     params: Dict[str, Any]
     id: Optional[str] = None
     deadline: Optional[float] = None
     priority: int = 0
+    attempt: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         wire: Dict[str, Any] = {"job": self.job, "params": self.params}
@@ -120,6 +135,8 @@ class Request:
             wire["deadline"] = self.deadline
         if self.priority:
             wire["priority"] = self.priority
+        if self.attempt:
+            wire["attempt"] = self.attempt
         return wire
 
 
@@ -144,12 +161,24 @@ def encode_frame(message: Dict[str, Any]) -> bytes:
     return frame
 
 
-def decode_frame(line: bytes) -> Dict[str, Any]:
-    """Parse one received line into a message dict."""
+def decode_frame(line: bytes, require_newline: bool = False) -> Dict[str, Any]:
+    """Parse one received line into a message dict.
+
+    Wire read paths pass ``require_newline=True``: a line without its
+    trailing ``\\n`` means the peer died mid-write (a shard killed
+    between ``write`` and ``flush``), and even if the fragment happens
+    to be parseable JSON it must surface as a typed
+    :class:`ProtocolError`, never as a silently short answer.
+    """
     if len(line) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES "
             f"({MAX_FRAME_BYTES})"
+        )
+    if require_newline and not line.endswith(b"\n"):
+        raise ProtocolError(
+            f"truncated frame ({len(line)} bytes, no trailing newline): "
+            "peer died mid-write"
         )
     try:
         obj = json.loads(line.decode("utf-8"))
@@ -171,7 +200,7 @@ def validate_request(obj: Dict[str, Any]) -> Request:
     Every rejection names the offending field — the string travels back
     to the client verbatim, so it has to be actionable on its own.
     """
-    known_top = {"id", "job", "params", "deadline", "priority"}
+    known_top = {"id", "job", "params", "deadline", "priority", "attempt"}
     unknown = sorted(set(obj) - known_top)
     if unknown:
         raise ProtocolError(f"unknown field(s): {', '.join(unknown)}")
@@ -200,6 +229,12 @@ def validate_request(obj: Dict[str, Any]) -> Request:
     priority = obj.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ProtocolError("'priority' must be an integer")
+
+    attempt = obj.get("attempt", 0)
+    if not isinstance(attempt, int) or isinstance(attempt, bool):
+        raise ProtocolError("'attempt' must be an integer")
+    if attempt < 0:
+        raise ProtocolError("'attempt' must be non-negative")
 
     params = obj.get("params", {})
     if not isinstance(params, dict):
@@ -232,7 +267,7 @@ def validate_request(obj: Dict[str, Any]) -> Request:
             )
     return Request(
         job=job, params=dict(params), id=req_id,
-        deadline=deadline, priority=priority,
+        deadline=deadline, priority=priority, attempt=attempt,
     )
 
 

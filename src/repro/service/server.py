@@ -43,6 +43,7 @@ from collections import deque
 from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 from ..engine import get_engine, set_engine
+from ..engine import faults
 from ..engine.engine import CHECKPOINT_DIR_ENV, EvaluationEngine
 from ..engine.events import RequestEvent, event_to_dict
 from ..errors import ReproError, ServiceError, classify_error
@@ -67,6 +68,15 @@ from .queue import InFlightJob, JobQueue, QueueFullError, SingleFlightTable
 
 #: Environment variable naming the default unix socket path.
 SOCKET_ENV = "REPRO_SOCKET"
+
+#: Set by the fleet supervisor on engine-shard subprocesses: the
+#: shard's stable id and its restart epoch (how many times the
+#: supervisor has restarted it).  A server with a shard id answers
+#: ``health`` with its identity and consults the service-level fault
+#: kinds (``shard-crash`` / ``shard-hang`` / ``net-drop``); a plain
+#: ``repro serve`` never does.
+SHARD_ID_ENV = "REPRO_SHARD_ID"
+SHARD_EPOCH_ENV = "REPRO_SHARD_EPOCH"
 
 #: Checkpoint file (inside the PR 3 journal directory) holding the
 #: queued-but-unstarted jobs of a drained server.
@@ -159,6 +169,15 @@ class ServiceStats:
             }
 
 
+class _TruncatedReply:
+    """Marker returned by ``_handle_eval`` under an injected
+    ``net-drop`` fault: the connection handler writes only half the
+    encoded frame and drops the connection."""
+
+    def __init__(self, reply: Dict[str, Any]):
+        self.reply = reply
+
+
 class ReproServer:
     """The daemon: socket front-end, admission, workers, drain."""
 
@@ -173,6 +192,8 @@ class ReproServer:
         log_stream: Optional[TextIO] = None,
         log_interval: float = 0.0,
         checkpoint_dir: Optional[str] = None,
+        shard_id: Optional[str] = None,
+        shard_epoch: int = 0,
     ):
         if host is not None:
             self._family = socket.AF_INET
@@ -197,6 +218,11 @@ class ReproServer:
             or os.environ.get(CHECKPOINT_DIR_ENV)
             or None
         )
+        self.shard_id = shard_id
+        self.shard_epoch = shard_epoch
+        #: Set by an injected ``shard-hang`` fault: the control plane
+        #: (ping/health) stalls so the fleet's heartbeat deadline trips.
+        self._hung = False
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._conn_threads: List[threading.Thread] = []
@@ -359,6 +385,87 @@ class ReproServer:
         except OSError:
             pass  # checkpointing is best-effort, like the PR 3 journal
 
+    def _write_queue_snapshot(self, pending: List[InFlightJob]) -> int:
+        """Atomically rewrite the queue checkpoint with ``pending``
+        (the ``handoff`` snapshot path — unlike the drain path it must
+        not append, or every replication round would duplicate the
+        queue)."""
+        path = self._checkpoint_path()
+        if not path:
+            return 0
+        try:
+            os.makedirs(self._checkpoint_dir, exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                for job in pending:
+                    handle.write(
+                        json.dumps(job.request.to_wire(), sort_keys=True)
+                        + "\n"
+                    )
+            os.replace(tmp, path)
+        except OSError:
+            return 0
+        return len(pending)
+
+    def _handle_handoff(self) -> Dict[str, Any]:
+        """Snapshot queued jobs into the journal and return a manifest
+        of the checkpoint directory, so the fleet can ship this shard's
+        warm state (queue + simulated-result journal) to its ring
+        successor."""
+        import hashlib
+
+        pending = self._queue.snapshot()
+        queued = self._write_queue_snapshot(pending)
+        directory = self._checkpoint_dir
+        manifest: List[Dict[str, Any]] = []
+        if directory and os.path.isdir(directory):
+            for name in sorted(os.listdir(directory)):
+                path = os.path.join(directory, name)
+                if not os.path.isfile(path) or name.endswith(".tmp"):
+                    continue
+                try:
+                    with open(path, "rb") as handle:
+                        data = handle.read()
+                except OSError:
+                    continue
+                manifest.append({
+                    "name": name,
+                    "bytes": len(data),
+                    "sha256": hashlib.sha256(data).hexdigest(),
+                })
+        return {
+            "shard_id": self.shard_id,
+            "epoch": self.shard_epoch,
+            "dir": directory,
+            "queued": queued,
+            "files": manifest,
+        }
+
+    def health_payload(self) -> Dict[str, Any]:
+        """The ``health`` reply: shard identity + the counters the
+        fleet's status surface and the chaos smoke read (cheap — no
+        engine snapshot, no latency windows)."""
+        stats = self.stats.to_dict()
+        engine_stats = self.engine.stats.to_dict()
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "shard_id": self.shard_id,
+            "epoch": self.shard_epoch,
+            "pid": os.getpid(),
+            "uptime_seconds": stats["uptime_seconds"],
+            "queue_depth": len(self._queue),
+            "inflight": len(self._inflight),
+            "accepted": stats["accepted"],
+            "completed": stats["completed"],
+            "failed": stats["failed"],
+            "dedup_hits": stats["dedup_hits"],
+            "expired": stats["expired"],
+            "drained": stats["drained"],
+            "checkpoint_hits": engine_stats.get("checkpoint_hits", 0),
+            "sim_cache_hits": engine_stats.get("sim_hits", 0),
+            "simulations": engine_stats.get("simulations", 0),
+        }
+
     def _resume_checkpointed_queue(self) -> None:
         path = self._checkpoint_path()
         if not path or not os.path.exists(path):
@@ -370,6 +477,7 @@ class ReproServer:
             os.unlink(path)
         except OSError:
             return
+        seen: set = set()
         for line in lines:
             line = line.strip()
             if not line:
@@ -379,6 +487,11 @@ class ReproServer:
                 prepared = jobs_mod.prepare(request)
             except Exception:
                 continue  # a stale/invalid record is dropped, not fatal
+            if prepared.signature in seen:
+                # Drain appends and handoff snapshots can overlap; a
+                # job re-runs once on resume, never twice.
+                continue
+            seen.add(prepared.signature)
             job = InFlightJob(prepared.signature, request)
             job.prepared = prepared
             # No waiters: the job runs purely to rebuild the warm cache.
@@ -431,6 +544,16 @@ class ReproServer:
                     ))
                     return
                 reply = self._handle_frame(line)
+                if isinstance(reply, _TruncatedReply):
+                    # Injected net-drop: write half the frame, then
+                    # drop the connection — the peer must surface a
+                    # typed ProtocolError and replay elsewhere.
+                    frame = encode_frame(reply.reply)
+                    try:
+                        conn.sendall(frame[: max(1, len(frame) // 2)])
+                    except OSError:
+                        pass
+                    return
                 if reply is not None:
                     self._send(conn, reply)
         except OSError:
@@ -462,10 +585,20 @@ class ReproServer:
         return self._handle_eval(request)
 
     def _handle_control(self, request: Request) -> Dict[str, Any]:
+        if request.job in ("ping", "health") and self._hung:
+            # Injected shard-hang: the control plane stalls past any
+            # reasonable heartbeat deadline (the supervisor must
+            # declare the shard dead and kill it).
+            plan = faults.active_plan()
+            time.sleep(plan.hang_seconds if plan else 30.0)
         if request.job == "ping":
             return ok_reply(request.id, {
                 "pong": True, "protocol_version": PROTOCOL_VERSION,
             })
+        if request.job == "health":
+            return ok_reply(request.id, self.health_payload())
+        if request.job == "handoff":
+            return ok_reply(request.id, self._handle_handoff())
         if request.job == "stats":
             return ok_reply(request.id, self.stats_payload(
                 include_events=bool(request.params.get("include_events"))
@@ -521,15 +654,21 @@ class ReproServer:
         status, payload = job.outcome  # type: ignore[misc]
         self._emit_request(job, status, deduped=not created)
         if status == "ok":
-            return ok_reply(request.id, payload)
-        if status == "error":
+            reply: Dict[str, Any] = ok_reply(request.id, payload)
+        elif status == "error":
             kind, message, exit_code = payload
-            return error_reply(request.id, kind, message, exit_code)
-        if status == "overloaded":
-            return overloaded_reply(request.id, payload or 1.0)
-        if status == "expired":
-            return expired_reply(request.id)
-        return drained_reply(request.id)
+            reply = error_reply(request.id, kind, message, exit_code)
+        elif status == "overloaded":
+            reply = overloaded_reply(request.id, payload or 1.0)
+        elif status == "expired":
+            reply = expired_reply(request.id)
+        else:
+            reply = drained_reply(request.id)
+        if self.shard_id is not None and faults.shard_net_drop(
+            self._fault_token(prepared.signature, request.attempt)
+        ):
+            return _TruncatedReply(reply)  # type: ignore[return-value]
+        return reply
 
     # ------------------------------------------------------------------
     # Workers.
@@ -543,8 +682,37 @@ class ReproServer:
                 continue
             self._execute_job(job)
 
+    def _fault_token(self, signature: str, attempt: int) -> str:
+        """Deterministic decision token for service-level faults.
+
+        Includes the dispatch attempt and the shard's restart epoch so
+        a replayed or resumed job re-rolls — without them, a job whose
+        signature decides ``shard-crash`` would kill every shard it is
+        ever routed to, forever.
+        """
+        return (
+            f"{signature}#a{attempt}@{self.shard_id}#e{self.shard_epoch}"
+        )
+
+    def _maybe_inject_shard_fault(self, job: InFlightJob) -> None:
+        if self.shard_id is None:
+            return
+        token = self._fault_token(job.signature, job.request.attempt)
+        action = faults.shard_fault(token)
+        if action == "crash":
+            # Abrupt death — no drain, no checkpoint, no reply. The
+            # supervisor must notice, re-route and restart us.
+            self._log_line({
+                "kind": "shard_fault_crash", "shard": self.shard_id,
+                "token": token,
+            })
+            os._exit(86)
+        if action == "hang":
+            self._hung = True
+
     def _execute_job(self, job: InFlightJob) -> None:
         job.started_at = time.monotonic()
+        self._maybe_inject_shard_fault(job)
         if job.all_expired():
             # Every waiter's deadline passed while the job sat in the
             # queue: skip the work, nobody is listening (each waiter
@@ -639,9 +807,18 @@ def serve_main(
     log_stream: Optional[TextIO] = None,
 ) -> int:
     """Blocking entry point used by ``repro serve``: boot, announce,
-    install SIGTERM/SIGINT drain handlers, run until stopped."""
+    install SIGTERM/SIGINT drain handlers, run until stopped.
+
+    When the fleet supervisor spawned this process as an engine shard
+    it passes the shard identity through the environment
+    (:data:`SHARD_ID_ENV` / :data:`SHARD_EPOCH_ENV`)."""
     import signal
 
+    shard_id = os.environ.get(SHARD_ID_ENV, "").strip() or None
+    try:
+        shard_epoch = int(os.environ.get(SHARD_EPOCH_ENV, "0") or "0")
+    except ValueError:
+        shard_epoch = 0
     server = ReproServer(
         socket_path=socket_path,
         host=host,
@@ -650,6 +827,8 @@ def serve_main(
         queue_limit=queue_limit,
         log_stream=log_stream if log_stream is not None else sys.stderr,
         log_interval=log_interval,
+        shard_id=shard_id,
+        shard_epoch=shard_epoch,
     )
     server.start()
 

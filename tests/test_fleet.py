@@ -1,0 +1,465 @@
+"""Tests for the sharded fleet tier: ring, supervision plumbing,
+client backoff/failover, frame truncation, and a live 2-shard fleet.
+
+The expensive end-to-end case (boot a real router + shard subprocesses,
+kill one, verify reroute/restart) lives in ``TestFleetIntegration`` and
+is intentionally singular; everything else here is process-free.
+"""
+
+import json
+import os
+import random
+import signal
+import socket
+import socketserver
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EXIT_SERVICE, ServiceError, classify_error
+from repro.service import (
+    FleetClient,
+    HashRing,
+    ServiceClient,
+    decode_frame,
+    encode_frame,
+    replicate_files,
+    restart_backoff,
+    restore_missing,
+)
+from repro.service.client import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    decorrelated_jitter,
+)
+from repro.service.protocol import ProtocolError
+
+
+def persistent_handler(reply_fn):
+    """A socketserver handler that serves many frames per connection
+    (the real daemon does; a handler that hangs up after one reply
+    would turn every second request into a transport error and test
+    the wrong path).  ``reply_fn(obj)`` maps request -> reply dict."""
+
+    class Handler(socketserver.BaseRequestHandler):
+        def handle(self):
+            buf = b""
+            while True:
+                chunk = self.request.recv(4096)
+                if not chunk:
+                    return
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    obj = decode_frame(line)
+                    self.request.sendall(encode_frame(reply_fn(obj)))
+
+    return Handler
+
+
+# ----------------------------------------------------------------------
+# Hash ring.
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_owner_deterministic(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # order-independent
+        for i in range(100):
+            assert a.owner(f"key{i}") == b.owner(f"key{i}")
+
+    def test_all_shards_reachable(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        owners = {ring.owner(f"key{i}") for i in range(500)}
+        assert owners == {"s0", "s1", "s2", "s3"}
+
+    def test_dead_shard_keys_move_to_live(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        sig = "some-signature"
+        owner = ring.owner(sig)
+        fallback = ring.owner(sig, {"s0", "s1", "s2"} - {owner})
+        assert fallback is not None and fallback != owner
+
+    def test_no_live_shards(self):
+        ring = HashRing(["s0", "s1"])
+        assert ring.owner("sig", set()) is None
+        assert ring.successor_shard("s0", set()) is None
+
+    def test_preference_order_starts_at_owner(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        pref = ring.preference("sig")
+        assert pref[0] == ring.owner("sig")
+        assert sorted(pref) == ["s0", "s1", "s2", "s3"]
+
+    def test_successor_is_not_self(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        for sid in ("s0", "s1", "s2"):
+            assert ring.successor_shard(sid) != sid
+
+    @settings(deadline=None, max_examples=50,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shard_count=st.integers(min_value=2, max_value=8),
+        dead_index=st.integers(min_value=0, max_value=7),
+        keys=st.lists(st.text(min_size=1, max_size=20), min_size=1,
+                      max_size=50),
+    )
+    def test_membership_churn_only_moves_dead_shards_keys(
+        self, shard_count, dead_index, keys
+    ):
+        """The routing-stability property the failover correctness
+        argument rests on: when one shard dies, only the signatures it
+        owned move; every other signature keeps its owner."""
+        shards = [f"s{i}" for i in range(shard_count)]
+        ring = HashRing(shards)
+        dead = shards[dead_index % shard_count]
+        survivors = set(shards) - {dead}
+        for key in keys:
+            before = ring.owner(key)
+            after = ring.owner(key, survivors)
+            if before == dead:
+                assert after in survivors
+            else:
+                assert after == before
+
+    @settings(deadline=None, max_examples=25)
+    @given(keys=st.lists(st.text(min_size=1, max_size=16), min_size=1,
+                         max_size=30))
+    def test_rejoin_restores_original_owner(self, keys):
+        """Symmetric property: a shard coming back reclaims exactly the
+        keys it owned before it died."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in keys:
+            full_owner = ring.owner(key)
+            assert ring.owner(key) == full_owner  # idempotent re-query
+
+
+# ----------------------------------------------------------------------
+# Supervisor helpers.
+# ----------------------------------------------------------------------
+class TestRestartBackoff:
+    def test_schedule(self):
+        assert restart_backoff(0) == 0.0
+        assert restart_backoff(1) == pytest.approx(0.2)
+        assert restart_backoff(2) == pytest.approx(0.4)
+        assert restart_backoff(3) == pytest.approx(0.8)
+        assert restart_backoff(100) == pytest.approx(5.0)  # capped
+
+    def test_custom_base_cap(self):
+        assert restart_backoff(1, base=1.0, cap=3.0) == pytest.approx(1.0)
+        assert restart_backoff(4, base=1.0, cap=3.0) == pytest.approx(3.0)
+
+
+class TestWarmStateReplication:
+    def test_replicate_then_restore(self, tmp_path):
+        src = tmp_path / "checkpoint"
+        dst = tmp_path / "replica"
+        src.mkdir()
+        (src / "sim-abc.pkl").write_bytes(b"payload-a")
+        (src / "service-queue.jsonl").write_bytes(b'{"job":"x"}\n')
+        copied = replicate_files(
+            str(src), str(dst), ["sim-abc.pkl", "service-queue.jsonl"]
+        )
+        assert sorted(copied) == ["service-queue.jsonl", "sim-abc.pkl"]
+
+        fresh = tmp_path / "rebooted"
+        restored = restore_missing(str(dst), str(fresh))
+        assert sorted(restored) == ["service-queue.jsonl", "sim-abc.pkl"]
+        assert (fresh / "sim-abc.pkl").read_bytes() == b"payload-a"
+
+    def test_restore_never_clobbers_local(self, tmp_path):
+        replica = tmp_path / "replica"
+        local = tmp_path / "local"
+        replica.mkdir()
+        local.mkdir()
+        (replica / "sim-abc.pkl").write_bytes(b"stale-replica")
+        (local / "sim-abc.pkl").write_bytes(b"fresh-local")
+        restored = restore_missing(str(replica), str(local))
+        assert restored == []  # local file wins
+        assert (local / "sim-abc.pkl").read_bytes() == b"fresh-local"
+
+    def test_replicate_missing_source_skipped(self, tmp_path):
+        copied = replicate_files(
+            str(tmp_path / "nope"), str(tmp_path / "dst"), ["gone.pkl"]
+        )
+        assert copied == []
+
+
+# ----------------------------------------------------------------------
+# Frame truncation (killed mid-write).
+# ----------------------------------------------------------------------
+class TestTruncatedFrames:
+    def test_decode_lenient_without_newline(self):
+        frame = encode_frame({"id": "r1", "status": "ok"})
+        assert decode_frame(frame[:-1]) == {"id": "r1", "status": "ok"}
+
+    def test_decode_strict_requires_newline(self):
+        frame = encode_frame({"id": "r1", "status": "ok"})
+        assert decode_frame(frame, require_newline=True) == {
+            "id": "r1", "status": "ok",
+        }
+        with pytest.raises(ProtocolError, match="truncated frame"):
+            decode_frame(frame[:-1], require_newline=True)
+
+    def test_half_frame_is_protocol_error_not_json_error(self):
+        frame = encode_frame({"id": "r1", "status": "ok", "result": {}})
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[: len(frame) // 2], require_newline=True)
+
+    def test_classify_protocol_error_is_service_error(self):
+        err = classify_error(ProtocolError("truncated frame"))
+        assert isinstance(err, ServiceError)
+        assert err.exit_code == EXIT_SERVICE
+
+    def test_client_survives_peer_killed_mid_write(self, tmp_path):
+        """Regression: a server that writes half a reply frame and dies
+        must surface as ServiceError, never a JSONDecodeError
+        traceback."""
+        sock_path = str(tmp_path / "trunc.sock")
+        reply = encode_frame({"id": "c1", "status": "ok",
+                              "result": {"pong": True}})
+        half = reply[: len(reply) // 2]
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self):
+                # Read the request line, answer with a torn frame, die.
+                buf = b""
+                while not buf.endswith(b"\n"):
+                    chunk = self.request.recv(4096)
+                    if not chunk:
+                        return
+                    buf += chunk
+                self.request.sendall(half)
+                self.request.close()
+
+        server = socketserver.ThreadingUnixStreamServer(sock_path, Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient(socket_path=sock_path, max_retries=0,
+                               timeout=5.0) as client:
+                with pytest.raises(ServiceError) as exc_info:
+                    client.request_once("ping")
+            assert "json" not in type(exc_info.value).__name__.lower()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# Client backoff.
+# ----------------------------------------------------------------------
+class TestDecorrelatedJitter:
+    def test_bounds(self):
+        rng = random.Random(42)
+        sleep = DEFAULT_BACKOFF_BASE
+        for _ in range(100):
+            sleep = decorrelated_jitter(rng, sleep)
+            assert DEFAULT_BACKOFF_BASE <= sleep <= DEFAULT_BACKOFF_CAP
+
+    def test_no_lockstep_between_clients(self):
+        """Two clients backing off from the same instant must not
+        compute the same schedule (the old deterministic ladder did)."""
+        def schedule(seed):
+            rng = random.Random(seed)
+            sleep, out = DEFAULT_BACKOFF_BASE, []
+            for _ in range(5):
+                sleep = decorrelated_jitter(rng, sleep)
+                out.append(sleep)
+            return out
+
+        assert schedule(1) != schedule(2)
+
+    def test_unreachable_service_sleeps_with_jitter(self, tmp_path):
+        sleeps = []
+        client = ServiceClient(
+            socket_path=str(tmp_path / "absent.sock"),
+            max_retries=3,
+            sleep=sleeps.append,
+            rng=random.Random(7),
+        )
+        with pytest.raises(ServiceError):
+            client.submit("ping")
+        assert len(sleeps) == 3  # no sleep after the final attempt
+        for s in sleeps:
+            assert DEFAULT_BACKOFF_BASE <= s <= DEFAULT_BACKOFF_CAP
+        # Pinned RNG -> pinned schedule (the injectable-rng contract).
+        expected, prev = [], DEFAULT_BACKOFF_BASE
+        rng = random.Random(7)
+        for _ in range(3):
+            prev = decorrelated_jitter(rng, prev)
+            expected.append(prev)
+        assert sleeps == expected
+
+    def test_retry_after_hint_is_floor(self, tmp_path):
+        """An overloaded reply's retry_after must lower-bound the wait,
+        with jitter added on top (not max'd away)."""
+        sock_path = str(tmp_path / "busy.sock")
+        hint = 0.75
+        Handler = persistent_handler(lambda obj: {
+            "id": obj.get("id"), "status": "overloaded",
+            "retry_after": hint,
+        })
+        server = socketserver.ThreadingUnixStreamServer(sock_path, Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        sleeps = []
+        try:
+            client = ServiceClient(
+                socket_path=sock_path, max_retries=2,
+                sleep=sleeps.append, rng=random.Random(3), timeout=5.0,
+            )
+            with pytest.raises(ServiceError) as exc_info:
+                client.submit("ping")
+            client.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert exc_info.value.exit_code == EXIT_SERVICE
+        assert exc_info.value.retry_after == hint
+        assert len(sleeps) == 2
+        for s in sleeps:
+            assert s >= hint  # the hint is a hard floor
+            assert s <= hint + DEFAULT_BACKOFF_CAP
+
+    def test_max_retries_exhaustion_exits_7(self, tmp_path):
+        client = ServiceClient(
+            socket_path=str(tmp_path / "absent.sock"),
+            max_retries=1, sleep=lambda _s: None,
+        )
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit("ping")
+        assert exc_info.value.exit_code == EXIT_SERVICE
+
+
+# ----------------------------------------------------------------------
+# Live fleet (one heavyweight end-to-end case).
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestFleetIntegration:
+    def test_kill_reroute_restart_and_drain(self, tmp_path):
+        from repro.service.fleet import FleetRouter
+
+        sock_path = str(tmp_path / "router.sock")
+        router = FleetRouter(
+            socket_path=sock_path,
+            shards=2,
+            state_dir=str(tmp_path / "state"),
+            workers_per_shard=1,
+            queue_limit=16,
+            heartbeat_interval=0.3,
+            heartbeat_timeout=1.0,
+            replication_interval=1.0,
+            boot_timeout=60.0,
+        )
+        router.start()
+        try:
+            assert router.wait_ready(timeout=60.0)
+            with ServiceClient(socket_path=sock_path, timeout=120.0,
+                               max_retries=8) as client:
+                assert client.ping()
+                params = {"target": "GAU", "tlp": 2}
+                first = client.submit("simulate", params)
+                assert first["status"] == "ok"
+
+                # Wait for both shards, then murder the job's owner.
+                deadline = time.monotonic() + 60.0
+                while (len(router.live_shards()) < 2
+                       and time.monotonic() < deadline):
+                    time.sleep(0.1)
+                assert len(router.live_shards()) == 2
+                health = client.submit("health")["result"]
+                victims = [
+                    (sid, status["pid"])
+                    for sid, status in health["shards"].items()
+                    if status["live"]
+                ]
+                sid, pid = victims[0]
+                os.kill(pid, signal.SIGKILL)
+
+                # Same job again, immediately: the router must either
+                # serve it from the surviving shard or re-route after
+                # detecting the death — never error, never diverge.
+                second = client.submit("simulate", params)
+                assert second["status"] == "ok"
+                assert second["result"] == first["result"]
+
+                # The killed shard must restart and go live again.
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if router.shards[sid].live and router.shards[sid].epoch:
+                        break
+                    time.sleep(0.2)
+                assert router.shards[sid].live
+                assert router.shards[sid].epoch >= 1
+                assert router.stats.restarts >= 1
+                assert router.stats.conservation_ok
+        finally:
+            router.shutdown(drain=True, timeout=90.0)
+        assert router.stats.conservation_ok
+
+
+# ----------------------------------------------------------------------
+# FleetClient routing-table handling (no live fleet needed).
+# ----------------------------------------------------------------------
+class TestFleetClient:
+    def test_non_fleet_health_rejected(self, tmp_path):
+        sock_path = str(tmp_path / "single.sock")
+        # A single daemon's health payload: no fleet topology.
+        Handler = persistent_handler(lambda obj: {
+            "id": obj.get("id"), "status": "ok",
+            "result": {"queue_depth": 0},
+        })
+        server = socketserver.ThreadingUnixStreamServer(sock_path, Handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            with FleetClient(router_socket=sock_path, timeout=5.0,
+                             max_retries=0) as fleet:
+                with pytest.raises(ServiceError, match="--shards"):
+                    fleet.refresh_routing_table()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_stale_table_falls_back_to_router(self, tmp_path):
+        """A routing table naming a dead shard socket must not break
+        submits: the direct dial fails, the table is invalidated, and
+        the router answers."""
+        sock_path = str(tmp_path / "router2.sock")
+        answered = []
+
+        def reply(obj):
+            answered.append(obj["job"])
+            if obj["job"] == "health":
+                result = {
+                    "fleet": {"shards": 1, "live": ["s0"]},
+                    "shards": {"s0": {
+                        "live": True,
+                        "socket": str(tmp_path / "dead-shard.sock"),
+                    }},
+                }
+            else:
+                result = {"pong": True}
+            return {"id": obj.get("id"), "status": "ok", "result": result}
+
+        server = socketserver.ThreadingUnixStreamServer(
+            sock_path, persistent_handler(reply)
+        )
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            with FleetClient(router_socket=sock_path, timeout=5.0,
+                             max_retries=0) as fleet:
+                assert fleet.refresh_routing_table() == ["s0"]
+                reply = fleet.submit_routed(
+                    "simulate", {"target": "GAU", "tlp": 2}
+                )
+            assert reply["status"] == "ok"
+            assert answered == ["health", "simulate"]
+            assert fleet.router_fallbacks == 1
+            assert fleet.direct_hits == 0
+            assert fleet._ring is None  # stale table invalidated
+        finally:
+            server.shutdown()
+            server.server_close()

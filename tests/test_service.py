@@ -271,10 +271,15 @@ class TestBackpressure:
         client.request_once = lambda *a, **k: next(replies)
         reply = client.submit("simulate", SIM_GAU)
         assert reply["status"] == "ok"
-        # First wait: hint 2.5 dominates backoff 0.1; second wait: the
-        # 0.2 backoff rung dominates the tiny hint.
-        assert sleeps[0] == pytest.approx(2.5)
-        assert sleeps[1] == pytest.approx(0.2)
+        # Every wait is the hint (an additive floor) plus a decorrelated
+        # jitter draw bounded by the backoff cap — never below the hint
+        # (that would re-stampede the server) and never exactly at it
+        # (all clients would reconverge on the hint instant).
+        from repro.service.client import (
+            DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP,
+        )
+        assert 2.5 + DEFAULT_BACKOFF_BASE <= sleeps[0] <= 2.5 + DEFAULT_BACKOFF_CAP
+        assert 0.01 + DEFAULT_BACKOFF_BASE <= sleeps[1] <= 0.01 + DEFAULT_BACKOFF_CAP
 
     def test_client_gives_up_after_max_retries(self):
         sleeps = []
