@@ -1,9 +1,24 @@
-"""Static performance analysis: kernel segmentation, the GTO-mimic
-OptTLP estimator (paper Figure 10), and a Hong-Kim-style analytical
-model used as a cross-check."""
+"""Static performance analysis and lint.
 
+Two cooperating layers: the estimators (kernel segmentation, the
+GTO-mimic OptTLP estimator of paper Figure 10, a Hong-Kim-style
+analytical cross-check) and the ``repro lint`` subsystem — whole-kernel
+static analyses over the shared :class:`~repro.analysis.context.LintContext`
+emitting stable ``LNT`` rule codes (:func:`run_lint`), plus the
+versioned static feature vector (:func:`extract_features`) feeding the
+future tier-0 cost model."""
+
+from .context import LintContext
+from .features import (
+    FEATURE_NAMES,
+    FEATURES_SCHEMA_VERSION,
+    FeatureVector,
+    extract_features,
+)
 from .gto_model import StaticEstimate, estimate_opt_tlp, throughput_cost
 from .hongkim import AnalyticalPrediction, predict_cycles
+from .lint import run_lint, severity_gate
+from .sarif import to_sarif
 from .segments import (
     DEFAULT_TRIP_COUNT,
     Segment,
@@ -11,16 +26,29 @@ from .segments import (
     total_cycles,
     total_mem_requests,
 )
+from .uniformity import AbsVal, Kind, UniformityInfo, analyze_uniformity
 
 __all__ = [
+    "AbsVal",
     "AnalyticalPrediction",
     "DEFAULT_TRIP_COUNT",
+    "FEATURE_NAMES",
+    "FEATURES_SCHEMA_VERSION",
+    "FeatureVector",
+    "Kind",
+    "LintContext",
     "Segment",
     "StaticEstimate",
+    "UniformityInfo",
+    "analyze_uniformity",
     "estimate_opt_tlp",
+    "extract_features",
     "predict_cycles",
+    "run_lint",
     "segment_kernel",
+    "severity_gate",
     "throughput_cost",
+    "to_sarif",
     "total_cycles",
     "total_mem_requests",
 ]

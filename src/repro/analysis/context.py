@@ -1,0 +1,63 @@
+"""Shared per-kernel state for the lint analyzers.
+
+Every ``LNT`` analyzer needs the same expensive artifacts — the CFG,
+liveness, the uniformity fixpoint, natural loops — so
+:class:`LintContext` computes each once and hands the bundle to all of
+them.  Construction raises the same ``ValueError`` the CFG builder
+raises on malformed control flow; :func:`repro.analysis.lint.run_lint`
+wraps that into a structured :class:`repro.errors.ParseError` so the
+CLI exits 2, not with a traceback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..arch.config import FERMI, GPUConfig
+from ..cfg.graph import CFG
+from ..cfg.liveness import LivenessInfo
+from ..cfg.loops import Loop, find_loops, loop_depths
+from ..ptx.module import Kernel
+from .uniformity import UniformityInfo
+
+
+@dataclasses.dataclass
+class LintContext:
+    """Everything a lint analyzer may consult, computed once."""
+
+    kernel: Kernel
+    config: GPUConfig
+    cfg: CFG
+    liveness: LivenessInfo
+    uniformity: UniformityInfo
+    loops: List[Loop]
+    depths: Dict[int, int]
+    #: source path for SARIF artifact locations, when known
+    source: Optional[str] = None
+
+    @classmethod
+    def build(
+        cls,
+        kernel: Kernel,
+        config: GPUConfig = FERMI,
+        source: Optional[str] = None,
+    ) -> "LintContext":
+        cfg = CFG(kernel)
+        return cls(
+            kernel=kernel,
+            config=config,
+            cfg=cfg,
+            liveness=LivenessInfo(kernel, cfg),
+            uniformity=UniformityInfo(kernel),
+            loops=find_loops(cfg),
+            depths=loop_depths(cfg),
+            source=source,
+        )
+
+    def block_of(self, pos: int) -> int:
+        """CFG block index containing global instruction position ``pos``."""
+        for block in self.cfg.blocks:
+            if block.start <= pos < block.start + len(block.instructions):
+                return block.index
+        raise IndexError(f"position {pos} outside the kernel body")

@@ -1,0 +1,108 @@
+"""Branch-divergence lint (LNT3xx).
+
+A conditional branch whose guard predicate is not warp-uniform splits
+the warp: both sides execute serially under masks.  The uniformity
+fixpoint (:mod:`repro.analysis.uniformity`) classifies every guard;
+this analyzer grades the structural damage:
+
+* ``LNT302`` — the divergent branch *controls a natural loop* (it is a
+  back edge or a loop exit): threads iterate different trip counts and
+  the whole warp runs as long as its slowest lane;
+* ``LNT301`` — any other divergent conditional branch (one-shot mask
+  cost);
+* ``LNT303`` — a barrier that sits in the body of a divergent loop or
+  is itself guarded by a varying predicate: lanes can arrive a
+  different number of times, the classic barrier-divergence deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ptx.isa import Opcode
+from ..verify.diagnostics import Diagnostic, VerifyReport
+from .context import LintContext
+
+
+def analyze_divergence(ctx: LintContext, report: VerifyReport) -> None:
+    uni = ctx.uniformity
+    label_to_block = {
+        b.label: b.index for b in ctx.cfg.blocks if b.label is not None
+    }
+    #: blocks inside loops whose control diverges (for the barrier check)
+    divergent_loop_blocks: Set[int] = set()
+    divergent_loop_findings = []
+
+    for block in ctx.cfg.blocks:
+        for pos, inst in block.positions():
+            if inst.opcode is not Opcode.BRA or inst.guard is None:
+                continue
+            if uni.value_of(inst.guard).is_uniform:
+                continue
+            target_block = label_to_block.get(inst.target or "")
+            loop = _controlled_loop(ctx, block.index, target_block)
+            diag = Diagnostic(
+                rule="LNT302" if loop is not None else "LNT301",
+                kernel=ctx.kernel.name, stage=report.stage,
+                block=block.index, position=pos, instruction=str(inst),
+                message=(
+                    f"loop at block {loop.header} has a thread-dependent "
+                    f"exit condition: the warp iterates as long as its "
+                    f"slowest lane"
+                    if loop is not None else
+                    "branch condition varies within a warp: both sides "
+                    "execute under masks"
+                ),
+                data={"guard": inst.guard.name,
+                      **({"loop_header": loop.header,
+                          "loop_blocks": sorted(loop.body)}
+                         if loop is not None else {})},
+            )
+            if loop is not None:
+                divergent_loop_blocks.update(loop.body)
+                divergent_loop_findings.append(diag)
+            else:
+                report.add(diag)
+    report.diagnostics.extend(divergent_loop_findings)
+
+    for block in ctx.cfg.blocks:
+        for pos, inst in block.positions():
+            if inst.opcode is not Opcode.BAR:
+                continue
+            guarded = inst.guard is not None and not uni.value_of(
+                inst.guard
+            ).is_uniform
+            in_divergent_loop = block.index in divergent_loop_blocks
+            if not guarded and not in_divergent_loop:
+                continue
+            report.add(Diagnostic(
+                rule="LNT303", kernel=ctx.kernel.name, stage=report.stage,
+                block=block.index, position=pos, instruction=str(inst),
+                message=(
+                    "barrier guarded by a thread-dependent predicate: "
+                    "lanes may not all arrive"
+                    if guarded else
+                    "barrier inside a divergent loop: lanes may reach it "
+                    "a different number of times"
+                ),
+                data={"guarded": guarded,
+                      "in_divergent_loop": in_divergent_loop},
+            ))
+
+
+def _controlled_loop(ctx: LintContext, block_idx: int, target_idx):
+    """The loop this branch controls, if any.
+
+    A branch in block ``b`` controls a loop when ``b`` is in the body
+    and the branch either jumps to the header (back edge) or jumps out
+    of the body (conditional exit) — in both cases the guard decides
+    whether lanes keep iterating.
+    """
+    for loop in ctx.loops:
+        if block_idx not in loop.body:
+            continue
+        if target_idx is None:
+            continue
+        if target_idx == loop.header or target_idx not in loop.body:
+            return loop
+    return None

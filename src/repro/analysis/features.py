@@ -1,0 +1,265 @@
+"""Versioned static feature vector per kernel (the tier-0 model input).
+
+The ROADMAP's "learned tier-0 cost model" needs a fixed-width numeric
+description of a kernel computable *without any simulation*.  This
+module is that contract: :data:`FEATURE_NAMES` is the ordered, stable
+schema; :func:`extract_features` fills it from the same shared
+analyses the lint subsystem runs (liveness pressure profile,
+uniformity strides, loop structure, the segment model's weighted
+instruction mix, occupancy at MaxLive).
+
+Schema discipline mirrors ``FASTPATH_SCHEMA_VERSION``: any change to
+the name list, order, or the meaning of a feature must bump
+:data:`FEATURES_SCHEMA_VERSION`, and :meth:`FeatureVector.from_dict`
+refuses payloads from another version — a trained model can then pin
+the version it was fitted against and degrade safely instead of
+silently consuming shifted columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from ..arch.config import FERMI, GPUConfig
+from ..arch.occupancy import LimitingResource, compute_occupancy
+from ..ptx.isa import Opcode, Space
+from ..ptx.module import Kernel
+from .context import LintContext
+from .segments import segment_kernel, total_cycles, total_mem_requests
+
+#: Bump on any change to FEATURE_NAMES or feature semantics.
+FEATURES_SCHEMA_VERSION = 1
+
+#: The ordered feature schema.  Order is part of the contract:
+#: ``FeatureVector.vector()`` emits values in exactly this order.
+FEATURE_NAMES = (
+    # -- size and structure
+    "n_instructions",
+    "n_blocks",
+    "n_loops",
+    "max_loop_depth",
+    "n_params",
+    "n_arrays",
+    "block_size",
+    "shared_bytes",
+    # -- instruction mix
+    "n_global_loads",
+    "n_global_stores",
+    "n_shared_accesses",
+    "n_local_accesses",
+    "n_branches",
+    "n_barriers",
+    "frac_float_ops",
+    "frac_mem_ops",
+    # -- register pressure (32-bit slots, from the shared profile)
+    "maxlive_slots",
+    "mean_pressure",
+    "pressure_p90",
+    # -- occupancy at MaxLive
+    "occ_blocks",
+    "occ_limited_by_regs",
+    "fits_one_block",
+    # -- memory behaviour (uniformity strides)
+    "n_uncoalesced_global",
+    "n_unanalyzable_global",
+    "max_bank_conflict_degree",
+    # -- divergence
+    "n_divergent_branches",
+    "n_divergent_loops",
+    "frac_varying_regs",
+    # -- weighted work (segment model, default trip counts)
+    "est_compute_cycles",
+    "est_mem_requests",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureVector:
+    """One kernel's static features under one schema version."""
+
+    kernel: str
+    schema_version: int
+    values: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        missing = [n for n in FEATURE_NAMES if n not in self.values]
+        extra = [n for n in self.values if n not in FEATURE_NAMES]
+        if self.schema_version == FEATURES_SCHEMA_VERSION and (
+            missing or extra
+        ):
+            raise ValueError(
+                f"feature vector does not match schema "
+                f"v{FEATURES_SCHEMA_VERSION}: "
+                f"missing={missing!r} extra={extra!r}"
+            )
+
+    def vector(self) -> List[float]:
+        """Values in :data:`FEATURE_NAMES` order (the model's row)."""
+        return [float(self.values[name]) for name in FEATURE_NAMES]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "schema_version": self.schema_version,
+            "features": {n: self.values[n] for n in FEATURE_NAMES},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FeatureVector":
+        version = data.get("schema_version")
+        if version != FEATURES_SCHEMA_VERSION:
+            raise ValueError(
+                f"feature schema version mismatch: payload is "
+                f"v{version}, this build expects "
+                f"v{FEATURES_SCHEMA_VERSION}"
+            )
+        return cls(
+            kernel=str(data.get("kernel", "")),
+            schema_version=int(version),
+            values={k: float(v) for k, v in data["features"].items()},
+        )
+
+
+def extract_features(
+    kernel: Kernel,
+    config: GPUConfig = FERMI,
+    ctx: Optional[LintContext] = None,
+) -> FeatureVector:
+    """Compute the static feature vector for one kernel.
+
+    Pass a prebuilt :class:`LintContext` to share work with a lint run
+    (``repro lint --features-json`` does).
+    """
+    if ctx is None:
+        ctx = LintContext.build(kernel, config=config)
+    insts = ctx.liveness.instructions
+    n = len(insts)
+    v: Dict[str, float] = {}
+
+    # -- size and structure
+    v["n_instructions"] = n
+    v["n_blocks"] = len(ctx.cfg.blocks)
+    v["n_loops"] = len(ctx.loops)
+    v["max_loop_depth"] = max(ctx.depths.values(), default=0)
+    v["n_params"] = len(kernel.params)
+    v["n_arrays"] = len(kernel.arrays)
+    v["block_size"] = kernel.block_size
+    v["shared_bytes"] = kernel.shared_bytes()
+
+    # -- instruction mix
+    n_float = 0
+    n_mem = 0
+    v["n_global_loads"] = v["n_global_stores"] = 0
+    v["n_shared_accesses"] = v["n_local_accesses"] = 0
+    v["n_branches"] = v["n_barriers"] = 0
+    for inst in insts:
+        if inst.dtype is not None and inst.dtype.is_float:
+            n_float += 1
+        if inst.is_memory:
+            n_mem += 1
+            if inst.space is Space.GLOBAL:
+                key = ("n_global_loads" if inst.opcode is Opcode.LD
+                       else "n_global_stores")
+                v[key] += 1
+            elif inst.space is Space.SHARED:
+                v["n_shared_accesses"] += 1
+            elif inst.space is Space.LOCAL:
+                v["n_local_accesses"] += 1
+        elif inst.opcode is Opcode.BRA:
+            v["n_branches"] += 1
+        elif inst.opcode is Opcode.BAR:
+            v["n_barriers"] += 1
+    v["frac_float_ops"] = n_float / n if n else 0.0
+    v["frac_mem_ops"] = n_mem / n if n else 0.0
+
+    # -- register pressure
+    profile = ctx.liveness.pressure_profile()
+    maxlive = max(profile, default=0)
+    v["maxlive_slots"] = maxlive
+    v["mean_pressure"] = sum(profile) / n if n else 0.0
+    v["pressure_p90"] = (
+        sorted(profile)[min(n - 1, int(0.9 * n))] if n else 0.0
+    )
+
+    # -- occupancy at MaxLive
+    try:
+        occ = compute_occupancy(
+            config, maxlive, kernel.shared_bytes(), kernel.block_size
+        )
+        v["occ_blocks"] = occ.blocks
+        v["occ_limited_by_regs"] = float(
+            occ.limiting is LimitingResource.REGISTERS
+        )
+        v["fits_one_block"] = 1.0
+    except ValueError:
+        v["occ_blocks"] = 0
+        v["occ_limited_by_regs"] = 1.0
+        v["fits_one_block"] = 0.0
+
+    # -- memory behaviour
+    uncoalesced = unanalyzable = 0
+    max_conflict = 1
+    for inst in insts:
+        if not inst.is_memory or inst.mem is None:
+            continue
+        stride = ctx.uniformity.address_of(inst.mem).known_stride
+        width = inst.dtype.bytes if inst.dtype is not None else 4
+        if inst.space is Space.GLOBAL:
+            if stride is None:
+                unanalyzable += 1
+            elif stride != 0:
+                lines = len({(t * stride) // 128 for t in range(32)})
+                if lines > max(1, -(-32 * width // 128)):
+                    uncoalesced += 1
+        elif inst.space is Space.SHARED:
+            if stride is not None and stride and stride % 4 == 0:
+                max_conflict = max(
+                    max_conflict, math.gcd(stride // 4, 32)
+                )
+    v["n_uncoalesced_global"] = uncoalesced
+    v["n_unanalyzable_global"] = unanalyzable
+    v["max_bank_conflict_degree"] = max_conflict
+
+    # -- divergence
+    div_branches = 0
+    div_loop_headers = set()
+    label_to_block = {
+        b.label: b.index for b in ctx.cfg.blocks if b.label is not None
+    }
+    for block in ctx.cfg.blocks:
+        for inst in block.instructions:
+            if inst.opcode is not Opcode.BRA or inst.guard is None:
+                continue
+            if ctx.uniformity.value_of(inst.guard).is_uniform:
+                continue
+            div_branches += 1
+            target = label_to_block.get(inst.target or "")
+            for loop in ctx.loops:
+                if block.index in loop.body and target is not None and (
+                    target == loop.header or target not in loop.body
+                ):
+                    div_loop_headers.add(loop.header)
+    v["n_divergent_branches"] = div_branches
+    v["n_divergent_loops"] = len(div_loop_headers)
+    env = ctx.uniformity.env
+    varying = sum(
+        1 for val in env.values() if val is not None and not val.is_uniform
+    )
+    v["frac_varying_regs"] = varying / len(env) if env else 0.0
+
+    # -- weighted work
+    segments = segment_kernel(kernel, config)
+    v["est_compute_cycles"] = total_cycles(segments)
+    v["est_mem_requests"] = total_mem_requests(segments)
+
+    return FeatureVector(
+        kernel=kernel.name,
+        schema_version=FEATURES_SCHEMA_VERSION,
+        values={k: float(val) for k, val in v.items()},
+    )

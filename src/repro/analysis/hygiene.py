@@ -1,0 +1,142 @@
+"""Def-use hygiene lint (LNT4xx).
+
+Independent (and deliberately simpler) cousins of the ``DF`` dataflow
+verifier, scoped to what a *lint* should say about an input kernel
+rather than what a *validator* must prove about a compiled one:
+
+* ``LNT402`` — a register read that some path reaches without a prior
+  definition (forward may-analysis over the CFG; a structural error);
+* ``LNT401`` — a definition whose value is dead immediately (not live
+  out of the defining position);
+* ``LNT403`` — blocks unreachable from entry;
+* ``LNT404`` / ``LNT405`` — declared arrays / kernel parameters the
+  body never references (stale interface surface).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..cfg.dataflow import ForwardMaySolver
+from ..ptx.instruction import Sym
+from ..ptx.isa import Opcode
+from ..verify.diagnostics import Diagnostic, VerifyReport
+from .context import LintContext
+
+
+def analyze_hygiene(ctx: LintContext, report: VerifyReport) -> None:
+    _check_uninitialized_reads(ctx, report)
+    _check_dead_defs(ctx, report)
+    _check_unreachable(ctx, report)
+    _check_unreferenced_decls(ctx, report)
+
+
+def _check_uninitialized_reads(ctx: LintContext, report: VerifyReport) -> None:
+    """Forward may-analysis: track names possibly not yet assigned."""
+    cfg = ctx.cfg
+    all_names = {r.name for r in ctx.kernel.registers()}
+
+    defs_in: Dict[int, Set[str]] = {}
+    for block in cfg.blocks:
+        defined: Set[str] = set()
+        for inst in block.instructions:
+            for reg in inst.defs():
+                defined.add(reg.name)
+        defs_in[block.index] = defined
+
+    everything = frozenset(all_names)
+    entry = cfg.entry.index
+
+    def transfer(idx: int, in_set: FrozenSet[str]) -> FrozenSet[str]:
+        if idx == entry:
+            in_set = everything  # nothing is initialized at kernel entry
+        return frozenset(in_set - defs_in[idx])
+
+    solver: "ForwardMaySolver[str]" = ForwardMaySolver(cfg, transfer)
+    solver.solve()
+
+    flagged: Set[str] = set()
+    for block in cfg.blocks:
+        maybe_uninit = set(solver.in_sets[block.index])
+        if block.index == entry:
+            maybe_uninit |= all_names
+        for pos, inst in block.positions():
+            for reg in inst.uses():
+                if reg.name in maybe_uninit and reg.name not in flagged:
+                    flagged.add(reg.name)
+                    report.add(Diagnostic(
+                        rule="LNT402", kernel=ctx.kernel.name,
+                        stage=report.stage, block=block.index,
+                        position=pos, instruction=str(inst),
+                        message=f"register {reg.name} may be read before "
+                                f"initialization on some path",
+                        data={"register": reg.name},
+                    ))
+            for reg in inst.defs():
+                maybe_uninit.discard(reg.name)
+
+
+def _check_dead_defs(ctx: LintContext, report: VerifyReport) -> None:
+    for pos, inst in enumerate(ctx.liveness.instructions):
+        for dreg in inst.defs():
+            if dreg.name in ctx.liveness.live_out[pos]:
+                continue
+            report.add(Diagnostic(
+                rule="LNT401", kernel=ctx.kernel.name, stage=report.stage,
+                block=ctx.block_of(pos), position=pos, instruction=str(inst),
+                message=f"value of {dreg.name} defined here is never "
+                        f"used on any path",
+                data={"register": dreg.name},
+            ))
+
+
+def _check_unreachable(ctx: LintContext, report: VerifyReport) -> None:
+    cfg = ctx.cfg
+    seen: Set[int] = set()
+    stack = [cfg.entry.index]
+    while stack:
+        idx = stack.pop()
+        if idx in seen:
+            continue
+        seen.add(idx)
+        stack.extend(cfg.blocks[idx].successors)
+    for block in cfg.blocks:
+        if block.index in seen or not block.instructions:
+            continue
+        report.add(Diagnostic(
+            rule="LNT403", kernel=ctx.kernel.name, stage=report.stage,
+            block=block.index, position=block.start,
+            instruction=str(block.instructions[0]),
+            message=f"block {block.index}"
+                    + (f" ({block.label})" if block.label else "")
+                    + " is unreachable from entry",
+            data={"label": block.label},
+        ))
+
+
+def _check_unreferenced_decls(ctx: LintContext, report: VerifyReport) -> None:
+    referenced: Set[str] = set()
+    for inst in ctx.kernel.instructions():
+        for src in inst.srcs:
+            if isinstance(src, Sym):
+                referenced.add(src.name)
+        if inst.mem is not None and isinstance(inst.mem.base, Sym):
+            referenced.add(inst.mem.base.name)
+    for arr in ctx.kernel.arrays:
+        if arr.name in referenced:
+            continue
+        report.add(Diagnostic(
+            rule="LNT404", kernel=ctx.kernel.name, stage=report.stage,
+            message=f"array {arr.name} ({arr.size_bytes} B "
+                    f"{arr.space.value}) is declared but never referenced",
+            data={"array": arr.name, "space": arr.space.value,
+                  "size_bytes": arr.size_bytes},
+        ))
+    for param in ctx.kernel.params:
+        if param.name in referenced:
+            continue
+        report.add(Diagnostic(
+            rule="LNT405", kernel=ctx.kernel.name, stage=report.stage,
+            message=f"parameter {param.name} is never referenced",
+            data={"param": param.name},
+        ))

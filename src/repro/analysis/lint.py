@@ -1,0 +1,92 @@
+"""The lint orchestrator behind ``repro lint`` (rules ``LNT*``).
+
+Runs every whole-kernel static analyzer — pressure
+(:mod:`.pressure`), memory (:mod:`.memaccess`), divergence
+(:mod:`.divergence`), hygiene (:mod:`.hygiene`) — over one shared
+:class:`~repro.analysis.context.LintContext` and returns a single
+:class:`~repro.verify.diagnostics.VerifyReport` whose diagnostics all
+carry stable ``LNT`` rule codes from :mod:`repro.verify.registry`.
+
+Findings order is deterministic: analyzers run in a fixed order and
+the report is sorted by (position, rule) at the end, so JSON/SARIF
+output is byte-stable for golden tests and the CI ratchet baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from ..arch.config import FERMI, GPUConfig
+from ..errors import ParseError
+from ..ptx.module import Kernel
+from ..verify.diagnostics import Diagnostic, VerifyReport
+from .context import LintContext
+from .divergence import analyze_divergence
+from .hygiene import analyze_hygiene
+from .memaccess import analyze_memaccess
+from .pressure import analyze_pressure
+
+#: The analyzers, in the order they run (pressure first: its findings
+#: are the paper's headline story).
+ANALYZERS: Tuple[Callable[[LintContext, VerifyReport], None], ...] = (
+    analyze_pressure,
+    analyze_memaccess,
+    analyze_divergence,
+    analyze_hygiene,
+)
+
+
+def run_lint(
+    kernel: Kernel,
+    config: GPUConfig = FERMI,
+    rules: Optional[FrozenSet[str]] = None,
+    source: Optional[str] = None,
+) -> VerifyReport:
+    """Run every lint analyzer over ``kernel``.
+
+    ``rules`` (from :func:`repro.verify.registry.select_rules`)
+    restricts the returned findings to a code subset; analyzers still
+    all run — selection is a reporting filter, so rule interactions
+    (e.g. ``LNT102`` only accompanying ``LNT101``) stay consistent.
+
+    Raises :class:`repro.errors.ParseError` when the kernel's control
+    flow is malformed (e.g. a branch to an undefined label) — lint
+    needs a CFG, and a kernel without one is a parse-stage failure
+    (exit 2), not a lint finding.
+    """
+    report = VerifyReport(kernel=kernel.name, stage="lint")
+    try:
+        ctx = LintContext.build(kernel, config=config, source=source)
+    except ValueError as err:
+        raise ParseError(str(err), kernel=kernel.name) from err
+    for analyzer in ANALYZERS:
+        analyzer(ctx, report)
+    report.diagnostics.sort(key=_sort_key)
+    if rules is not None:
+        report.diagnostics = [
+            d for d in report.diagnostics if d.rule in rules
+        ]
+    return report
+
+
+def _sort_key(diag: Diagnostic) -> Tuple[int, str]:
+    pos = diag.position if diag.position is not None else -1
+    return (pos, diag.rule)
+
+
+def severity_gate(
+    report: VerifyReport, fail_on: str
+) -> Tuple[bool, List[Diagnostic]]:
+    """Whether ``report`` should fail the run under ``--fail-on``.
+
+    ``fail_on`` is ``"error"`` (default: only ERROR findings gate),
+    ``"warn"`` (WARNING and ERROR gate) or ``"never"`` (report only).
+    Returns ``(failed, gating_findings)``.
+    """
+    if fail_on == "never":
+        return False, []
+    if fail_on == "warn":
+        gating = [d for d in report.diagnostics if d.severity.value != "info"]
+    else:
+        gating = report.errors
+    return bool(gating), gating

@@ -1,0 +1,214 @@
+"""Memory-access lint: coalescing, bank conflicts, dead stores (LNT2xx).
+
+All three analyses read per-thread address *strides* off the
+uniformity fixpoint (:mod:`repro.analysis.uniformity`) — an address
+that is ``AFFINE(s)`` in ``tid.x`` is accessed by the 32 threads of a
+warp at ``base, base+s, ..., base+31*s``:
+
+* ``LNT201`` — a global access whose stride makes the warp touch more
+  128-byte transactions than a contiguous access of the same width
+  would (the static analogue of the coalescing check every profiler
+  runs after the fact);
+* ``LNT202`` — a global access through a statically unanalyzable
+  (data-dependent) address: not wrong, but invisible to the model;
+* ``LNT203`` — a shared-memory access whose word stride collides on
+  the 32 four-byte banks (conflict degree ``gcd(stride_words, 32)``);
+* ``LNT204`` — a store overwritten by a later same-slot store before
+  any possible observer (within one block, conservatively invalidated
+  by any same-space load, barrier, or base redefinition);
+* ``LNT205`` — a store into a local-memory array that no load in the
+  whole kernel ever reads back (dead private traffic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set, Tuple
+
+from ..ptx.instruction import Instruction, Reg, Sym
+from ..ptx.isa import Opcode, Space
+from ..verify.diagnostics import Diagnostic, VerifyReport
+from .context import LintContext
+
+#: Global-memory transaction (cache line) size in bytes.
+LINE_BYTES = 128
+#: Shared memory: 32 banks of 4-byte words.
+BANKS = 32
+WARP = 32
+
+
+def analyze_memaccess(ctx: LintContext, report: VerifyReport) -> None:
+    _check_access_shapes(ctx, report)
+    _check_dead_stores(ctx, report)
+    _check_dead_local_arrays(ctx, report)
+
+
+# ----------------------------------------------------------------------
+# Coalescing and bank conflicts.
+# ----------------------------------------------------------------------
+def _check_access_shapes(ctx: LintContext, report: VerifyReport) -> None:
+    uni = ctx.uniformity
+    for pos, inst in enumerate(ctx.liveness.instructions):
+        if not inst.is_memory or inst.mem is None:
+            continue
+        width = inst.dtype.bytes if inst.dtype is not None else 4
+        stride = uni.address_of(inst.mem).known_stride
+
+        if inst.space is Space.GLOBAL:
+            if stride is None:
+                report.add(Diagnostic(
+                    rule="LNT202", kernel=ctx.kernel.name, stage=report.stage,
+                    block=ctx.block_of(pos), position=pos,
+                    instruction=str(inst),
+                    message="global access through a data-dependent "
+                            "address; coalescing cannot be analyzed "
+                            "statically",
+                    data={"width_bytes": width},
+                ))
+                continue
+            if stride == 0:
+                continue  # warp-wide broadcast: one transaction
+            lines = len({
+                (t * stride) // LINE_BYTES for t in range(WARP)
+            })
+            ideal = max(1, -(-WARP * width // LINE_BYTES))
+            if lines > ideal:
+                report.add(Diagnostic(
+                    rule="LNT201", kernel=ctx.kernel.name, stage=report.stage,
+                    block=ctx.block_of(pos), position=pos,
+                    instruction=str(inst),
+                    message=(
+                        f"per-thread stride of {stride} B makes one warp "
+                        f"touch {lines} {LINE_BYTES}-byte transactions "
+                        f"({ideal} if coalesced)"
+                    ),
+                    data={"stride_bytes": stride, "width_bytes": width,
+                          "transactions": lines, "ideal": ideal},
+                ))
+        elif inst.space is Space.SHARED:
+            if stride is None or stride == 0 or stride % 4 != 0:
+                continue
+            degree = math.gcd(stride // 4, BANKS)
+            if degree > 1:
+                report.add(Diagnostic(
+                    rule="LNT203", kernel=ctx.kernel.name, stage=report.stage,
+                    block=ctx.block_of(pos), position=pos,
+                    instruction=str(inst),
+                    message=(
+                        f"per-thread stride of {stride} B collides on the "
+                        f"{BANKS} shared-memory banks with conflict "
+                        f"degree {degree} (serialized {degree}x)"
+                    ),
+                    data={"stride_bytes": stride, "conflict_degree": degree},
+                ))
+
+
+# ----------------------------------------------------------------------
+# Dead stores.
+# ----------------------------------------------------------------------
+#: key identifying one statically-resolvable store slot
+_SlotKey = Tuple[Space, str, int]
+
+
+def _slot_key(inst: Instruction) -> Optional[_SlotKey]:
+    if inst.mem is None or inst.space is None:
+        return None
+    base = inst.mem.base
+    name = base.name if isinstance(base, (Reg, Sym)) else None
+    if name is None:  # pragma: no cover - MemRef bases are Reg|Sym
+        return None
+    return (inst.space, name, inst.mem.offset)
+
+
+def _check_dead_stores(ctx: LintContext, report: VerifyReport) -> None:
+    """Per-block scan: a store killed by a later same-slot store with no
+    intervening possible observer is dead (``LNT204``)."""
+    for block in ctx.cfg.blocks:
+        pending: Dict[_SlotKey, Tuple[int, Instruction]] = {}
+        for pos, inst in block.positions():
+            if inst.opcode is Opcode.BAR:
+                pending.clear()  # other threads may observe anything
+                continue
+            if inst.opcode is Opcode.LD and inst.space is not None:
+                # Conservative aliasing: any same-space load may read
+                # any pending slot of that space.
+                for key in [k for k in pending if k[0] is inst.space]:
+                    del pending[key]
+                continue
+            if inst.opcode is Opcode.ST:
+                key = _slot_key(inst)
+                if key is None:
+                    continue
+                prior = pending.get(key)
+                if prior is not None and inst.guard is None:
+                    ppos, pinst = prior
+                    report.add(Diagnostic(
+                        rule="LNT204", kernel=ctx.kernel.name,
+                        stage=report.stage, block=block.index,
+                        position=ppos, instruction=str(pinst),
+                        message=(
+                            f"store to [{key[1]}+{key[2]}] is overwritten "
+                            f"at position {pos} before any load observes "
+                            f"it"
+                        ),
+                        data={"space": key[0].value, "base": key[1],
+                              "offset": key[2], "overwritten_at": pos},
+                    ))
+                pending[key] = (pos, inst)
+                continue
+            # A redefined base register invalidates keys through it.
+            for dreg in inst.defs():
+                for key in [k for k in pending if k[1] == dreg.name]:
+                    del pending[key]
+
+
+def _resolve_array(ctx: LintContext, inst: Instruction) -> Optional[str]:
+    """Array name behind a memory access, when statically certain."""
+    if inst.mem is None:
+        return None
+    base = inst.mem.base
+    if isinstance(base, Sym):
+        return base.name
+    # One level of indirection: a register whose only definition in the
+    # kernel is `mov %rd, ArrayName`.
+    defs = [
+        i for i in ctx.kernel.instructions()
+        if i.dst is not None and i.dst.name == base.name
+    ]
+    if len(defs) == 1 and defs[0].opcode is Opcode.MOV and defs[0].srcs:
+        src = defs[0].srcs[0]
+        if isinstance(src, Sym):
+            return src.name
+    return None
+
+
+def _check_dead_local_arrays(ctx: LintContext, report: VerifyReport) -> None:
+    """Whole-kernel: stores into a local array nothing ever loads
+    (``LNT205``).  Local memory is thread-private, so no other thread
+    can be the observer — unlike shared/global, never-loaded really
+    means dead."""
+    loaded: Set[str] = set()
+    unresolved_local_load = False
+    for inst in ctx.kernel.instructions():
+        if inst.opcode is not Opcode.LD or inst.space is not Space.LOCAL:
+            continue
+        arr = _resolve_array(ctx, inst)
+        if arr is None:
+            unresolved_local_load = True
+        else:
+            loaded.add(arr)
+    if unresolved_local_load:
+        return  # some load may read anything local; stay quiet
+    for pos, inst in enumerate(ctx.liveness.instructions):
+        if inst.opcode is not Opcode.ST or inst.space is not Space.LOCAL:
+            continue
+        arr = _resolve_array(ctx, inst)
+        if arr is None or arr in loaded:
+            continue
+        report.add(Diagnostic(
+            rule="LNT205", kernel=ctx.kernel.name, stage=report.stage,
+            block=ctx.block_of(pos), position=pos, instruction=str(inst),
+            message=f"store into local array {arr} which no load in the "
+                    f"kernel ever reads back",
+            data={"array": arr},
+        ))

@@ -1,0 +1,97 @@
+"""Register-pressure lint: occupancy-stair hotspot attribution (LNT1xx).
+
+The paper's whole premise is that MaxLive is not just a number but a
+*position*: somewhere in the kernel a handful of operations push the
+simultaneous live set past the register budget that would have allowed
+one more resident block per SM.  This analyzer names those operations.
+
+From the shared :meth:`~repro.cfg.liveness.LivenessInfo.pressure_profile`
+(the same walk the allocator's MaxLive uses — satellite guarantee: they
+can never disagree) and :mod:`repro.arch.occupancy`:
+
+* ``LNT101`` — when registers are the occupancy limiter and one more
+  block per SM would be feasible by every other resource, each
+  position where the profile *crosses* the next stair's register
+  budget is flagged: the defs at that point are the hotspot the
+  paper's coordinated allocation would spill or reschedule first.
+* ``LNT102`` — the first position attaining MaxLive (attribution
+  context; emitted only when a crossing was found).
+* ``LNT103`` — the kernel cannot fit even one block per SM at its
+  MaxLive (it will spill no matter the TLP choice).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arch.occupancy import LimitingResource, compute_occupancy, max_reg_at_tlp
+from ..verify.diagnostics import Diagnostic, VerifyReport
+from .context import LintContext
+
+
+def analyze_pressure(ctx: LintContext, report: VerifyReport) -> None:
+    profile: List[int] = ctx.liveness.pressure_profile()
+    if not profile:
+        return
+    maxlive = max(profile)
+    kernel = ctx.kernel
+    shm = kernel.shared_bytes()
+
+    try:
+        occ = compute_occupancy(
+            ctx.config, maxlive, shm, kernel.block_size
+        )
+    except ValueError:
+        report.add(Diagnostic(
+            rule="LNT103", kernel=kernel.name, stage=report.stage,
+            message=(
+                f"MaxLive {maxlive} does not fit even one "
+                f"{kernel.block_size}-thread block on "
+                f"{ctx.config.name} ({ctx.config.registers_per_sm} "
+                f"registers/SM): the kernel spills at any TLP"
+            ),
+            data={"maxlive": maxlive, "block_size": kernel.block_size,
+                  "registers_per_sm": ctx.config.registers_per_sm},
+        ))
+        return
+
+    if occ.limiting is not LimitingResource.REGISTERS:
+        return  # more registers are free here; no stair to blame
+    try:
+        stair = max_reg_at_tlp(
+            ctx.config, occ.blocks + 1, shm, kernel.block_size
+        )
+    except ValueError:
+        return  # one more block is capped by shm/threads/blocks anyway
+    if stair <= 0 or maxlive <= stair:
+        return
+
+    crossings = [
+        pos for pos in range(len(profile))
+        if profile[pos] > stair and (pos == 0 or profile[pos - 1] <= stair)
+    ]
+    for pos in crossings:
+        inst = ctx.liveness.instructions[pos]
+        defs = sorted(r.name for r in inst.defs())
+        report.add(Diagnostic(
+            rule="LNT101", kernel=kernel.name, stage=report.stage,
+            block=ctx.block_of(pos), position=pos, instruction=str(inst),
+            message=(
+                f"pressure rises to {profile[pos]} slots here, past the "
+                f"{stair}-register stair that would fit "
+                f"{occ.blocks + 1} blocks/SM instead of {occ.blocks}"
+            ),
+            data={"pressure": profile[pos], "stair": stair,
+                  "tlp": occ.blocks, "next_tlp": occ.blocks + 1,
+                  "defs": defs},
+        ))
+    if crossings:
+        peak = profile.index(maxlive)
+        inst = ctx.liveness.instructions[peak]
+        report.add(Diagnostic(
+            rule="LNT102", kernel=kernel.name, stage=report.stage,
+            block=ctx.block_of(peak), position=peak, instruction=str(inst),
+            message=f"peak register pressure (MaxLive {maxlive} slots) "
+                    f"is attained here",
+            data={"maxlive": maxlive},
+        ))

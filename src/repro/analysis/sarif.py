@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 rendering of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard every code-scanning UI ingests — emitting it makes ``repro
+lint`` findings show up as annotations in CI instead of buried in job
+logs.  One :func:`to_sarif` run aggregates any number of per-kernel
+:class:`~repro.verify.diagnostics.VerifyReport` objects into a single
+``runs[0]`` with:
+
+* ``tool.driver.rules`` — the referenced subset of the stable registry
+  (:mod:`repro.verify.registry`), sorted by code, so ``ruleIndex`` is
+  deterministic;
+* one ``result`` per diagnostic, with the severity mapped onto SARIF
+  levels (``info`` → ``note``), a logical location
+  (``kernel:blockN:instM``), a physical ``artifactLocation`` when the
+  source file is known, and the diagnostic's machine ``data`` payload
+  under ``properties``.
+
+The output is deterministic for a given input (no timestamps, sorted
+rules), which the golden test and the CI artifact diff rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..verify.diagnostics import Diagnostic, VerifyReport
+from ..verify.registry import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: repro severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def to_sarif(
+    reports: Iterable[VerifyReport],
+    sources: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """Render reports as one SARIF 2.1.0 log object.
+
+    ``sources`` maps kernel name -> source file URI for physical
+    locations (omitted when unknown).
+    """
+    reports = list(reports)
+    sources = sources or {}
+    used_codes = sorted({
+        d.rule for rep in reports for d in rep.diagnostics
+    })
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+
+    results: List[Dict[str, Any]] = []
+    for rep in reports:
+        for diag in rep.diagnostics:
+            results.append(_result(diag, rule_index, sources.get(rep.kernel)))
+
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/paper-repro/repro",
+                    "rules": [
+                        {
+                            "id": code,
+                            "shortDescription": {
+                                "text": RULES[code].summary,
+                            },
+                            "defaultConfiguration": {
+                                "level": _LEVELS[
+                                    RULES[code].severity.value
+                                ],
+                            },
+                            "properties": {
+                                "owner": RULES[code].owner,
+                            },
+                        }
+                        for code in used_codes
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def _result(
+    diag: Diagnostic,
+    rule_index: Dict[str, int],
+    source: Optional[str],
+) -> Dict[str, Any]:
+    qualified = diag.kernel
+    if diag.block is not None:
+        qualified += f":block{diag.block}"
+    if diag.position is not None:
+        qualified += f":inst{diag.position}"
+    location: Dict[str, Any] = {
+        "logicalLocations": [{
+            "fullyQualifiedName": qualified,
+            "kind": "function",
+        }],
+    }
+    if source is not None:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": source},
+        }
+    properties: Dict[str, Any] = dict(diag.data)
+    if diag.instruction:
+        properties["instruction"] = diag.instruction
+    return {
+        "ruleId": diag.rule,
+        "ruleIndex": rule_index[diag.rule],
+        "level": _LEVELS[diag.severity.value],
+        "message": {"text": diag.message},
+        "locations": [location],
+        "properties": properties,
+    }

@@ -1,0 +1,249 @@
+"""Warp-uniformity and thread-stride abstract interpretation.
+
+The foundation under the lint analyzers: for every register name, a
+flow-insensitive fixpoint over the kernel computes how its value varies
+*across the threads of one warp*:
+
+``CONST(c)``
+    the same known integer constant in every thread;
+``UNIFORM``
+    the same (unknown) value in every thread — block indices, kernel
+    parameters, loaded-from-uniform-address values;
+``AFFINE(s)``
+    ``base + s * tid.x`` with a warp-uniform ``base`` and known nonzero
+    integer stride ``s`` — the canonical coalesced-addressing shape;
+``VARYING``
+    anything else (data-dependent, ``tid.y``/``tid.z``-dependent,
+    non-affine in ``tid.x``).
+
+Divergence analysis asks whether branch guards are ``UNIFORM``
+(``LNT3xx``); memory analysis turns the stride of an address into
+transactions-per-warp and bank-conflict degree (``LNT2xx``).  The
+lattice is ``CONST ⊑ UNIFORM ⊑ VARYING`` and ``AFFINE(s) ⊑ VARYING``,
+so the fixpoint terminates in a few sweeps regardless of loop
+structure; flow-insensitivity (one abstract value per name, joined
+over all its definitions) is deliberately conservative — a name that
+is uniform on one path and varying on another is simply varying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Union
+
+from ..ptx.instruction import Imm, Instruction, MemRef, Operand, Reg, Sreg, Sym
+from ..ptx.isa import Opcode
+from ..ptx.module import Kernel
+
+
+class Kind(enum.Enum):
+    CONST = "const"
+    UNIFORM = "uniform"
+    AFFINE = "affine"
+    VARYING = "varying"
+
+
+@dataclasses.dataclass(frozen=True)
+class AbsVal:
+    """One point of the uniformity lattice."""
+
+    kind: Kind
+    #: known integer value (``CONST`` only)
+    value: Optional[int] = None
+    #: per-thread stride along ``tid.x`` in value units (``AFFINE`` only)
+    stride: int = 0
+
+    @property
+    def is_uniform(self) -> bool:
+        """Same value in every thread of a warp."""
+        return self.kind in (Kind.CONST, Kind.UNIFORM)
+
+    @property
+    def known_stride(self) -> Optional[int]:
+        """Per-thread stride, or ``None`` when statically unknown."""
+        if self.kind in (Kind.CONST, Kind.UNIFORM):
+            return 0
+        if self.kind is Kind.AFFINE:
+            return self.stride
+        return None
+
+    def __str__(self) -> str:
+        if self.kind is Kind.CONST:
+            return f"const({self.value})"
+        if self.kind is Kind.AFFINE:
+            return f"affine(stride={self.stride})"
+        return self.kind.value
+
+
+UNIFORM = AbsVal(Kind.UNIFORM)
+VARYING = AbsVal(Kind.VARYING)
+
+
+def const(value: int) -> AbsVal:
+    return AbsVal(Kind.CONST, value=value)
+
+
+def affine(stride: int) -> AbsVal:
+    """Affine-in-tid.x with the given stride (stride 0 is just uniform)."""
+    if stride == 0:
+        return UNIFORM
+    return AbsVal(Kind.AFFINE, stride=stride)
+
+
+def join(a: Optional[AbsVal], b: Optional[AbsVal]) -> Optional[AbsVal]:
+    """Least upper bound; ``None`` is bottom (no definition seen yet)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if a.is_uniform and b.is_uniform:
+        return UNIFORM  # distinct constants / constant vs uniform
+    sa, sb = a.known_stride, b.known_stride
+    if sa is not None and sa == sb:
+        return affine(sa)
+    return VARYING
+
+
+#: Special registers: ``%tid.x`` is the affine generator; the y/z thread
+#: indices vary within a warp non-affinely in tid.x (warps are laid out
+#: along x); block/grid geometry is warp-uniform.
+def _sreg_value(name: str) -> AbsVal:
+    if name == "%tid.x":
+        return affine(1)
+    if name.startswith("%tid."):
+        return VARYING
+    return UNIFORM
+
+
+class UniformityInfo:
+    """Fixpoint result: an :class:`AbsVal` per register name."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.env: Dict[str, Optional[AbsVal]] = {}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def value_of(self, operand: Union[Operand, MemRef, None]) -> AbsVal:
+        """Abstract value of an operand (``VARYING`` if unknown)."""
+        if operand is None:
+            return VARYING
+        if isinstance(operand, Reg):
+            val = self.env.get(operand.name)
+            return val if val is not None else VARYING
+        if isinstance(operand, Imm):
+            if isinstance(operand.value, int) and not operand.dtype.is_float:
+                return const(int(operand.value))
+            return UNIFORM
+        if isinstance(operand, Sreg):
+            return _sreg_value(operand.name)
+        if isinstance(operand, Sym):
+            return UNIFORM  # array base addresses are warp-uniform
+        if isinstance(operand, MemRef):
+            return self.address_of(operand)
+        return VARYING
+
+    def address_of(self, mem: MemRef) -> AbsVal:
+        """Abstract value of a ``[base+offset]`` effective address."""
+        base = self.value_of(mem.base)
+        if base.kind is Kind.CONST:
+            return const(base.value + mem.offset)  # type: ignore[operator]
+        return base  # constant offset shifts the base, stride unchanged
+
+    def guard_is_divergent(self, inst: Instruction) -> bool:
+        """Whether the instruction's guard predicate varies per-thread."""
+        return inst.guard is not None and not self.value_of(inst.guard).is_uniform
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        insts = self.kernel.instructions()
+        changed = True
+        while changed:
+            changed = False
+            for inst in insts:
+                if inst.dst is None:
+                    continue
+                new = self._transfer(inst)
+                # A divergent guard makes the update thread-dependent:
+                # some lanes write, others keep the old value.
+                if self.guard_is_divergent(inst):
+                    new = VARYING
+                name = inst.dst.name
+                merged = join(self.env.get(name), new)
+                if merged != self.env.get(name):
+                    self.env[name] = merged
+                    changed = True
+
+    def _transfer(self, inst: Instruction) -> AbsVal:
+        op = inst.opcode
+        vals = [self.value_of(s) for s in inst.srcs]
+
+        if op in (Opcode.MOV, Opcode.CVT):
+            return vals[0] if vals else VARYING
+        if op is Opcode.ADD and len(vals) == 2:
+            return self._add(vals[0], vals[1])
+        if op is Opcode.SUB and len(vals) == 2:
+            return self._add(vals[0], self._neg(vals[1]))
+        if op is Opcode.NEG and vals:
+            return self._neg(vals[0])
+        if op in (Opcode.MUL, Opcode.MAD, Opcode.FMA) and len(vals) >= 2:
+            prod = self._mul(vals[0], vals[1])
+            if op in (Opcode.MAD, Opcode.FMA) and len(vals) == 3:
+                return self._add(prod, vals[2])
+            return prod
+        if op is Opcode.SHL and len(vals) == 2:
+            if vals[1].kind is Kind.CONST:
+                return self._mul(vals[0], const(1 << int(vals[1].value or 0)))
+            return VARYING if not all(v.is_uniform for v in vals) else UNIFORM
+        if op is Opcode.LD:
+            addr = self.address_of(inst.mem) if inst.mem else VARYING
+            return UNIFORM if addr.is_uniform else VARYING
+        if op is Opcode.SETP and len(vals) == 2:
+            return UNIFORM if all(v.is_uniform for v in vals) else VARYING
+        if op is Opcode.SELP and len(vals) == 3:
+            return UNIFORM if all(v.is_uniform for v in vals) else VARYING
+        # Everything else (div/rem/shr/bitwise/sfu/min/max/abs/...) is
+        # warp-uniform iff all inputs are; affinity does not survive.
+        if vals and all(v.is_uniform for v in vals):
+            return UNIFORM
+        return VARYING
+
+    # -- arithmetic on lattice points ----------------------------------
+    @staticmethod
+    def _neg(a: AbsVal) -> AbsVal:
+        if a.kind is Kind.CONST:
+            return const(-(a.value or 0))
+        if a.kind is Kind.AFFINE:
+            return affine(-a.stride)
+        return a
+
+    @staticmethod
+    def _add(a: AbsVal, b: AbsVal) -> AbsVal:
+        if a.kind is Kind.CONST and b.kind is Kind.CONST:
+            return const((a.value or 0) + (b.value or 0))
+        sa, sb = a.known_stride, b.known_stride
+        if sa is None or sb is None:
+            return VARYING
+        return affine(sa + sb)
+
+    @staticmethod
+    def _mul(a: AbsVal, b: AbsVal) -> AbsVal:
+        if a.kind is Kind.CONST and b.kind is Kind.CONST:
+            return const((a.value or 0) * (b.value or 0))
+        for x, y in ((a, b), (b, a)):
+            if x.kind is Kind.CONST:
+                if y.kind is Kind.AFFINE:
+                    return affine(y.stride * (x.value or 0))
+                if y.is_uniform:
+                    return UNIFORM
+        if a.is_uniform and b.is_uniform:
+            return UNIFORM
+        return VARYING
+
+
+def analyze_uniformity(kernel: Kernel) -> UniformityInfo:
+    """Convenience: run the uniformity fixpoint on a kernel."""
+    return UniformityInfo(kernel)

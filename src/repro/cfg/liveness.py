@@ -16,10 +16,19 @@ a live range.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, List, Set
+from collections import Counter
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from ..ptx.instruction import Instruction, Reg
-from ..ptx.isa import DType
+from ..ptx.isa import DType, Opcode
 from ..ptx.module import Kernel
 from .dataflow import BackwardMaySolver
 from .graph import CFG
@@ -158,16 +167,22 @@ class LivenessInfo:
     # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------
-    def max_pressure(self, reg_class=None) -> int:
-        """Peak number of simultaneously-live registers.
+    def pressure_profile(self, reg_class=None) -> List[int]:
+        """Register pressure at every global instruction position.
 
-        With ``reg_class`` given, counts only registers of that class;
-        otherwise counts 32-bit slots (64-bit registers weigh 2,
-        predicates 0).  This is the paper's ``MaxReg`` when measured in
-        slots: the registers per-thread "required to hold all the
-        variables" (Section 4.1).
+        ``profile[pos]`` counts the registers simultaneously occupied
+        across position ``pos``: everything live out of it plus the
+        values it defines (a def occupies its register at the defining
+        instruction even when immediately dead).  With ``reg_class``
+        given, counts only registers of that class; otherwise counts
+        32-bit slots (64-bit registers weigh 2, predicates 0).
+
+        This is the **one** pressure walk in the codebase:
+        :meth:`max_pressure` is its maximum, the lint pressure analyzer
+        (``LNT1xx``) attributes occupancy-stair crossings on it, and
+        the static feature extractor summarizes it.
         """
-        peak = 0
+        profile: List[int] = []
         for pos in range(len(self.instructions)):
             live = set(self.live_out[pos]) | {
                 r.name for r in self.instructions[pos].defs()
@@ -179,8 +194,19 @@ class LivenessInfo:
                     total += dtype.reg_class.slots
                 elif dtype.reg_class is reg_class:
                     total += 1
-            peak = max(peak, total)
-        return peak
+            profile.append(total)
+        return profile
+
+    def max_pressure(self, reg_class=None) -> int:
+        """Peak number of simultaneously-live registers.
+
+        With ``reg_class`` given, counts only registers of that class;
+        otherwise counts 32-bit slots (64-bit registers weigh 2,
+        predicates 0).  This is the paper's ``MaxReg`` when measured in
+        slots: the registers per-thread "required to hold all the
+        variables" (Section 4.1).
+        """
+        return max(self.pressure_profile(reg_class), default=0)
 
     def live_at(self, pos: int) -> FrozenSet[str]:
         return self.live_out[pos]
@@ -193,3 +219,132 @@ class LivenessInfo:
 def analyze(kernel: Kernel) -> LivenessInfo:
     """Convenience: run liveness analysis on a kernel."""
     return LivenessInfo(kernel)
+
+
+# ----------------------------------------------------------------------
+# Shared pressure/interference primitives.
+#
+# Before PR 9 three call sites each re-walked liveness with their own
+# copy of the same two conventions — (a) a def interferes with live-out
+# minus the source of a register mov, and (b) within-block pressure
+# deltas weighted in 32-bit slots.  They now all build on the two
+# primitives below so the conventions cannot drift.
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class InterferenceSite:
+    """One instruction position as interference construction sees it.
+
+    ``move_src`` is the source register name when the instruction is a
+    register-to-register ``mov`` — the one case where a def may share a
+    register with a value live across it (coalescing).
+    """
+
+    pos: int
+    inst: Instruction
+    live_out: FrozenSet[str]
+    move_src: Optional[str]
+
+
+def iter_interference_sites(
+    liveness: LivenessInfo,
+) -> Iterator[InterferenceSite]:
+    """Walk every position with the def-vs-live-out interference view.
+
+    The single source of truth for the mov-coalescing exception, used
+    by :func:`repro.regalloc.interference.build_interference` (graph
+    construction) and the independent ``AL001`` recheck in
+    :mod:`repro.verify.allocation` — the checker stays independent by
+    consuming the *sites*, not the allocator's graph.
+    """
+    for pos, inst in enumerate(liveness.instructions):
+        move_src: Optional[str] = None
+        if (
+            inst.opcode is Opcode.MOV
+            and inst.srcs
+            and isinstance(inst.srcs[0], Reg)
+        ):
+            move_src = inst.srcs[0].name
+        yield InterferenceSite(pos, inst, liveness.live_out[pos], move_src)
+
+
+class BlockPressureTracker:
+    """Incremental within-block pressure accounting in 32-bit slots.
+
+    Seeded from one basic block's instructions plus its live-out set,
+    it answers "what is the net pressure delta of emitting this
+    instruction next?" (:meth:`delta`) and advances its live-set model
+    when the instruction is actually emitted (:meth:`emit`).  A value
+    *births* at an instruction when it was dead before and survives
+    after (more in-block accesses remain, or it is live out of the
+    block); it *dies* when this is its last in-block access and it is
+    not live out.  Slot weights follow liveness analysis: first
+    occurrence of a name fixes its dtype, 64-bit registers weigh 2,
+    predicates 0.
+
+    This is the pressure-delta machinery of the min-register scheduler
+    (:mod:`repro.opt.minreg`), extracted so schedulers and analyses
+    share one implementation; the scheduler's behaviour is pinned
+    bit-identical by the opt-rewrite gate.
+    """
+
+    def __init__(
+        self, insts: Sequence[Instruction], live_out: FrozenSet[str]
+    ) -> None:
+        self.live_out = live_out
+        #: per-name 32-bit slot weight (first occurrence wins, matching
+        #: liveness analysis)
+        self.slots: Dict[str, int] = {}
+        #: remaining in-block access count per name
+        self.remaining: "Counter[str]" = Counter()
+        first_is_use: Set[str] = set()
+        seen: Set[str] = set()
+        for inst in insts:
+            for reg in inst.uses():
+                self.slots.setdefault(reg.name, reg.dtype.reg_class.slots)
+                self.remaining[reg.name] += 1
+                if reg.name not in seen:
+                    first_is_use.add(reg.name)
+                    seen.add(reg.name)
+            for reg in inst.defs():
+                self.slots.setdefault(reg.name, reg.dtype.reg_class.slots)
+                self.remaining[reg.name] += 1
+                seen.add(reg.name)
+        #: names currently live in the block model; names whose first
+        #: in-block access is a use flow in live from predecessors
+        self.live: Set[str] = set(first_is_use)
+
+    @staticmethod
+    def _touched(inst: Instruction) -> "Counter[str]":
+        touched: "Counter[str]" = Counter()
+        for reg in inst.uses():
+            touched[reg.name] += 1
+        for reg in inst.defs():
+            touched[reg.name] += 1
+        return touched
+
+    def delta(self, inst: Instruction) -> int:
+        """Net slot delta (births minus deaths) of emitting ``inst`` now."""
+        births = 0
+        deaths = 0
+        for name, count in self._touched(inst).items():
+            survives = (
+                self.remaining[name] - count > 0 or name in self.live_out
+            )
+            if name not in self.live and survives:
+                births += self.slots[name]
+            elif name in self.live and not survives:
+                deaths += self.slots[name]
+        return births - deaths
+
+    def emit(self, inst: Instruction) -> None:
+        """Commit ``inst`` as emitted, advancing the live-set model."""
+        for name, count in self._touched(inst).items():
+            self.remaining[name] -= count
+            if self.remaining[name] > 0 or name in self.live_out:
+                self.live.add(name)
+            else:
+                self.live.discard(name)
+
+    def pressure(self) -> int:
+        """Current modelled pressure of the live set, in slots."""
+        return sum(self.slots[name] for name in self.live)

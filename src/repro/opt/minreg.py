@@ -30,9 +30,9 @@ it — selectable as ``minreg-sched`` via ``--passes``.
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import FrozenSet, List, Optional, Sequence
 
+from ..cfg.liveness import BlockPressureTracker
 from ..ir.driver import GreedyRewriteDriver
 from ..ir.rewrite import Rewrite, RewritePattern
 from ..ir.view import InstrWindow, RewriteContext
@@ -93,64 +93,16 @@ def _schedule_block_minreg(
         return None
 
     succs, preds_count = build_dependency_dag(insts)
-
-    # Per-name bookkeeping: 32-bit slot weight (first occurrence wins,
-    # matching liveness analysis) and remaining in-block access count.
-    slots: Dict[str, int] = {}
-    remaining: "Counter[str]" = Counter()
-    first_is_use: Set[str] = set()
-    seen: Set[str] = set()
-    for inst in insts:
-        for reg in inst.uses():
-            slots.setdefault(reg.name, reg.dtype.reg_class.slots)
-            remaining[reg.name] += 1
-            if reg.name not in seen:
-                first_is_use.add(reg.name)
-                seen.add(reg.name)
-        for reg in inst.defs():
-            slots.setdefault(reg.name, reg.dtype.reg_class.slots)
-            remaining[reg.name] += 1
-            seen.add(reg.name)
-
-    # Names whose first in-block access is a use flow in live.
-    live: Set[str] = set(first_is_use)
-
-    def delta(i: int) -> int:
-        inst = insts[i]
-        births = 0
-        deaths = 0
-        touched: "Counter[str]" = Counter()
-        for reg in inst.uses():
-            touched[reg.name] += 1
-        for reg in inst.defs():
-            touched[reg.name] += 1
-        for name, count in touched.items():
-            survives = remaining[name] - count > 0 or name in live_out
-            if name not in live and survives:
-                births += slots[name]
-            elif name in live and not survives:
-                deaths += slots[name]
-        return births - deaths
+    tracker = BlockPressureTracker(insts, live_out)
 
     ready = sorted(i for i in range(n) if preds_count[i] == 0)
     order: List[int] = []
     counts = list(preds_count)
     while ready:
-        best = min(ready, key=lambda i: (delta(i), i))
+        best = min(ready, key=lambda i: (tracker.delta(insts[i]), i))
         ready.remove(best)
         order.append(best)
-        inst = insts[best]
-        touched: "Counter[str]" = Counter()
-        for reg in inst.uses():
-            touched[reg.name] += 1
-        for reg in inst.defs():
-            touched[reg.name] += 1
-        for name, count in touched.items():
-            remaining[name] -= count
-            if remaining[name] > 0 or name in live_out:
-                live.add(name)
-            else:
-                live.discard(name)
+        tracker.emit(insts[best])
         for s in succs[best]:
             counts[s] -= 1
             if counts[s] == 0:

@@ -16,9 +16,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..cfg.liveness import LivenessInfo
-from ..ptx.instruction import Reg
-from ..ptx.isa import Opcode, RegClass
+from ..cfg.liveness import LivenessInfo, iter_interference_sites
+from ..ptx.isa import RegClass
 
 
 @dataclasses.dataclass
@@ -119,11 +118,9 @@ def build_interference(
             name, weight=rng.weight, accesses=rng.accesses
         )
 
-    for pos, inst in enumerate(liveness.instructions):
-        live_out = liveness.live_out[pos]
-        move_src: Optional[str] = None
-        if inst.opcode is Opcode.MOV and inst.srcs and isinstance(inst.srcs[0], Reg):
-            move_src = inst.srcs[0].name
+    for site in iter_interference_sites(liveness):
+        inst, live_out, move_src = site.inst, site.live_out, site.move_src
+        if move_src is not None:
             if inst.dst is not None and class_of(move_src) is class_of(inst.dst.name):
                 graphs[class_of(move_src)].add_move_pair(inst.dst.name, move_src)
         for dreg in inst.defs():

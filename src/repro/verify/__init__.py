@@ -47,10 +47,15 @@ from .allocation import (  # noqa: E402
 from .dataflow import verify_dataflow  # noqa: E402
 from .diagnostics import (  # noqa: E402
     Diagnostic,
+    VerifyReport,
+)
+from .registry import (  # noqa: E402
+    FAMILIES,
+    LINT_RULES,
     RULES,
     Rule,
     Severity,
-    VerifyReport,
+    select_rules,
 )
 from .pipeline import (  # noqa: E402
     PASS_MODES,
@@ -71,11 +76,14 @@ def lint_kernel(kernel: Kernel, stage: Optional[str] = None) -> VerifyReport:
 
 __all__ = [
     "Diagnostic",
+    "FAMILIES",
+    "LINT_RULES",
     "PASS_MODES",
     "RULES",
     "Rule",
     "Severity",
     "VerifyReport",
+    "select_rules",
     "discover_spill_regions",
     "effect_summary",
     "lint_kernel",

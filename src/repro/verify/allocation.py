@@ -59,7 +59,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..cfg.dataflow import ForwardMaySolver
 from ..cfg.graph import CFG
-from ..cfg.liveness import LivenessInfo
+from ..cfg.liveness import LivenessInfo, iter_interference_sites
 from ..ptx.instruction import Imm, Instruction, Reg, Sym
 from ..ptx.isa import Opcode, Space
 from ..ptx.module import Kernel
@@ -181,18 +181,12 @@ def _check_register_sharing(
         return name_map.get(name, name)
 
     flagged: Set[Tuple[str, str]] = set()
-    for pos, inst in enumerate(liveness.instructions):
-        move_src: Optional[str] = None
-        if (
-            inst.opcode is Opcode.MOV
-            and inst.srcs
-            and isinstance(inst.srcs[0], Reg)
-        ):
-            move_src = inst.srcs[0].name
+    for site in iter_interference_sites(liveness):
+        pos, inst, move_src = site.pos, site.inst, site.move_src
         for dreg in inst.defs():
             dphys = phys(dreg.name)
             dclass = liveness.dtype_of[dreg.name].reg_class
-            for live_name in liveness.live_out[pos]:
+            for live_name in site.live_out:
                 if live_name == dreg.name or live_name == move_src:
                     continue
                 if liveness.dtype_of[live_name].reg_class is not dclass:

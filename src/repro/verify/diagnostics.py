@@ -1,12 +1,13 @@
-"""Typed diagnostics shared by every verification pass.
+"""Typed diagnostics shared by every verification and lint pass.
 
-All three verifiers (dataflow, allocation, pipeline) emit the same
-:class:`Diagnostic` record: a **stable rule code** (``DF001``,
-``AL004``, ...), a severity, the kernel/block/instruction location the
-finding anchors to, a human message, and a machine-readable ``data``
-payload.  Stability matters — rule codes are part of the CLI contract
-(``repro verify --json``), documented in DESIGN.md §6, and asserted on
-by golden tests; add new codes, never repurpose old ones.
+All verifiers (dataflow, allocation, pipeline) and every lint analyzer
+(:mod:`repro.analysis.lint`) emit the same :class:`Diagnostic` record:
+a **stable rule code** (``DF001``, ``AL004``, ``LNT203``, ...), a
+severity, the kernel/block/instruction location the finding anchors
+to, a human message, and a machine-readable ``data`` payload.  The
+rule codes themselves live in :mod:`repro.verify.registry` — one
+module owns the whole code space so families cannot collide; this
+module re-exports ``Severity``/``Rule``/``RULES`` for compatibility.
 
 A :class:`VerifyReport` aggregates diagnostics for one kernel/stage and
 renders them for humans (one ``file:kernel:block:inst CODE severity:
@@ -19,89 +20,18 @@ exactly like parse or allocation failures.
 from __future__ import annotations
 
 import dataclasses
-import enum
 import json
 from typing import Any, Dict, List, Optional
 
+from .registry import RULES, Rule, Severity
 
-class Severity(enum.Enum):
-    """How bad a finding is.
-
-    ``ERROR`` findings are miscompiles or invariant violations — they
-    fail ``--verify`` runs and exit 6 from ``repro verify``.
-    ``WARNING`` findings are suspicious but not provably wrong (dead
-    blocks, lint-level smells); they only fail under ``--strict``.
-    """
-
-    ERROR = "error"
-    WARNING = "warning"
-    INFO = "info"
-
-
-@dataclasses.dataclass(frozen=True)
-class Rule:
-    """One stable verification rule."""
-
-    code: str
-    severity: Severity
-    summary: str
-    #: Which pass owns the rule ("dataflow", "allocation", "pipeline").
-    owner: str
-
-
-#: The rule registry.  Codes are grouped by pass: ``DF`` dataflow,
-#: ``AL`` allocation, ``PL`` pipeline.  See DESIGN.md §6 for the prose
-#: contract behind each code.
-RULES: Dict[str, Rule] = {
-    r.code: r
-    for r in (
-        Rule("DF001", Severity.ERROR,
-             "use of a register on a path with no prior definition",
-             "dataflow"),
-        Rule("DF002", Severity.ERROR,
-             "use of a register never defined anywhere", "dataflow"),
-        Rule("DF003", Severity.WARNING,
-             "basic block unreachable from entry", "dataflow"),
-        Rule("DF004", Severity.ERROR,
-             "control can fall off the end of the kernel", "dataflow"),
-        Rule("DF005", Severity.ERROR,
-             "register name used with incompatible register classes",
-             "dataflow"),
-        Rule("DF006", Severity.ERROR,
-             "branch to an undefined label", "dataflow"),
-        Rule("DF007", Severity.ERROR,
-             "operand type incompatible with instruction type", "dataflow"),
-        Rule("DF008", Severity.ERROR,
-             "reference to an undeclared symbol", "dataflow"),
-        Rule("DF009", Severity.ERROR,
-             "duplicate label definition", "dataflow"),
-        Rule("AL001", Severity.ERROR,
-             "two simultaneously-live virtual registers share one "
-             "physical register", "allocation"),
-        Rule("AL002", Severity.ERROR,
-             "spill reload on a path with no prior store to its slot",
-             "allocation"),
-        Rule("AL003", Severity.ERROR,
-             "spill access aliases a neighbouring slot", "allocation"),
-        Rule("AL004", Severity.ERROR,
-             "spill-stack layout overlaps slots or misaligns the "
-             "per-thread record stride", "allocation"),
-        Rule("AL005", Severity.ERROR,
-             "spill stack exceeds its declared array or shared-memory "
-             "budget", "allocation"),
-        Rule("AL006", Severity.ERROR,
-             "spilled virtual register still referenced after rewriting",
-             "allocation"),
-        Rule("PL001", Severity.ERROR,
-             "control-flow graph malformed after a transform pass",
-             "pipeline"),
-        Rule("PL002", Severity.ERROR,
-             "observable effects (stores/barriers) changed by a "
-             "transform pass", "pipeline"),
-        Rule("PL003", Severity.ERROR,
-             "transform pass introduced a dataflow error", "pipeline"),
-    )
-}
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "Rule",
+    "Severity",
+    "VerifyReport",
+]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,94 @@
+"""The static feature vector: schema discipline and the MaxLive oracle."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    FEATURE_NAMES,
+    FEATURES_SCHEMA_VERSION,
+    FeatureVector,
+    extract_features,
+)
+from repro.cfg import LivenessInfo
+from repro.ptx import parse_kernel
+
+from .test_properties import kernel_strategy
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    with open(os.path.join(EXAMPLES_DIR, name)) as fh:
+        return parse_kernel(fh.read())
+
+
+class TestSchema:
+    def test_version_is_pinned(self):
+        assert FEATURES_SCHEMA_VERSION == 1
+
+    def test_names_are_unique_and_ordered(self):
+        assert len(FEATURE_NAMES) == len(set(FEATURE_NAMES))
+        assert len(FEATURE_NAMES) == 30
+
+    def test_vector_emits_schema_order(self):
+        fv = extract_features(load_example("spmv.ptx"))
+        vec = fv.vector()
+        assert len(vec) == len(FEATURE_NAMES)
+        assert vec[FEATURE_NAMES.index("maxlive_slots")] == 34.0
+
+    def test_round_trip(self):
+        fv = extract_features(load_example("histogram.ptx"))
+        again = FeatureVector.from_dict(fv.to_dict())
+        assert again == fv
+
+    def test_version_mismatch_refused(self):
+        fv = extract_features(load_example("spmv.ptx"))
+        payload = fv.to_dict()
+        payload["schema_version"] = FEATURES_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version mismatch"):
+            FeatureVector.from_dict(payload)
+
+    def test_incomplete_payload_refused(self):
+        fv = extract_features(load_example("spmv.ptx"))
+        payload = fv.to_dict()
+        del payload["features"]["maxlive_slots"]
+        with pytest.raises(ValueError, match="missing"):
+            FeatureVector.from_dict(payload)
+
+
+def inline_maxlive(kernel):
+    """Independent MaxLive oracle: the pre-consolidation per-position
+    walk, reimplemented from scratch (slots of live-out plus defs)."""
+    liveness = LivenessInfo(kernel)
+    peak = 0
+    for pos, inst in enumerate(liveness.instructions):
+        live = set(liveness.live_out[pos])
+        live.update(r.name for r in inst.defs())
+        slots = sum(
+            liveness.dtype_of[name].reg_class.slots for name in live
+        )
+        peak = max(peak, slots)
+    return peak
+
+
+class TestMaxLiveAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(kernel_strategy())
+    def test_static_profile_max_equals_allocator_maxlive(self, kernel):
+        liveness = LivenessInfo(kernel)
+        profile = liveness.pressure_profile()
+        fv = extract_features(kernel)
+        oracle = inline_maxlive(kernel)
+        assert max(profile, default=0) == oracle
+        assert liveness.max_pressure() == oracle
+        assert fv.values["maxlive_slots"] == float(oracle)
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(n for n in os.listdir(EXAMPLES_DIR) if n.endswith(".ptx")),
+    )
+    def test_agreement_on_example_corpus(self, name):
+        kernel = load_example(name)
+        assert LivenessInfo(kernel).max_pressure() == inline_maxlive(kernel)

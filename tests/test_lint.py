@@ -1,0 +1,232 @@
+"""The lint analyzers: seeded fixtures and per-rule unit tests."""
+
+import os
+
+import pytest
+
+from repro.analysis import run_lint, severity_gate
+from repro.errors import ParseError
+from repro.ptx import parse_kernel, verify_kernel
+from repro.verify import Severity
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: Each seeded fixture must be caught by exactly its rule — any other
+#: finding means the fixture has drifted into unrelated lint noise.
+SEEDED = {
+    "bank_conflict.ptx": "LNT203",
+    "dead_store.ptx": "LNT204",
+    "divergent_loop.ptx": "LNT302",
+    "uninit_read.ptx": "LNT402",
+}
+
+
+def load_example(name):
+    with open(os.path.join(EXAMPLES_DIR, name)) as fh:
+        return parse_kernel(fh.read())
+
+
+def lint_ptx(text, **kwargs):
+    return run_lint(parse_kernel(text), **kwargs)
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize("name,rule", sorted(SEEDED.items()))
+    def test_caught_by_exactly_the_seeded_rule(self, name, rule):
+        kernel = load_example(name)
+        report = run_lint(kernel)
+        assert set(report.codes()) == {rule}, (
+            f"{name} expected only {rule}, got {report.codes()}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(SEEDED))
+    def test_passes_the_legacy_verifier(self, name):
+        # The defects are invisible to the legacy load-time checks;
+        # that is the point of the path-sensitive analyses.
+        verify_kernel(load_example(name))
+
+    def test_uninit_read_is_an_error(self):
+        report = run_lint(load_example("uninit_read.ptx"))
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert "%f1" in diag.message
+
+
+DIVERGENT_IF = """\
+.entry diverge (.param .u64 data)
+{
+    mov.u32 %r0, %tid.x;
+    cvt.u64 %rd0, %r0;
+    mov.u64 %rd1, data;
+    mad.lo.u64 %rd2, %rd0, 4, %rd1;
+    ld.global.f32 %f0, [%rd2];
+    setp.ge.u32 %p0, %r0, 16;
+    @%p0 bra $skip;
+    add.f32 %f0, %f0, 1.0;
+$skip:
+    st.global.f32 [%rd2], %f0;
+    ret;
+}
+"""
+
+BARRIER_UNDER_GUARD = """\
+.entry barguard (.param .u64 data)
+{
+    mov.u32 %r0, %tid.x;
+    cvt.u64 %rd0, %r0;
+    mov.u64 %rd1, data;
+    mad.lo.u64 %rd2, %rd0, 4, %rd1;
+    ld.global.f32 %f0, [%rd2];
+    setp.ge.u32 %p0, %r0, 16;
+    @%p0 bar 0;
+    st.global.f32 [%rd2], %f0;
+    ret;
+}
+"""
+
+DEAD_DEF = """\
+.entry deaddef (.param .u64 data)
+{
+    mov.u32 %r0, %tid.x;
+    cvt.u64 %rd0, %r0;
+    mov.u64 %rd1, data;
+    mad.lo.u64 %rd2, %rd0, 4, %rd1;
+    ld.global.f32 %f0, [%rd2];
+    mul.f32 %f1, %f0, 2.0;
+    st.global.f32 [%rd2], %f0;
+    ret;
+}
+"""
+
+UNREFERENCED_DECLS = """\
+.entry unref (.param .u64 data, .param .u64 spare)
+{
+    .shared .align 4 .b8 tile[256];
+    mov.u32 %r0, %tid.x;
+    cvt.u64 %rd0, %r0;
+    mov.u64 %rd1, data;
+    mad.lo.u64 %rd2, %rd0, 4, %rd1;
+    ld.global.f32 %f0, [%rd2];
+    st.global.f32 [%rd2], %f0;
+    ret;
+}
+"""
+
+UNREACHABLE = """\
+.entry unreach (.param .u64 data)
+{
+    mov.u32 %r0, %tid.x;
+    cvt.u64 %rd0, %r0;
+    mov.u64 %rd1, data;
+    mad.lo.u64 %rd2, %rd0, 4, %rd1;
+    ld.global.f32 %f0, [%rd2];
+    bra $end;
+$orphan:
+    add.f32 %f0, %f0, 1.0;
+$end:
+    st.global.f32 [%rd2], %f0;
+    ret;
+}
+"""
+
+UNCOALESCED = """\
+.entry stride (.param .u64 data)
+{
+    mov.u32 %r0, %tid.x;
+    cvt.u64 %rd0, %r0;
+    mul.lo.u64 %rd1, %rd0, 128;
+    mov.u64 %rd2, data;
+    add.u64 %rd3, %rd2, %rd1;
+    ld.global.f32 %f0, [%rd3];
+    st.global.f32 [%rd3], %f0;
+    ret;
+}
+"""
+
+
+class TestAnalyzers:
+    def test_divergent_branch_flags_lnt301(self):
+        report = lint_ptx(DIVERGENT_IF)
+        assert "LNT301" in report.codes()
+        assert "LNT302" not in report.codes()
+
+    def test_uniform_branch_is_silent(self):
+        report = lint_ptx(DIVERGENT_IF.replace("%tid.x", "%ctaid.x"))
+        assert "LNT301" not in report.codes()
+
+    def test_barrier_under_divergent_guard_flags_lnt303(self):
+        assert "LNT303" in lint_ptx(BARRIER_UNDER_GUARD).codes()
+
+    def test_dead_def_flags_lnt401(self):
+        report = lint_ptx(DEAD_DEF)
+        assert "LNT401" in report.codes()
+        (diag,) = [d for d in report.diagnostics if d.rule == "LNT401"]
+        assert "%f1" in diag.message
+
+    def test_unreferenced_array_and_param(self):
+        codes = lint_ptx(UNREFERENCED_DECLS).codes()
+        assert "LNT404" in codes
+        assert "LNT405" in codes
+
+    def test_unreachable_block_flags_lnt403(self):
+        assert "LNT403" in lint_ptx(UNREACHABLE).codes()
+
+    def test_uncoalesced_global_flags_lnt201(self):
+        report = lint_ptx(UNCOALESCED)
+        assert set(report.codes()) == {"LNT201"}
+
+    def test_pressure_stair_crossing_on_spmv(self):
+        report = run_lint(load_example("spmv.ptx"))
+        codes = report.codes()
+        assert "LNT101" in codes
+        # LNT102 (peak attribution) only ever rides along with LNT101.
+        assert "LNT102" in codes
+
+    def test_lnt102_never_without_lnt101(self):
+        for name in sorted(os.listdir(EXAMPLES_DIR)):
+            if not name.endswith(".ptx"):
+                continue
+            codes = set(run_lint(load_example(name)).codes())
+            if "LNT102" in codes:
+                assert "LNT101" in codes, name
+
+
+class TestRunLint:
+    def test_rules_filter_drops_other_families(self):
+        kernel = load_example("spmv.ptx")
+        report = run_lint(kernel, rules=frozenset({"LNT405"}))
+        assert set(report.codes()) <= {"LNT405"}
+
+    def test_findings_are_sorted_by_position(self):
+        report = run_lint(load_example("spmv.ptx"))
+        positions = [
+            d.position if d.position is not None else -1
+            for d in report.diagnostics
+        ]
+        assert positions == sorted(positions)
+
+    def test_unknown_label_branch_is_a_parse_error(self):
+        kernel = parse_kernel(DIVERGENT_IF)
+        patched = kernel.copy()
+        blocks = list(patched.instructions())
+        bad = [i for i in blocks if i.target == "$skip"]
+        assert bad
+        object.__setattr__(bad[0], "target", "$nowhere")
+        with pytest.raises(ParseError):
+            run_lint(patched)
+
+
+class TestSeverityGate:
+    def test_error_threshold(self):
+        report = run_lint(load_example("uninit_read.ptx"))
+        failed, gating = severity_gate(report, "error")
+        assert failed and len(gating) == 1
+
+    def test_warn_threshold_counts_warnings(self):
+        report = run_lint(load_example("dead_store.ptx"))
+        assert not severity_gate(report, "error")[0]
+        assert severity_gate(report, "warn")[0]
+
+    def test_never_threshold(self):
+        report = run_lint(load_example("uninit_read.ptx"))
+        assert not severity_gate(report, "never")[0]

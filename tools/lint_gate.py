@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Corpus-wide lint ratchet gate.
+
+Runs ``repro lint`` over the whole corpus — every ``examples/*.ptx``
+fixture plus all 22 suite apps — and compares the per-target rule
+counts against the checked-in baseline (``tools/lint_baseline.json``).
+The baseline is a *ratchet*:
+
+* a target emitting **more** findings of some rule than the baseline
+  records (or any finding for a target/rule the baseline does not
+  know) **fails** the gate — new lint debt needs either a fix or an
+  explicit, reviewed baseline update;
+* a target emitting **fewer** findings than recorded is reported as a
+  tightening opportunity (the gate still passes; run ``--update`` to
+  lock in the improvement).
+
+CI runs this as the ``lint-gate`` step of the ``static-analysis`` job
+and uploads the combined SARIF log as an artifact.  Run locally with::
+
+    PYTHONPATH=src python tools/lint_gate.py
+    PYTHONPATH=src python tools/lint_gate.py --update   # regenerate baseline
+    PYTHONPATH=src python tools/lint_gate.py --sarif lint.sarif
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.analysis import run_lint, to_sarif  # noqa: E402
+from repro.ptx import parse_kernel  # noqa: E402
+from repro.workloads import full_suite, load_workload  # noqa: E402
+
+BASELINE_PATH = os.path.join(REPO, "tools", "lint_baseline.json")
+
+Counts = Dict[str, Dict[str, int]]
+
+
+def corpus() -> List[Tuple[str, object, str]]:
+    """Yield (target label, kernel, source uri) over the full corpus."""
+    out: List[Tuple[str, object, str]] = []
+    for path in sorted(glob.glob(os.path.join(REPO, "examples", "*.ptx"))):
+        rel = os.path.relpath(path, REPO)
+        with open(path) as fh:
+            kernel = parse_kernel(fh.read())
+        out.append((rel, kernel, rel))
+    for workload in full_suite():
+        kernel = load_workload(workload.abbr).kernel
+        out.append((workload.abbr, kernel, ""))
+    return out
+
+
+def collect() -> Tuple[Counts, List[object], Dict[str, str]]:
+    """Lint the corpus; return per-target rule counts, reports, sources."""
+    counts: Counts = {}
+    reports = []
+    sources: Dict[str, str] = {}
+    for label, kernel, uri in corpus():
+        report = run_lint(kernel)
+        reports.append(report)
+        if uri:
+            sources[kernel.name] = uri
+        per_rule: Dict[str, int] = {}
+        for diag in report.diagnostics:
+            per_rule[diag.rule] = per_rule.get(diag.rule, 0) + 1
+        if per_rule:
+            counts[label] = dict(sorted(per_rule.items()))
+    return counts, reports, sources
+
+
+def compare(current: Counts, baseline: Counts) -> Tuple[List[str], List[str]]:
+    """Return (regressions, tightenings) between current and baseline."""
+    regressions: List[str] = []
+    tightenings: List[str] = []
+    targets = sorted(set(current) | set(baseline))
+    for target in targets:
+        cur = current.get(target, {})
+        base = baseline.get(target, {})
+        for rule in sorted(set(cur) | set(base)):
+            have, allowed = cur.get(rule, 0), base.get(rule, 0)
+            if have > allowed:
+                regressions.append(
+                    f"{target}: {rule} x{have} exceeds baseline x{allowed}"
+                )
+            elif have < allowed:
+                tightenings.append(
+                    f"{target}: {rule} x{have} below baseline x{allowed}"
+                    " (run --update to ratchet down)"
+                )
+    return regressions, tightenings
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the baseline from the current corpus",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", default="",
+        help="write the combined SARIF 2.1.0 log to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    current, reports, sources = collect()
+
+    if args.sarif:
+        with open(args.sarif, "w") as fh:
+            json.dump(to_sarif(reports, sources=sources), fh, indent=2)
+            fh.write("\n")
+        print(f"lint-gate: SARIF written to {args.sarif}")
+
+    if args.update:
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"lint-gate: baseline regenerated at {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print("lint-gate: FAIL: no baseline; run with --update to create it")
+        return 1
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+
+    regressions, tightenings = compare(current, baseline)
+    n_findings = sum(sum(c.values()) for c in current.values())
+    n_targets = len(corpus())
+    print(
+        f"lint-gate: {n_targets} targets, {n_findings} findings, "
+        f"{len(regressions)} over baseline"
+    )
+    for line in tightenings:
+        print(f"lint-gate: note: {line}")
+    for line in regressions:
+        print(f"lint-gate: FAIL: {line}")
+    if regressions:
+        return 1
+    print("lint-gate: PASS (no new lint debt)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
