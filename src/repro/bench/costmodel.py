@@ -1,0 +1,357 @@
+"""Three-tier evaluation comparison (``repro bench --costmodel``).
+
+Runs every app through the full CRAT pipeline three times, each on a
+fresh memory-only engine so simulation counts are honest:
+
+* **exact** — fast path disabled, the paper's exhaustive profiling;
+* **analytical** — the tier-1 two-tier fast path (PR 2's screen +
+  bracket refinement);
+* **learned** — the same fast path with the tier-0 learned screen
+  installed, sharing one screen (and hence one drift detector) across
+  the whole suite, exactly as a long-lived service engine would.
+
+Per-app rows record each mode's winner and simulation count plus what
+the tier-0 screen actually did for that app (screened / declined /
+demoted / inactive), so the acceptance criterion — the learned tier
+matches the exact winner on every app *where it made a decision*, and
+demotes rather than degrade anywhere else — is checked from data.
+Results append to the ``BENCH_costmodel.json`` ledger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import get_config
+from ..engine.engine import EvaluationEngine
+from ..engine.events import CostModelEvent, FastPathEvent
+from ..engine.fastpath import FastPathPolicy
+from ..workloads.suite import full_suite, load_workload
+from .runner import _point_label, _run_pipeline
+
+#: Default analytical survivor budget for the comparison: wide enough
+#: that a confident learned screen (k_eff -> 1) has real sims to save.
+DEFAULT_TOP_K = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModelAppRow:
+    """One app's exact / analytical / learned comparison."""
+
+    abbr: str
+    exact_sims: int
+    analytical_sims: int
+    learned_sims: int
+    exact_point: Tuple[int, int]
+    analytical_point: Tuple[int, int]
+    learned_point: Tuple[int, int]
+    exact_local_point: Tuple[int, int]
+    analytical_local_point: Tuple[int, int]
+    learned_local_point: Tuple[int, int]
+    #: Tier-1 rank agreement observed in the learned run.
+    agreement: float
+    #: What the tier-0 screen did for this app: "screened",
+    #: "declined", "demoted", or "inactive".
+    tier0: str
+    #: The model's k_eff when it screened (0 otherwise).
+    k_eff: int = 0
+
+    @property
+    def analytical_match(self) -> bool:
+        return (
+            self.exact_point == self.analytical_point
+            and self.exact_local_point == self.analytical_local_point
+        )
+
+    @property
+    def learned_match(self) -> bool:
+        return (
+            self.exact_point == self.learned_point
+            and self.exact_local_point == self.learned_local_point
+        )
+
+    @property
+    def sims_saved_vs_exact(self) -> int:
+        return self.exact_sims - self.learned_sims
+
+    @property
+    def sims_saved_vs_analytical(self) -> int:
+        return self.analytical_sims - self.learned_sims
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["exact_point"] = list(self.exact_point)
+        data["analytical_point"] = list(self.analytical_point)
+        data["learned_point"] = list(self.learned_point)
+        data["exact_local_point"] = list(self.exact_local_point)
+        data["analytical_local_point"] = list(self.analytical_local_point)
+        data["learned_local_point"] = list(self.learned_local_point)
+        data["analytical_match"] = self.analytical_match
+        data["learned_match"] = self.learned_match
+        data["sims_saved_vs_exact"] = self.sims_saved_vs_exact
+        data["sims_saved_vs_analytical"] = self.sims_saved_vs_analytical
+        return data
+
+
+@dataclasses.dataclass
+class CostModelComparison:
+    """Suite-level result of a three-tier comparison run."""
+
+    config_name: str
+    top_k: int
+    model_path: str
+    rows: List[CostModelAppRow]
+    exact_seconds: float
+    analytical_seconds: float
+    learned_seconds: float
+    #: Final screen state after the whole suite ("active"/"demoted"...).
+    screen_state: str
+    screen_reason: str
+    rolling_agreement: float
+    model_metrics: Dict[str, object]
+
+    @property
+    def exact_sims(self) -> int:
+        return sum(r.exact_sims for r in self.rows)
+
+    @property
+    def analytical_sims(self) -> int:
+        return sum(r.analytical_sims for r in self.rows)
+
+    @property
+    def learned_sims(self) -> int:
+        return sum(r.learned_sims for r in self.rows)
+
+    @property
+    def learned_mismatches(self) -> List[str]:
+        return [r.abbr for r in self.rows if not r.learned_match]
+
+    @property
+    def screened_mismatches(self) -> List[str]:
+        """Apps where the model made a screening decision AND the
+        pipeline missed the exact winner — the safety-critical set."""
+        return [
+            r.abbr
+            for r in self.rows
+            if r.tier0 == "screened" and not r.learned_match
+        ]
+
+    @property
+    def screened_apps(self) -> int:
+        return sum(1 for r in self.rows if r.tier0 == "screened")
+
+    @property
+    def winner_match_rate(self) -> float:
+        if not self.rows:
+            return 1.0
+        return sum(1 for r in self.rows if r.learned_match) / len(self.rows)
+
+    def table(self) -> str:
+        lines = [
+            f"three-tier evaluation: top_k={self.top_k}, "
+            f"config={self.config_name}, model={self.model_path}",
+            f"{'app':<6} {'exact':>5} {'tier1':>5} {'tier0':>5}  "
+            f"{'exact winner':>14} {'learned winner':>14} "
+            f"{'match':>5} {'agree':>6} {'screen':>9}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.abbr:<6} {r.exact_sims:>5} {r.analytical_sims:>5} "
+                f"{r.learned_sims:>5}  "
+                f"{_point_label(r.exact_point, r.exact_local_point):>14} "
+                f"{_point_label(r.learned_point, r.learned_local_point):>14} "
+                f"{'yes' if r.learned_match else 'NO':>5} "
+                f"{r.agreement:>6.2f} {r.tier0:>9}"
+            )
+        matches = len(self.rows) - len(self.learned_mismatches)
+        ratio_exact = (
+            self.exact_sims / self.learned_sims
+            if self.learned_sims
+            else math.inf
+        )
+        lines.append(
+            f"profile sims exact {self.exact_sims} -> tier-1 "
+            f"{self.analytical_sims} -> tier-0 {self.learned_sims} "
+            f"({ratio_exact:.2f}x fewer than exact); wall-clock "
+            f"{self.exact_seconds:.2f}s / {self.analytical_seconds:.2f}s "
+            f"/ {self.learned_seconds:.2f}s"
+        )
+        lines.append(
+            f"winner match {matches}/{len(self.rows)}; tier-0 screened "
+            f"{self.screened_apps}/{len(self.rows)} apps; screen ended "
+            f"{self.screen_state} "
+            f"(rolling agreement {self.rolling_agreement:.3f})"
+            + (f"; reason: {self.screen_reason}" if self.screen_reason else "")
+        )
+        if self.screened_mismatches:
+            lines.append(
+                "SAFETY VIOLATION: tier-0 screened and missed the exact "
+                f"winner on {', '.join(self.screened_mismatches)}"
+            )
+        return "\n".join(lines)
+
+    def to_record(self) -> Dict[str, object]:
+        """One JSON-ready run record for ``BENCH_costmodel.json``."""
+        return {
+            "date": time.strftime("%Y-%m-%d", time.gmtime()),
+            "config": self.config_name,
+            "top_k": self.top_k,
+            "model": self.model_path,
+            "model_metrics": self.model_metrics,
+            "exact_sims": self.exact_sims,
+            "analytical_sims": self.analytical_sims,
+            "learned_sims": self.learned_sims,
+            "winner_match_rate": round(self.winner_match_rate, 4),
+            "learned_mismatches": self.learned_mismatches,
+            "screened_mismatches": self.screened_mismatches,
+            "screened_apps": self.screened_apps,
+            "screen_state": self.screen_state,
+            "screen_reason": self.screen_reason,
+            "rolling_agreement": round(self.rolling_agreement, 4),
+            "exact_seconds": round(self.exact_seconds, 3),
+            "analytical_seconds": round(self.analytical_seconds, 3),
+            "learned_seconds": round(self.learned_seconds, 3),
+            "apps": [r.to_dict() for r in self.rows],
+        }
+
+
+def compare_costmodel(
+    model_path: str,
+    abbrs: Optional[Sequence[str]] = None,
+    config_name: str = "fermi",
+    top_k: int = DEFAULT_TOP_K,
+    input_scale: float = 1.0,
+    jobs: Optional[int] = None,
+    verify: bool = False,
+) -> CostModelComparison:
+    """Run every app through exact / analytical / learned pipelines.
+
+    Each mode gets a fresh memory-only engine; the learned mode's
+    engine carries one :class:`~repro.model.screen.Tier0Screen` across
+    the whole suite so drift accumulates realistically.
+    """
+    from ..engine import get_engine
+    from ..model.screen import load_screen
+
+    config = get_config(config_name)
+    if abbrs is None:
+        abbrs = [w.abbr for w in full_suite()]
+    workloads = [load_workload(a, input_scale) for a in abbrs]
+    jobs = jobs if jobs is not None else get_engine().jobs
+    policy = FastPathPolicy(top_k=top_k, refine=True)
+    screen = load_screen(model_path)
+
+    def run_mode(fastpath: Optional[FastPathPolicy], costmodel=None):
+        engine = EvaluationEngine(
+            jobs=jobs, disk_cache="", costmodel=costmodel
+        )
+        outcomes = {}
+        t0 = time.perf_counter()
+        for workload in workloads:
+            mark = len(engine.events)
+            crat, crat_local = _run_pipeline(
+                workload, config, engine, fastpath, verify=verify
+            )
+            agreement = 1.0
+            tier0 = "inactive"
+            k_eff = 0
+            for event in engine.events[mark:]:
+                if not isinstance(event, (FastPathEvent, CostModelEvent)):
+                    continue
+                if event.kernel != workload.kernel.name:
+                    continue
+                if isinstance(event, FastPathEvent):
+                    agreement = event.agreement
+                    continue
+                # Demotion dominates; otherwise any screened sweep
+                # counts the app as screened.
+                if event.action == "demoted":
+                    tier0 = "demoted"
+                elif event.action == "screened" and tier0 != "demoted":
+                    tier0 = "screened"
+                    k_eff = event.k_eff
+                elif event.action == "declined" and tier0 == "inactive":
+                    tier0 = "declined"
+            outcomes[workload.abbr] = (crat, crat_local, agreement,
+                                       tier0, k_eff)
+        return outcomes, time.perf_counter() - t0
+
+    exact, exact_seconds = run_mode(None)
+    analytical, analytical_seconds = run_mode(policy)
+    learned, learned_seconds = run_mode(policy, costmodel=screen)
+
+    rows = []
+    for workload in workloads:
+        e_crat, e_local, _, _, _ = exact[workload.abbr]
+        a_crat, a_local, _, _, _ = analytical[workload.abbr]
+        l_crat, l_local, agreement, tier0, k_eff = learned[workload.abbr]
+        rows.append(
+            CostModelAppRow(
+                abbr=workload.abbr,
+                exact_sims=len(e_crat.baselines["opttlp"].profile),
+                analytical_sims=len(a_crat.baselines["opttlp"].profile),
+                learned_sims=len(l_crat.baselines["opttlp"].profile),
+                exact_point=(e_crat.reg, e_crat.tlp),
+                analytical_point=(a_crat.reg, a_crat.tlp),
+                learned_point=(l_crat.reg, l_crat.tlp),
+                exact_local_point=(e_local.reg, e_local.tlp),
+                analytical_local_point=(a_local.reg, a_local.tlp),
+                learned_local_point=(l_local.reg, l_local.tlp),
+                agreement=agreement,
+                tier0=tier0,
+                k_eff=k_eff,
+            )
+        )
+    metrics = {}
+    if screen.artifact is not None and isinstance(
+        screen.artifact.metrics, dict
+    ):
+        metrics = {
+            k: v
+            for k, v in screen.artifact.metrics.items()
+            if k != "per_app"
+        }
+    return CostModelComparison(
+        config_name=config_name,
+        top_k=top_k,
+        model_path=model_path,
+        rows=rows,
+        exact_seconds=exact_seconds,
+        analytical_seconds=analytical_seconds,
+        learned_seconds=learned_seconds,
+        screen_state=screen.state.value,
+        screen_reason=screen.state_reason,
+        rolling_agreement=screen.detector.rolling_agreement(),
+        model_metrics=metrics,
+    )
+
+
+def record_costmodel(comparison: CostModelComparison, path: str) -> None:
+    """Append one run record to the ``BENCH_costmodel.json`` ledger.
+
+    Same contract as :func:`repro.bench.batchsim.record_batchsim`: the
+    ledger is ``{"runs": [...]}`` and an unreadable or foreign file is
+    replaced rather than crashing the benchmark.
+    """
+    ledger: Dict[str, object] = {"runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("runs"), list
+            ):
+                ledger = loaded
+        except (OSError, ValueError):
+            pass
+    runs = ledger["runs"]
+    assert isinstance(runs, list)
+    runs.append(comparison.to_record())
+    with open(path, "w") as handle:
+        json.dump(ledger, handle, indent=2)
+        handle.write("\n")

@@ -333,6 +333,20 @@ class FastPathAppRow:
     def sims_saved(self) -> int:
         return self.exact_sims - self.fast_sims
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready row for ``repro bench --fastpath --report-json``
+        — per-app rank agreement included, so the fastpath tables and
+        the cost-model tables are directly comparable."""
+        data = dataclasses.asdict(self)
+        data["exact_point"] = list(self.exact_point)
+        data["fast_point"] = list(self.fast_point)
+        data["exact_local_point"] = list(self.exact_local_point)
+        data["fast_local_point"] = list(self.fast_local_point)
+        data["match"] = self.match
+        data["sims_saved"] = self.sims_saved
+        data["rank_agreement"] = round(self.agreement, 4)
+        return data
+
 
 @dataclasses.dataclass
 class FastPathComparison:
@@ -401,6 +415,29 @@ class FastPathComparison:
             )
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Structured report (``--report-json``): suite aggregates plus
+        one row per app, including each app's rank agreement."""
+        matches = len(self.rows) - len(self.mismatches)
+        return {
+            "mode": "fastpath",
+            "config": self.config_name,
+            "top_k": self.top_k,
+            "refine": self.refine,
+            "exact_sims": self.exact_sims,
+            "fast_sims": self.fast_sims,
+            "sim_ratio": round(self.sim_ratio, 3)
+            if self.fast_sims
+            else None,
+            "winner_matches": matches,
+            "apps_compared": len(self.rows),
+            "mismatches": self.mismatches,
+            "max_cycle_drift": round(self.max_drift, 5),
+            "exact_seconds": round(self.exact_seconds, 3),
+            "fast_seconds": round(self.fast_seconds, 3),
+            "apps": [r.to_dict() for r in self.rows],
+        }
 
 
 def _point_label(point: Tuple[int, int], local_point: Tuple[int, int]) -> str:

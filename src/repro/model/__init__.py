@@ -1,0 +1,68 @@
+"""Learned tier-0 cost model: telemetry-trained surrogate + safety gate.
+
+The ROADMAP's tier-0 screen, ahead of the tier-1 analytical fast path
+(:mod:`repro.engine.fastpath`): a pure-numpy regression surrogate that
+ranks the whole ``(reg, TLP)`` staircase from the versioned static
+feature vector (:mod:`repro.analysis.features`) alone — no anchor
+simulation, no trace replay — and lets the fast path's simulation
+budget shrink as the model's *measured* rank agreement rises.
+
+The subsystem has a strict training/inference split:
+
+* :mod:`repro.model.corpus` — the dataset contract: harvest
+  ``(features, config, pipeline) -> cycles`` pairs from engine
+  telemetry journals and live sweeps into a versioned, deduplicated
+  NDJSON corpus (``repro corpus export`` / ``stats``);
+* :mod:`repro.model.train` — fit the deterministic ridge regressor
+  with per-app holdout metrics (``repro model train``);
+* :mod:`repro.model.artifact` — the versioned, checksummed model
+  artifact (``MODEL_SCHEMA_VERSION``, training-set fingerprint,
+  embedded metrics; corrupted/legacy artifacts refuse to load);
+* :mod:`repro.model.screen` — the inference side:
+  :class:`~repro.model.screen.Tier0Screen` wired into
+  :meth:`repro.engine.engine.EvaluationEngine.profile_tlp`;
+* :mod:`repro.model.drift` — the online drift detector and the
+  demotion state machine that guarantee the screen degrades to the
+  analytical tier, never to wrong answers.
+"""
+
+from .artifact import (
+    MODEL_SCHEMA_VERSION,
+    ModelArtifact,
+    ModelArtifactError,
+    load_artifact,
+    save_artifact,
+)
+from .corpus import (
+    CORPUS_SCHEMA_VERSION,
+    CorpusRecord,
+    CorpusSchemaError,
+    corpus_fingerprint,
+    corpus_stats,
+    load_corpus,
+    write_corpus,
+)
+from .drift import DriftDetector, DriftVerdict
+from .screen import ScreenState, Tier0Screen, load_screen
+from .train import train_model
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "MODEL_SCHEMA_VERSION",
+    "CorpusRecord",
+    "CorpusSchemaError",
+    "DriftDetector",
+    "DriftVerdict",
+    "ModelArtifact",
+    "ModelArtifactError",
+    "ScreenState",
+    "Tier0Screen",
+    "corpus_fingerprint",
+    "corpus_stats",
+    "load_artifact",
+    "load_corpus",
+    "load_screen",
+    "save_artifact",
+    "train_model",
+    "write_corpus",
+]

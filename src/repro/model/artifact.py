@@ -1,0 +1,268 @@
+"""The versioned, checksummed model artifact and its predictor.
+
+A trained tier-0 model is one JSON file: a ridge-regression surrogate
+(weights, standardization statistics, the inverse Gram matrix for
+predictive uncertainty) plus the provenance the safety gate needs —
+:data:`MODEL_SCHEMA_VERSION`, the feature schema it was trained
+against, the training corpus fingerprint and the per-app holdout
+metrics.  The file carries a checksum of its canonical payload;
+:func:`load_artifact` refuses corrupted, truncated, legacy or
+foreign-schema artifacts with a typed :class:`ModelArtifactError`
+(never a silently-wrong predictor).
+
+The input layout is fixed by the schema: the 30 standardized static
+features (:data:`~repro.analysis.features.FEATURE_NAMES`) followed by
+:data:`DERIVED_NAMES`, the design-point terms derived from ``(tlp,
+grid_blocks)`` — the only part of the input that varies along one
+kernel's staircase, which is what lets a single static vector rank the
+whole sweep.  The regression target is ``log(cycles)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.features import FEATURE_NAMES, FEATURES_SCHEMA_VERSION
+from ..errors import CacheError
+
+#: Bump on any change to the artifact payload, the input layout or the
+#: prediction semantics.  Folded into the engine cache schema tag and
+#: the service single-flight signatures, so a bump invalidates every
+#: result a stale model could have influenced.
+MODEL_SCHEMA_VERSION = 1
+
+#: Design-point terms appended after the standardized static features.
+DERIVED_NAMES = (
+    "tlp",
+    "log2_tlp",
+    "inv_tlp",
+    "waves",
+    "log2_waves",
+    "tail_fraction",
+)
+
+
+class ModelArtifactError(CacheError):
+    """A model artifact failed to load: corrupted, legacy, or foreign.
+
+    A :class:`~repro.errors.CacheError` (exit 4): like a bad cache
+    entry, a bad artifact is a persistence-layer integrity failure —
+    the remedy is retraining, never best-effort use.
+    """
+
+
+def derived_inputs(tlp: int, grid_blocks: int) -> List[float]:
+    """Design-point terms for one (tlp, grid) coordinate.
+
+    ``waves`` is the number of sequential block waves at this TLP and
+    ``tail_fraction`` the occupancy of the final partial wave — the two
+    quantities that dominate how cycles scale along the staircase.
+    """
+    tlp = max(1, int(tlp))
+    grid = max(1, int(grid_blocks))
+    waves = math.ceil(grid / tlp)
+    tail = grid - (waves - 1) * tlp
+    return [
+        float(tlp),
+        math.log2(tlp + 1.0),
+        1.0 / tlp,
+        float(waves),
+        math.log2(waves + 1.0),
+        tail / float(tlp),
+    ]
+
+
+def input_names() -> List[str]:
+    """Full input column layout: static features then derived terms."""
+    return list(FEATURE_NAMES) + list(DERIVED_NAMES)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelArtifact:
+    """An immutable trained surrogate plus its provenance."""
+
+    schema_version: int
+    features_schema_version: int
+    corpus_fingerprint: str
+    n_records: int
+    n_kernels: int
+    seed: int
+    lam: float  # ridge penalty
+    mean: Tuple[float, ...]  # per-column standardization mean
+    std: Tuple[float, ...]  # per-column standardization std (>= eps)
+    weights: Tuple[float, ...]  # len(input) + 1 (bias last)
+    a_inv: Tuple[Tuple[float, ...], ...]  # (X^T X + lam I)^-1, bias incl.
+    sigma2: float  # residual variance of log-cycles
+    metrics: Dict[str, Any]  # embedded holdout metrics
+
+    def __post_init__(self) -> None:
+        n = len(input_names()) + 1  # + bias
+        if len(self.weights) != n or len(self.mean) != n - 1:
+            raise ModelArtifactError(
+                f"artifact input layout mismatch: {len(self.weights) - 1} "
+                f"weights for {n - 1} inputs",
+                stage="model",
+            )
+
+    # ------------------------------------------------------------------
+    # Prediction.
+    # ------------------------------------------------------------------
+    def _design_row(self, features: Sequence[float], tlp: int,
+                    grid_blocks: int) -> np.ndarray:
+        raw = np.asarray(
+            list(features) + derived_inputs(tlp, grid_blocks), dtype=np.float64
+        )
+        std = np.asarray(self.std, dtype=np.float64)
+        z = (raw - np.asarray(self.mean, dtype=np.float64)) / std
+        return np.concatenate([z, [1.0]])  # bias column
+
+    def predict(
+        self, features: Sequence[float], tlp: int, grid_blocks: int
+    ) -> Tuple[float, float]:
+        """Predicted ``log(cycles)`` and its predictive standard
+        deviation for one design point."""
+        row = self._design_row(features, tlp, grid_blocks)
+        w = np.asarray(self.weights, dtype=np.float64)
+        a_inv = np.asarray(self.a_inv, dtype=np.float64)
+        mean = float(row @ w)
+        var = self.sigma2 * (1.0 + float(row @ a_inv @ row))
+        return mean, math.sqrt(max(var, 0.0))
+
+    def predict_sweep(
+        self, features: Sequence[float], tlps: Sequence[int], grid_blocks: int
+    ) -> List[Tuple[int, float, float]]:
+        """Rank a staircase: ``[(tlp, log_cycles, std), ...]`` sorted
+        ascending by predicted cycles (ties broken toward higher TLP,
+        matching the analytical tier's preference)."""
+        out = [
+            (tlp, *self.predict(features, tlp, grid_blocks)) for tlp in tlps
+        ]
+        return sorted(out, key=lambda item: (item[1], -item[0]))
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "features_schema_version": self.features_schema_version,
+            "input_names": input_names(),
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "n_records": self.n_records,
+            "n_kernels": self.n_kernels,
+            "seed": self.seed,
+            "lam": self.lam,
+            "mean": list(self.mean),
+            "std": list(self.std),
+            "weights": list(self.weights),
+            "a_inv": [list(row) for row in self.a_inv],
+            "sigma2": self.sigma2,
+            "metrics": self.metrics,
+        }
+
+
+def _checksum(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def save_artifact(artifact: ModelArtifact, path: str) -> str:
+    """Write the artifact; returns its checksum."""
+    payload = artifact.payload()
+    checksum = _checksum(payload)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(
+            {"payload": payload, "checksum": checksum},
+            handle,
+            sort_keys=True,
+            indent=1,
+        )
+        handle.write("\n")
+    return checksum
+
+
+def load_artifact(path: str) -> ModelArtifact:
+    """Load an artifact, refusing anything that cannot be trusted."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as err:
+        raise ModelArtifactError(
+            f"cannot read model artifact: {err}", app=path, stage="model"
+        )
+    except json.JSONDecodeError as err:
+        raise ModelArtifactError(
+            f"model artifact is not valid JSON: {err}", app=path, stage="model"
+        )
+    if not isinstance(data, dict) or "payload" not in data:
+        raise ModelArtifactError(
+            "model artifact has no payload envelope (legacy format?)",
+            app=path,
+            stage="model",
+        )
+    payload = data["payload"]
+    recorded = data.get("checksum")
+    actual = _checksum(payload)
+    if recorded != actual:
+        raise ModelArtifactError(
+            f"model artifact checksum mismatch: recorded {recorded!r}, "
+            f"computed {actual!r} (corrupted or hand-edited)",
+            app=path,
+            stage="model",
+        )
+    version = payload.get("schema_version")
+    if version != MODEL_SCHEMA_VERSION:
+        raise ModelArtifactError(
+            f"model schema version mismatch: artifact is v{version}, this "
+            f"build expects v{MODEL_SCHEMA_VERSION} — retrain the model",
+            app=path,
+            stage="model",
+        )
+    fversion = payload.get("features_schema_version")
+    if fversion != FEATURES_SCHEMA_VERSION:
+        raise ModelArtifactError(
+            f"feature schema version mismatch: artifact trained against "
+            f"v{fversion}, this build extracts v{FEATURES_SCHEMA_VERSION} — "
+            f"retrain the model",
+            app=path,
+            stage="model",
+        )
+    if payload.get("input_names") != input_names():
+        raise ModelArtifactError(
+            "model artifact input layout does not match this build",
+            app=path,
+            stage="model",
+        )
+    try:
+        return ModelArtifact(
+            schema_version=int(version),
+            features_schema_version=int(fversion),
+            corpus_fingerprint=str(payload["corpus_fingerprint"]),
+            n_records=int(payload["n_records"]),
+            n_kernels=int(payload["n_kernels"]),
+            seed=int(payload["seed"]),
+            lam=float(payload["lam"]),
+            mean=tuple(float(v) for v in payload["mean"]),
+            std=tuple(float(v) for v in payload["std"]),
+            weights=tuple(float(v) for v in payload["weights"]),
+            a_inv=tuple(
+                tuple(float(v) for v in row) for row in payload["a_inv"]
+            ),
+            sigma2=float(payload["sigma2"]),
+            metrics=dict(payload["metrics"]),
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise ModelArtifactError(
+            f"model artifact payload is malformed: {err}",
+            app=path,
+            stage="model",
+        )

@@ -1,0 +1,329 @@
+"""The training-corpus contract: versioned NDJSON of (features -> cycles).
+
+One :class:`CorpusRecord` is one simulated design point: the kernel's
+versioned static feature vector (:mod:`repro.analysis.features`), the
+point's coordinates (TLP, grid, scheduler), the evaluation context
+(config digest, ``--passes`` pipeline signature) and the realized
+cycle count.  Records accumulate from two sources:
+
+* **engine telemetry** — a long-lived engine (``repro serve`` with
+  ``--telemetry-dir``, or any run under ``REPRO_TELEMETRY_DIR``)
+  appends one record per *fresh* simulation to ``telemetry.ndjsonl``;
+* **live sweeps** — ``repro corpus export --apps ...`` drives the
+  exhaustive TLP staircase of each app through the shared engine
+  (cache hits when the engine is warm) and records every point.
+
+Dedup is by **content signature**: the digest of everything that
+identifies a design point (kernel fingerprint, config, pipeline, grid,
+TLP, scheduler, feature schema).  The simulator is deterministic, so
+two records with the same signature are the same observation — the
+corpus keeps one.
+
+Schema discipline mirrors ``FASTPATH_SCHEMA_VERSION``: the loader
+**refuses** records from another :data:`CORPUS_SCHEMA_VERSION` or
+another feature schema with a typed :class:`CorpusSchemaError` instead
+of silently consuming shifted columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.features import FEATURE_NAMES, FEATURES_SCHEMA_VERSION
+from ..errors import ParseError
+
+#: Bump on any change to the record fields or their meaning.
+CORPUS_SCHEMA_VERSION = 1
+
+#: File name of the engine's append-only telemetry journal.
+TELEMETRY_FILE = "telemetry.ndjsonl"
+
+
+class CorpusSchemaError(ParseError):
+    """A corpus record carries an incompatible schema version.
+
+    A :class:`~repro.errors.ParseError` (exit 2): the input is
+    well-formed NDJSON but belongs to a different contract revision —
+    re-export the corpus under the current tool instead of retraining
+    on shifted columns.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusRecord:
+    """One (features, design point) -> cycles observation."""
+
+    kernel: str  # kernel name (the per-app holdout group key)
+    fingerprint: str  # kernel content digest
+    config: str  # short digest of the full config signature
+    pipeline: str  # active --passes signature ("" = none)
+    grid_blocks: int
+    tlp: int
+    scheduler: str
+    cycles: float
+    features: Dict[str, float]
+    source: str = "sweep"  # "sweep" | "telemetry"
+
+    @property
+    def signature(self) -> str:
+        """Content signature: identifies the design point, not the
+        measurement (the simulator is deterministic, so the same point
+        always yields the same cycles)."""
+        payload = "\x1f".join(
+            (
+                f"c{CORPUS_SCHEMA_VERSION}",
+                f"f{FEATURES_SCHEMA_VERSION}",
+                self.fingerprint,
+                self.config,
+                self.pipeline,
+                str(self.grid_blocks),
+                str(self.tlp),
+                self.scheduler,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": CORPUS_SCHEMA_VERSION,
+            "features_schema_version": FEATURES_SCHEMA_VERSION,
+            "kernel": self.kernel,
+            "fingerprint": self.fingerprint,
+            "config": self.config,
+            "pipeline": self.pipeline,
+            "grid_blocks": self.grid_blocks,
+            "tlp": self.tlp,
+            "scheduler": self.scheduler,
+            "cycles": self.cycles,
+            "features": {n: self.features[n] for n in FEATURE_NAMES},
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusRecord":
+        version = data.get("schema_version")
+        if version != CORPUS_SCHEMA_VERSION:
+            raise CorpusSchemaError(
+                f"corpus schema version mismatch: record is v{version}, "
+                f"this build expects v{CORPUS_SCHEMA_VERSION}",
+                stage="corpus",
+            )
+        fversion = data.get("features_schema_version")
+        if fversion != FEATURES_SCHEMA_VERSION:
+            raise CorpusSchemaError(
+                f"feature schema version mismatch: record is v{fversion}, "
+                f"this build expects v{FEATURES_SCHEMA_VERSION}",
+                stage="corpus",
+            )
+        features = {
+            str(k): float(v) for k, v in dict(data["features"]).items()
+        }
+        missing = [n for n in FEATURE_NAMES if n not in features]
+        if missing:
+            raise CorpusSchemaError(
+                f"corpus record is missing feature(s): {missing!r}",
+                stage="corpus",
+            )
+        return cls(
+            kernel=str(data["kernel"]),
+            fingerprint=str(data["fingerprint"]),
+            config=str(data["config"]),
+            pipeline=str(data.get("pipeline", "")),
+            grid_blocks=int(data["grid_blocks"]),
+            tlp=int(data["tlp"]),
+            scheduler=str(data.get("scheduler", "gto")),
+            cycles=float(data["cycles"]),
+            features=features,
+            source=str(data.get("source", "sweep")),
+        )
+
+
+def dedup_records(records: Iterable[CorpusRecord]) -> List[CorpusRecord]:
+    """Keep the first record per content signature, in input order."""
+    seen: Dict[str, None] = {}
+    out: List[CorpusRecord] = []
+    for record in records:
+        sig = record.signature
+        if sig in seen:
+            continue
+        seen[sig] = None
+        out.append(record)
+    return out
+
+
+def write_corpus(records: Iterable[CorpusRecord], path: str) -> int:
+    """Write a deduplicated NDJSON corpus; returns the record count."""
+    deduped = dedup_records(records)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        for record in deduped:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    return len(deduped)
+
+
+def load_corpus(path: str) -> List[CorpusRecord]:
+    """Load (and dedup) an NDJSON corpus; refuses foreign schemas.
+
+    Malformed JSON lines raise :class:`~repro.errors.ParseError`;
+    version mismatches raise the sharper :class:`CorpusSchemaError`
+    (both exit 2 at the CLI).
+    """
+    records: List[CorpusRecord] = []
+    try:
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise ParseError(
+                        f"corpus line {lineno} is not valid JSON: {err}",
+                        app=path,
+                        stage="corpus",
+                    )
+                records.append(CorpusRecord.from_dict(data))
+    except OSError as err:
+        raise ParseError(
+            f"cannot read corpus: {err}", app=path, stage="corpus"
+        )
+    return dedup_records(records)
+
+
+def corpus_fingerprint(records: Iterable[CorpusRecord]) -> str:
+    """Order-independent digest of a corpus's content signatures.
+
+    Embedded in every trained artifact so the drift detector can tell a
+    model trained on *this* corpus from a model trained on any other.
+    """
+    digest = hashlib.sha256()
+    for sig in sorted(r.signature for r in records):
+        digest.update(sig.encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+def corpus_stats(records: List[CorpusRecord]) -> Dict[str, Any]:
+    """JSON-ready summary (``repro corpus stats``)."""
+    kernels = sorted({r.kernel for r in records})
+    configs = sorted({r.config for r in records})
+    pipelines = sorted({r.pipeline for r in records})
+    by_source: Dict[str, int] = {}
+    for r in records:
+        by_source[r.source] = by_source.get(r.source, 0) + 1
+    return {
+        "schema_version": CORPUS_SCHEMA_VERSION,
+        "features_schema_version": FEATURES_SCHEMA_VERSION,
+        "records": len(records),
+        "kernels": kernels,
+        "n_kernels": len(kernels),
+        "n_configs": len(configs),
+        "pipelines": pipelines,
+        "by_source": by_source,
+        "fingerprint": corpus_fingerprint(records),
+        "cycles_min": min((r.cycles for r in records), default=0.0),
+        "cycles_max": max((r.cycles for r in records), default=0.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# Harvesting.
+# ----------------------------------------------------------------------
+def harvest_telemetry(directories: Iterable[str]) -> List[CorpusRecord]:
+    """Read every telemetry journal under the given directories.
+
+    Each directory may hold the journal directly
+    (``<dir>/telemetry.ndjsonl``) or in per-shard subdirectories (the
+    fleet's state root) — both are scanned.  Records tagged
+    ``source="telemetry"``; unreadable directories are skipped (a
+    telemetry journal is best-effort by construction), but *readable*
+    files with foreign schemas still refuse loudly.
+    """
+    records: List[CorpusRecord] = []
+    for directory in directories:
+        paths: List[str] = []
+        direct = os.path.join(directory, TELEMETRY_FILE)
+        if os.path.exists(direct):
+            paths.append(direct)
+        if os.path.isdir(directory):
+            for name in sorted(os.listdir(directory)):
+                nested = os.path.join(directory, name, TELEMETRY_FILE)
+                if os.path.exists(nested):
+                    paths.append(nested)
+        for path in paths:
+            for record in load_corpus(path):
+                records.append(dataclasses.replace(record, source="telemetry"))
+    return dedup_records(records)
+
+
+def sweep_records(
+    abbrs: Iterable[str],
+    config_name: str = "fermi",
+    engine: Optional[object] = None,
+    schedulers: Tuple[str, ...] = ("gto",),
+) -> List[CorpusRecord]:
+    """Drive each app's exhaustive TLP staircase and record every point.
+
+    The sweep runs through the shared engine with the fast path
+    disabled (the corpus must label *every* stair, including the ones a
+    screen would prune), so a warm cache (``REPRO_CACHE_DIR`` or a live
+    ``repro serve``) makes this a pure harvest.  Features are extracted
+    once per kernel from the same default allocation the sweep
+    simulates.
+    """
+    from ..analysis.features import extract_features
+    from ..arch import get_config
+    from ..core.params import collect_resource_usage
+    from ..core.throttling import default_allocation
+    from ..engine import get_engine
+    from ..engine.cache import config_signature, key_digest
+    from ..engine.fastpath import FastPathPolicy
+    from ..workloads import load_workload
+
+    config = get_config(config_name)
+    config_digest = key_digest((config_signature(config),))
+    eng = engine if engine is not None else get_engine()
+    exact = FastPathPolicy(top_k=None)
+    records: List[CorpusRecord] = []
+    for abbr in abbrs:
+        workload = load_workload(abbr.upper())
+        usage = collect_resource_usage(
+            workload.kernel, config, default_reg=workload.default_reg
+        )
+        allocation = default_allocation(workload.kernel, usage)
+        kernel = allocation.kernel
+        features = extract_features(kernel, config=config)
+        fingerprint = kernel.fingerprint()
+        for scheduler in schedulers:
+            profile = eng.profile_tlp(
+                kernel,
+                config,
+                usage.max_tlp,
+                grid_blocks=workload.grid_blocks,
+                param_sizes=workload.param_sizes,
+                scheduler=scheduler,
+                policy=exact,
+            )
+            for tlp, sim in sorted(profile.items()):
+                if getattr(sim, "estimated", False):
+                    continue  # degraded estimates never label the corpus
+                records.append(
+                    CorpusRecord(
+                        kernel=kernel.name,
+                        fingerprint=fingerprint,
+                        config=config_digest,
+                        pipeline=getattr(eng, "pipeline", ""),
+                        grid_blocks=workload.grid_blocks,
+                        tlp=tlp,
+                        scheduler=scheduler,
+                        cycles=sim.cycles,
+                        features=dict(features.values),
+                        source="sweep",
+                    )
+                )
+    return dedup_records(records)

@@ -1,0 +1,165 @@
+"""Online drift detection for the tier-0 screen.
+
+The learned screen is only allowed to shrink the simulation budget
+while its predictions demonstrably track the simulator.  The detector
+watches exactly that: after every completed profile sweep the engine
+reports the model's predicted ranking against the realized cycles, and
+the detector maintains a rolling rank-agreement window.  When the
+window fills and the mean agreement falls below the floor, the verdict
+flips to *demote* — sticky, by design: a drifting model stays demoted
+until a new artifact is loaded, because a model that has been wrong
+recently has forfeited the benefit of the doubt.
+
+Static checks run before any observation: a feature-schema mismatch, a
+training set smaller than the minimum, or a corpus fingerprint that no
+longer matches the live corpus ("stale corpus") each demote
+immediately.  Demotion always degrades to the analytical tier-1 screen
+— never to wrong answers — so every verdict here is a performance
+decision, not a correctness one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+#: Rolling window length (completed sweeps).
+DEFAULT_WINDOW = 8
+#: Mean rank-agreement floor below which the model demotes.
+DEFAULT_FLOOR = 0.75
+#: Observations required before the rolling mean is trusted.
+DEFAULT_MIN_OBS = 3
+#: Minimum training-set size for the model to activate at all.
+DEFAULT_MIN_RECORDS = 40
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftVerdict:
+    """One detector decision, with the evidence that produced it."""
+
+    healthy: bool
+    reason: str  # "" when healthy
+    rolling_agreement: float
+    observations: int
+
+    def describe(self) -> str:
+        if self.healthy:
+            return (
+                f"healthy (rolling agreement "
+                f"{self.rolling_agreement:.3f} over "
+                f"{self.observations} sweeps)"
+            )
+        return self.reason
+
+
+class DriftDetector:
+    """Rolling rank-agreement watchdog with sticky demotion."""
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        floor: float = DEFAULT_FLOOR,
+        min_obs: int = DEFAULT_MIN_OBS,
+        warm_agreement: Optional[float] = None,
+    ):
+        self.window = max(1, int(window))
+        self.floor = float(floor)
+        self.min_obs = max(1, int(min_obs))
+        self._observations: Deque[float] = deque(maxlen=self.window)
+        self._total_observed = 0
+        self._demoted_reason: Optional[str] = None
+        # The artifact's embedded holdout agreement seeds the window so
+        # the detector has an informed prior before live evidence, but
+        # seeded values never count toward min_obs — a model below the
+        # floor on its own holdout demotes on the first verdict.
+        self._warm_agreement = warm_agreement
+
+    @property
+    def demoted(self) -> bool:
+        return self._demoted_reason is not None
+
+    @property
+    def demoted_reason(self) -> Optional[str]:
+        return self._demoted_reason
+
+    def rolling_agreement(self) -> float:
+        values: List[float] = list(self._observations)
+        if not values:
+            return (
+                self._warm_agreement
+                if self._warm_agreement is not None
+                else 1.0
+            )
+        return sum(values) / len(values)
+
+    def demote(self, reason: str) -> DriftVerdict:
+        """Force demotion (static checks, operator action)."""
+        if self._demoted_reason is None:
+            self._demoted_reason = reason
+        return self.verdict()
+
+    def observe(self, agreement: float) -> DriftVerdict:
+        """Record one completed sweep's rank agreement and re-judge."""
+        if self._demoted_reason is not None:
+            return self.verdict()  # sticky: no recovery without reload
+        self._observations.append(max(0.0, min(1.0, float(agreement))))
+        self._total_observed += 1
+        if (
+            self._total_observed >= self.min_obs
+            and self.rolling_agreement() < self.floor
+        ):
+            self._demoted_reason = (
+                f"rolling rank agreement {self.rolling_agreement():.3f} "
+                f"fell below floor {self.floor:.2f} after "
+                f"{self._total_observed} sweeps"
+            )
+        return self.verdict()
+
+    def verdict(self) -> DriftVerdict:
+        return DriftVerdict(
+            healthy=self._demoted_reason is None,
+            reason=self._demoted_reason or "",
+            rolling_agreement=self.rolling_agreement(),
+            observations=self._total_observed,
+        )
+
+
+def static_checks(
+    artifact: "object",
+    features_schema_version: int,
+    min_records: int = DEFAULT_MIN_RECORDS,
+    live_corpus_fingerprint: Optional[str] = None,
+) -> Tuple[bool, str]:
+    """Pre-activation gate: ``(ok, reason)``.
+
+    ``live_corpus_fingerprint`` is optional — when the caller knows the
+    fingerprint of the corpus currently on disk (``repro bench
+    --costmodel`` does), a mismatch means the artifact was trained on a
+    stale corpus and the model never activates.
+    """
+    if getattr(artifact, "features_schema_version", None) != (
+        features_schema_version
+    ):
+        return (
+            False,
+            f"feature schema mismatch: artifact v"
+            f"{getattr(artifact, 'features_schema_version', '?')}, live "
+            f"v{features_schema_version}",
+        )
+    n_records = int(getattr(artifact, "n_records", 0))
+    if n_records < min_records:
+        return (
+            False,
+            f"training set too small: {n_records} records "
+            f"< minimum {min_records}",
+        )
+    if live_corpus_fingerprint is not None:
+        trained = getattr(artifact, "corpus_fingerprint", "")
+        if trained != live_corpus_fingerprint:
+            return (
+                False,
+                f"stale corpus: artifact trained on {trained[:12]}…, live "
+                f"corpus is {live_corpus_fingerprint[:12]}…",
+            )
+    return True, ""

@@ -1,0 +1,246 @@
+"""The tier-0 screen: learned survivor selection ahead of the fast path.
+
+:class:`Tier0Screen` sits between the analytical tier-1 screen and
+simulation inside
+:meth:`repro.engine.engine.EvaluationEngine.profile_tlp`.  The
+analytical tier has already ranked the sweep and picked its top-K
+survivors; a *healthy* learned screen re-picks them — the model ranks
+the whole staircase from the kernel's static features alone and keeps
+only its own top ``k_eff``, where ``k_eff`` shrinks below the
+analytical K as the model's **measured** rolling rank agreement rises.
+Anchors (the calibration ceiling, the MaxTLP baseline) always survive.
+
+The safety gate is structural, not aspirational:
+
+* the screen can only *choose which points simulate first* — the
+  bracket-refinement walk still runs afterwards, so the reported
+  optimum is always a simulated local minimum regardless of what the
+  model predicted;
+* every sweep's prediction is scored against realized cycles and fed
+  to the :class:`~repro.model.drift.DriftDetector`; demotion is sticky
+  and falls back to the analytical selection — the tier-1 path,
+  bit-identical to running without a model;
+* a per-sweep **uncertainty gate** skips the screen entirely when the
+  model's predictive spread says it cannot distinguish the candidates
+  (predictions closer together than their own error bars).
+
+``state`` is the three-state machine the docs describe: ``INACTIVE``
+(no artifact, or static checks failed at load), ``ACTIVE`` (screening),
+``DEMOTED`` (was active, drifted, now permanently analytical until a
+new artifact loads).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.features import FEATURES_SCHEMA_VERSION, extract_features
+from .artifact import ModelArtifact, load_artifact
+from .drift import (
+    DEFAULT_MIN_RECORDS,
+    DriftDetector,
+    DriftVerdict,
+    static_checks,
+)
+
+
+class ScreenState(enum.Enum):
+    INACTIVE = "inactive"
+    ACTIVE = "active"
+    DEMOTED = "demoted"
+
+
+#: Skip the screen for a sweep when the mean predictive std exceeds
+#: this fraction of the prediction spread — the model cannot tell the
+#: candidates apart at that point.
+UNCERTAINTY_SPREAD_RATIO = 1.0
+
+#: Rolling-agreement thresholds for shrinking the survivor budget.
+SHRINK_FULL = 0.90  # >= this: k_eff = 1
+SHRINK_HALF = 0.80  # >= this: k_eff = ceil(K / 2)
+
+
+class Tier0Screen:
+    """Stateful learned screen + drift gate for one engine."""
+
+    def __init__(
+        self,
+        artifact: Optional[ModelArtifact] = None,
+        detector: Optional[DriftDetector] = None,
+        min_records: int = DEFAULT_MIN_RECORDS,
+        live_corpus_fingerprint: Optional[str] = None,
+    ):
+        self.artifact = artifact
+        self.state = ScreenState.INACTIVE
+        self.state_reason = "no model artifact loaded"
+        self._features_cache: Dict[str, List[float]] = {}
+        self._pending: Dict[str, Dict[int, float]] = {}
+        self.sweeps_screened = 0
+        self.sweeps_skipped_uncertain = 0
+        if artifact is None:
+            self.detector = detector or DriftDetector()
+            return
+        ok, reason = static_checks(
+            artifact,
+            FEATURES_SCHEMA_VERSION,
+            min_records=min_records,
+            live_corpus_fingerprint=live_corpus_fingerprint,
+        )
+        warm = None
+        if isinstance(artifact.metrics, dict):
+            warm = artifact.metrics.get("holdout_rank_agreement")
+        self.detector = detector or DriftDetector(
+            warm_agreement=float(warm) if warm is not None else None
+        )
+        if not ok:
+            self.state = ScreenState.DEMOTED
+            self.state_reason = reason
+            self.detector.demote(reason)
+        else:
+            self.state = ScreenState.ACTIVE
+            self.state_reason = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self.state is ScreenState.ACTIVE
+
+    def k_eff(self, analytical_k: int) -> int:
+        """Survivor budget: shrinks as measured agreement rises."""
+        agreement = self.detector.rolling_agreement()
+        if agreement >= SHRINK_FULL:
+            return 1
+        if agreement >= SHRINK_HALF:
+            return max(1, math.ceil(analytical_k / 2))
+        return analytical_k
+
+    # ------------------------------------------------------------------
+    def screen_sweep(
+        self,
+        kernel: "object",
+        config: "object",
+        tlps: Sequence[int],
+        grid_blocks: int,
+        anchors: Sequence[int],
+        analytical_k: int,
+    ) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...], int]]:
+        """Pick the learned survivors for one staircase.
+
+        Returns ``(survivors, skipped, k_eff)`` — or ``None`` when the
+        screen declines (inactive, demoted, or this sweep's predictions
+        are too uncertain to rank), in which case the caller keeps the
+        analytical selection untouched (bit-identical fallback).
+        """
+        if not self.active or self.artifact is None:
+            return None
+        fingerprint = kernel.fingerprint()
+        features = self._features_cache.get(fingerprint)
+        if features is None:
+            features = extract_features(kernel, config=config).vector()
+            self._features_cache[fingerprint] = features
+        ranked = self.artifact.predict_sweep(features, tlps, grid_blocks)
+        # Uncertainty gate: if the candidates' predicted log-cycles are
+        # closer together than the model's own error bars, ranking them
+        # is noise — decline and let tier 1 decide.
+        if len(ranked) >= 2:
+            spread = ranked[-1][1] - ranked[0][1]
+            mean_std = sum(r[2] for r in ranked) / len(ranked)
+            if spread <= 0.0 or mean_std > spread * UNCERTAINTY_SPREAD_RATIO:
+                self.sweeps_skipped_uncertain += 1
+                return None
+        k = max(1, min(self.k_eff(analytical_k), len(ranked)))
+        keep = set(anchors)
+        survivors: List[int] = []
+        skipped: List[int] = []
+        for i, (tlp, _, _) in enumerate(ranked):
+            if i < k or tlp in keep:
+                survivors.append(tlp)
+            else:
+                skipped.append(tlp)
+        # Remember the predicted ordering so the realized cycles can
+        # score it once the sweep completes.
+        self._pending[kernel.name] = {tlp: lc for tlp, lc, _ in ranked}
+        self.sweeps_screened += 1
+        return tuple(sorted(survivors)), tuple(sorted(skipped)), k
+
+    def observe_profile(
+        self, kernel_name: str, cycles: Dict[int, float]
+    ) -> Optional[DriftVerdict]:
+        """Score the last prediction for this kernel against realized
+        cycles; returns the verdict when it *changes* the screen state
+        (i.e. this observation demoted the model), else ``None``."""
+        predicted = self._pending.pop(kernel_name, None)
+        if predicted is None or not self.active:
+            return None
+        common = sorted(set(predicted) & set(cycles))
+        agreement = _pairwise(
+            [predicted[t] for t in common], [cycles[t] for t in common]
+        )
+        verdict = self.detector.observe(agreement)
+        if not verdict.healthy:
+            self.state = ScreenState.DEMOTED
+            self.state_reason = verdict.reason
+            return verdict
+        return None
+
+    def demote(self, reason: str) -> DriftVerdict:
+        """Operator/static demotion (schema bump, stale corpus...)."""
+        verdict = self.detector.demote(reason)
+        if self.state is ScreenState.ACTIVE:
+            self.state = ScreenState.DEMOTED
+            self.state_reason = reason
+        return verdict
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "reason": self.state_reason,
+            "rolling_agreement": round(
+                self.detector.rolling_agreement(), 4
+            ),
+            "sweeps_screened": self.sweeps_screened,
+            "sweeps_skipped_uncertain": self.sweeps_skipped_uncertain,
+            "n_records": getattr(self.artifact, "n_records", 0),
+            "corpus_fingerprint": getattr(
+                self.artifact, "corpus_fingerprint", ""
+            ),
+        }
+
+
+def _pairwise(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    n = len(predicted)
+    if n < 2:
+        return 1.0
+    agree = 0
+    total = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += 1
+            sp = (predicted[j] > predicted[i]) - (predicted[j] < predicted[i])
+            sa = (actual[j] > actual[i]) - (actual[j] < actual[i])
+            if sp == 0 or sa == 0 or sp == sa:
+                agree += 1
+    return agree / total
+
+
+def load_screen(
+    path: str,
+    min_records: int = DEFAULT_MIN_RECORDS,
+    live_corpus_fingerprint: Optional[str] = None,
+) -> Tier0Screen:
+    """Load an artifact into a fresh screen.
+
+    Artifact integrity failures (corruption, legacy format, schema
+    mismatch) raise :class:`~repro.model.artifact.ModelArtifactError` —
+    an operator explicitly pointing at a broken file should hear about
+    it.  *Semantic* staleness (too few records, stale corpus) loads but
+    starts DEMOTED: the engine runs, analytically, with a typed reason.
+    """
+    artifact = load_artifact(path)
+    return Tier0Screen(
+        artifact=artifact,
+        min_records=min_records,
+        live_corpus_fingerprint=live_corpus_fingerprint,
+    )

@@ -1,0 +1,222 @@
+"""Deterministic ridge training with per-app holdout metrics.
+
+The trainer is closed-form: standardize the inputs, append a bias
+column and solve ``(X^T X + lam*I) w = X^T y`` for ``y = log(cycles)``.
+No stochastic optimizer, no iteration order sensitivity — the same
+corpus and seed always produce bit-identical weights, which is what
+lets the deterministic-retrain test and the service's single-flight
+signatures treat the artifact as content-addressed.
+
+Metrics are **leave-one-app-out**: for every kernel in the corpus the
+model is refit without that kernel's records and judged on how well it
+ranks the held-out staircase — per-app rank agreement (the same
+pairwise concordance the fast path reports), winner-match rate and
+log-space RMSE.  Those holdout numbers are embedded in the artifact so
+the drift detector can warm-start its expectation of the model's
+accuracy before the first live observation arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.features import FEATURES_SCHEMA_VERSION
+from ..errors import ParseError
+from .artifact import (
+    MODEL_SCHEMA_VERSION,
+    ModelArtifact,
+    derived_inputs,
+    input_names,
+)
+from .corpus import CorpusRecord, corpus_fingerprint
+
+#: Standard deviation floor: constant columns standardize to zero
+#: instead of exploding.
+_STD_EPS = 1e-9
+
+
+def _design_matrix(
+    records: Sequence[CorpusRecord],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw (unstandardized) inputs and log-cycle targets."""
+    rows = [
+        [record.features[name] for name in _static_names()]
+        + derived_inputs(record.tlp, record.grid_blocks)
+        for record in records
+    ]
+    targets = [np.log(max(record.cycles, 1.0)) for record in records]
+    return np.asarray(rows, dtype=np.float64), np.asarray(
+        targets, dtype=np.float64
+    )
+
+
+def _static_names() -> List[str]:
+    from ..analysis.features import FEATURE_NAMES
+
+    return list(FEATURE_NAMES)
+
+
+def _fit(
+    raw: np.ndarray, y: np.ndarray, lam: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+    """Standardize, append bias, solve ridge; returns
+    ``(mean, std, weights, a_inv, sigma2)``."""
+    mean = raw.mean(axis=0)
+    std = raw.std(axis=0)
+    std = np.where(std < _STD_EPS, 1.0, std)
+    z = (raw - mean) / std
+    x = np.concatenate([z, np.ones((z.shape[0], 1))], axis=1)
+    gram = x.T @ x + lam * np.eye(x.shape[1])
+    a_inv = np.linalg.inv(gram)
+    weights = a_inv @ (x.T @ y)
+    residuals = y - x @ weights
+    dof = max(x.shape[0] - x.shape[1], 1)
+    sigma2 = float(residuals @ residuals) / dof
+    return mean, std, weights, a_inv, sigma2
+
+
+def _predict_raw(
+    raw: np.ndarray,
+    mean: np.ndarray,
+    std: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    z = (raw - mean) / std
+    x = np.concatenate([z, np.ones((z.shape[0], 1))], axis=1)
+    return x @ weights
+
+
+def _pairwise_agreement(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Kendall-style concordance in [0, 1]; ties count as agreement.
+
+    Mirrors :func:`repro.engine.fastpath.rank_agreement` so the tier-0
+    and tier-1 calibration numbers are directly comparable.
+    """
+    n = len(predicted)
+    if n < 2:
+        return 1.0
+    agree = 0
+    total = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += 1
+            dp = predicted[j] - predicted[i]
+            da = actual[j] - actual[i]
+            sp = (dp > 0) - (dp < 0)
+            sa = (da > 0) - (da < 0)
+            if sp == 0 or sa == 0 or sp == sa:
+                agree += 1
+    return agree / total
+
+
+def _winner(tlps: Sequence[int], cycles: Sequence[float]) -> int:
+    """The staircase winner: fewest cycles, ties toward higher TLP
+    (the analytical tier's preference)."""
+    best = min(zip(cycles, (-t for t in tlps)))
+    return -best[1]
+
+
+def holdout_metrics(
+    records: Sequence[CorpusRecord], lam: float
+) -> Dict[str, Any]:
+    """Leave-one-app-out evaluation over the corpus."""
+    kernels = sorted({r.kernel for r in records})
+    per_app: Dict[str, Dict[str, float]] = {}
+    agreements: List[float] = []
+    matches: List[bool] = []
+    sq_errors: List[float] = []
+    for kernel in kernels:
+        train = [r for r in records if r.kernel != kernel]
+        held = [r for r in records if r.kernel == kernel]
+        if len(train) <= len(input_names()) + 1:
+            continue  # not enough rows to refit without this app
+        raw_tr, y_tr = _design_matrix(train)
+        mean, std, weights, _, _ = _fit(raw_tr, y_tr, lam)
+        raw_ho, y_ho = _design_matrix(held)
+        pred = _predict_raw(raw_ho, mean, std, weights)
+        sq_errors.extend((pred - y_ho) ** 2)
+        # Judge per (config, pipeline, grid, scheduler) staircase.
+        sweeps: Dict[Tuple[str, str, int, str], List[int]] = {}
+        for idx, r in enumerate(held):
+            sweeps.setdefault(
+                (r.config, r.pipeline, r.grid_blocks, r.scheduler), []
+            ).append(idx)
+        sweep_agreements: List[float] = []
+        sweep_matches: List[bool] = []
+        for indices in sweeps.values():
+            tlps = [held[i].tlp for i in indices]
+            actual = [held[i].cycles for i in indices]
+            predicted = [float(pred[i]) for i in indices]
+            sweep_agreements.append(_pairwise_agreement(predicted, actual))
+            if len(indices) >= 2:
+                sweep_matches.append(
+                    _winner(tlps, predicted) == _winner(tlps, actual)
+                )
+        if not sweep_agreements:
+            continue
+        app_agreement = sum(sweep_agreements) / len(sweep_agreements)
+        app_match = all(sweep_matches) if sweep_matches else True
+        agreements.append(app_agreement)
+        matches.append(app_match)
+        per_app[kernel] = {
+            "rank_agreement": round(app_agreement, 4),
+            "winner_match": app_match,
+        }
+    rmse = float(np.sqrt(np.mean(sq_errors))) if sq_errors else 0.0
+    return {
+        "holdout_rank_agreement": round(
+            sum(agreements) / len(agreements), 4
+        )
+        if agreements
+        else 0.0,
+        "holdout_winner_match_rate": round(
+            sum(matches) / len(matches), 4
+        )
+        if matches
+        else 0.0,
+        "holdout_rmse_log": round(rmse, 4),
+        "per_app": per_app,
+    }
+
+
+def train_model(
+    records: Sequence[CorpusRecord],
+    lam: float = 1.0,
+    seed: int = 0,
+) -> ModelArtifact:
+    """Fit the surrogate on the full corpus; returns the artifact.
+
+    ``seed`` is recorded for provenance; the closed-form fit does not
+    consume randomness, so determinism holds regardless — the argument
+    exists so callers can tag retrains distinctly if they want to.
+    """
+    if len(records) < len(input_names()) + 2:
+        raise ParseError(
+            f"corpus too small to train: {len(records)} records for "
+            f"{len(input_names())} inputs",
+            stage="train",
+        )
+    metrics = holdout_metrics(records, lam)
+    raw, y = _design_matrix(records)
+    mean, std, weights, a_inv, sigma2 = _fit(raw, y, lam)
+    metrics["train_records"] = len(records)
+    kernels = sorted({r.kernel for r in records})
+    return ModelArtifact(
+        schema_version=MODEL_SCHEMA_VERSION,
+        features_schema_version=FEATURES_SCHEMA_VERSION,
+        corpus_fingerprint=corpus_fingerprint(records),
+        n_records=len(records),
+        n_kernels=len(kernels),
+        seed=seed,
+        lam=lam,
+        mean=tuple(float(v) for v in mean),
+        std=tuple(float(v) for v in std),
+        weights=tuple(float(v) for v in weights),
+        a_inv=tuple(tuple(float(v) for v in row) for row in a_inv),
+        sigma2=sigma2,
+        metrics=metrics,
+    )

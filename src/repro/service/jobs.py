@@ -91,7 +91,20 @@ class PreparedJob:
 
 
 def _sig(*parts: object) -> str:
-    digest = hashlib.sha256("\x1f".join(repr(p) for p in parts).encode())
+    """Single-flight signature: ``sha256(schema tag, *parts)``.
+
+    The engine's cache schema tag is folded in first, so bumping *any*
+    result-affecting schema version (result layout, fastpath policy,
+    pipeline format, batch core, tier-0 cost model) also invalidates
+    in-flight dedup collisions — a job prepared under the old model
+    version can never be answered by a slot keyed under the new one.
+    """
+    from ..engine.cache import cache_schema_version
+
+    digest = hashlib.sha256(
+        "\x1f".join(repr(p) for p in (cache_schema_version(),) + parts)
+        .encode()
+    )
     return digest.hexdigest()[:32]
 
 

@@ -128,12 +128,14 @@ class TestSchemaVersioning:
         from repro.engine import FASTPATH_SCHEMA_VERSION, cache_schema_version
         from repro.engine.cache import RESULT_SCHEMA_VERSION
         from repro.ir import PIPELINE_SCHEMA_VERSION
+        from repro.model.artifact import MODEL_SCHEMA_VERSION
         from repro.sim.batch import BATCH_SCHEMA_VERSION
 
         tag = cache_schema_version()
         assert tag == (
             f"r{RESULT_SCHEMA_VERSION}.fp{FASTPATH_SCHEMA_VERSION}"
             f".pp{PIPELINE_SCHEMA_VERSION}.b{BATCH_SCHEMA_VERSION}"
+            f".m{MODEL_SCHEMA_VERSION}"
         )
 
     def test_key_leads_with_schema_tag(self, gau):
@@ -194,6 +196,39 @@ class TestSchemaVersioning:
         monkeypatch.setattr(
             cache_mod, "PIPELINE_SCHEMA_VERSION",
             cache_mod.PIPELINE_SCHEMA_VERSION + 1,
+        )
+        bumped = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        bumped.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                        param_sizes=gau.param_sizes)
+        assert bumped.stats.sim_misses == 1
+        assert bumped.stats.disk_hits == 0
+
+        monkeypatch.undo()
+        third = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        third.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+        assert third.stats.sim_misses == 0
+        assert third.stats.disk_hits == 1
+
+    def test_model_version_bump_misses_disk_cache(
+        self, gau, tmp_path, monkeypatch
+    ):
+        """Mirrors the fast-path bump: a learned-cost-model revision
+        (``MODEL_SCHEMA_VERSION``) invalidates persisted results
+        wholesale — a tier-0 screen with revised prediction semantics
+        decided *which* points ever got simulated, so entries from the
+        old revision are never trusted."""
+        first = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
+        first.simulate(gau.kernel, FERMI, 2, grid_blocks=4,
+                       param_sizes=gau.param_sizes)
+        assert first.stats.sim_misses == 1
+        assert list(tmp_path.glob("sim-*.pkl"))
+
+        import repro.engine.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "MODEL_SCHEMA_VERSION",
+            cache_mod.MODEL_SCHEMA_VERSION + 1,
         )
         bumped = EvaluationEngine(jobs=1, disk_cache=str(tmp_path))
         bumped.simulate(gau.kernel, FERMI, 2, grid_blocks=4,

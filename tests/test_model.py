@@ -1,0 +1,476 @@
+"""Learned tier-0 cost model: corpus, artifact, trainer, drift, screen.
+
+The safety contract under test: the learned screen may only shrink the
+simulation budget — an untrained, empty, corrupted or drifted model
+must leave the engine's answers **bit-identical** to the analytical
+tier, and every refusal must be a typed error, never a silently-wrong
+predictor.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import FERMI
+from repro.engine import EvaluationEngine
+from repro.errors import (
+    EXIT_PARSE,
+    EXIT_SIMULATION,
+    CacheError,
+    ParseError,
+)
+from repro.model import (
+    MODEL_SCHEMA_VERSION,
+    CorpusRecord,
+    CorpusSchemaError,
+    DriftDetector,
+    ModelArtifactError,
+    Tier0Screen,
+    corpus_fingerprint,
+    load_artifact,
+    load_corpus,
+    load_screen,
+    save_artifact,
+    train_model,
+    write_corpus,
+)
+from repro.model.artifact import _checksum, input_names
+from repro.model.corpus import harvest_telemetry
+from repro.model.drift import static_checks
+from repro.model.screen import ScreenState
+from repro.workloads import load_workload
+
+from .conftest import build_loop_kernel
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "corpus_mini.ndjsonl")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus(FIXTURE)
+
+
+@pytest.fixture(scope="module")
+def artifact(corpus):
+    return train_model(corpus, lam=1.0, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Corpus: round-trip, dedup, schema refusal.
+# ----------------------------------------------------------------------
+class TestCorpus:
+    def test_fixture_loads_and_roundtrips(self, corpus, tmp_path):
+        assert len(corpus) >= 40  # enough for the screen to activate
+        out = tmp_path / "copy.ndjsonl"
+        n = write_corpus(corpus, str(out))
+        assert n == len(corpus)
+        again = load_corpus(str(out))
+        assert corpus_fingerprint(again) == corpus_fingerprint(corpus)
+
+    def test_dedup_by_content_signature(self, corpus, tmp_path):
+        out = tmp_path / "dup.ndjsonl"
+        n = write_corpus(list(corpus) + list(corpus), str(out))
+        assert n == len(corpus)
+        assert len(load_corpus(str(out))) == len(corpus)
+
+    def test_foreign_schema_version_refused(self, corpus, tmp_path):
+        row = corpus[0].to_dict()
+        row["schema_version"] += 1
+        path = tmp_path / "foreign.ndjsonl"
+        path.write_text(json.dumps(row) + "\n")
+        with pytest.raises(CorpusSchemaError) as exc:
+            load_corpus(str(path))
+        assert exc.value.exit_code == EXIT_PARSE
+        assert "schema version" in str(exc.value)
+
+    def test_foreign_feature_schema_refused(self, corpus, tmp_path):
+        row = corpus[0].to_dict()
+        row["features_schema_version"] += 1
+        path = tmp_path / "foreign.ndjsonl"
+        path.write_text(json.dumps(row) + "\n")
+        with pytest.raises(CorpusSchemaError):
+            load_corpus(str(path))
+
+    def test_missing_feature_refused(self, corpus, tmp_path):
+        row = corpus[0].to_dict()
+        row["features"] = dict(row["features"])
+        row["features"].pop(next(iter(row["features"])))
+        path = tmp_path / "short.ndjsonl"
+        path.write_text(json.dumps(row) + "\n")
+        with pytest.raises(CorpusSchemaError):
+            load_corpus(str(path))
+
+    def test_malformed_json_line_is_parse_error(self, tmp_path):
+        path = tmp_path / "garbage.ndjsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ParseError) as exc:
+            load_corpus(str(path))
+        assert "line 1" in str(exc.value)
+
+    def test_missing_file_is_parse_error(self, tmp_path):
+        with pytest.raises(ParseError):
+            load_corpus(str(tmp_path / "absent.ndjsonl"))
+
+
+# ----------------------------------------------------------------------
+# Artifact: round-trip, integrity refusals.
+# ----------------------------------------------------------------------
+class TestArtifact:
+    def test_roundtrip_identical_predictions(self, artifact, corpus, tmp_path):
+        path = tmp_path / "model.json"
+        save_artifact(artifact, str(path))
+        loaded = load_artifact(str(path))
+        assert loaded.weights == artifact.weights
+        assert loaded.corpus_fingerprint == artifact.corpus_fingerprint
+        record = corpus[0]
+        features = [record.features[n] for n in input_names()[:30]]
+        before = artifact.predict(features, record.tlp, record.grid_blocks)
+        after = loaded.predict(features, record.tlp, record.grid_blocks)
+        assert before == after  # bit-identical, not approximately
+
+    def test_corrupted_payload_refused(self, artifact, tmp_path):
+        path = tmp_path / "model.json"
+        save_artifact(artifact, str(path))
+        data = json.loads(path.read_text())
+        data["payload"]["weights"][0] += 1.0  # checksum now stale
+        path.write_text(json.dumps(data))
+        with pytest.raises(ModelArtifactError) as exc:
+            load_artifact(str(path))
+        assert exc.value.exit_code == EXIT_SIMULATION
+        assert "checksum" in str(exc.value)
+
+    def test_legacy_format_refused(self, artifact, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(artifact.payload()))  # no envelope
+        with pytest.raises(ModelArtifactError) as exc:
+            load_artifact(str(path))
+        assert "envelope" in str(exc.value)
+
+    def test_foreign_model_version_refused(self, artifact, tmp_path):
+        payload = artifact.payload()
+        payload["schema_version"] = MODEL_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"payload": payload, "checksum": _checksum(payload)})
+        )
+        with pytest.raises(ModelArtifactError) as exc:
+            load_artifact(str(path))
+        assert "retrain" in str(exc.value)
+
+    def test_truncated_file_refused(self, artifact, tmp_path):
+        path = tmp_path / "model.json"
+        save_artifact(artifact, str(path))
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ModelArtifactError):
+            load_artifact(str(path))
+
+    def test_missing_file_refused(self, tmp_path):
+        with pytest.raises(ModelArtifactError):
+            load_artifact(str(tmp_path / "absent.json"))
+
+    def test_artifact_error_is_cache_error(self):
+        assert issubclass(ModelArtifactError, CacheError)
+
+
+# ----------------------------------------------------------------------
+# Trainer: determinism, refusals, holdout metrics.
+# ----------------------------------------------------------------------
+class TestTrainer:
+    def test_retrain_is_bit_identical(self, corpus, tmp_path):
+        a = train_model(corpus, lam=1.0, seed=0)
+        b = train_model(list(reversed(list(corpus))), lam=1.0, seed=0)
+        # Same corpus (any order after dedup sorting by signature in the
+        # fingerprint) -> same fingerprint; same fit inputs in the same
+        # row order -> identical weights for the same input order.
+        c = train_model(corpus, lam=1.0, seed=0)
+        assert a.weights == c.weights
+        assert a.corpus_fingerprint == b.corpus_fingerprint
+        p1 = tmp_path / "a.json"
+        p2 = tmp_path / "b.json"
+        assert save_artifact(a, str(p1)) == save_artifact(c, str(p2))
+
+    def test_corpus_too_small_refused(self, corpus):
+        with pytest.raises(ParseError) as exc:
+            train_model(corpus[:5])
+        assert "too small" in str(exc.value)
+
+    def test_holdout_metrics_embedded(self, artifact):
+        metrics = artifact.metrics
+        assert 0.0 <= metrics["holdout_rank_agreement"] <= 1.0
+        assert 0.0 <= metrics["holdout_winner_match_rate"] <= 1.0
+        assert len(metrics["per_app"]) == artifact.n_kernels
+
+
+# ----------------------------------------------------------------------
+# Drift: sticky demotion, static checks.
+# ----------------------------------------------------------------------
+class TestDrift:
+    def test_demotion_trips_below_floor_and_sticks(self):
+        detector = DriftDetector(window=4, floor=0.75, min_obs=3)
+        assert detector.observe(0.5).healthy  # 1 obs < min_obs
+        assert detector.observe(0.5).healthy
+        verdict = detector.observe(0.5)
+        assert not verdict.healthy
+        assert "below floor" in verdict.reason
+        # Sticky: perfect agreement afterwards does not recover.
+        recovered = detector.observe(1.0)
+        assert not recovered.healthy
+        assert recovered.reason == verdict.reason
+
+    def test_healthy_model_never_demotes(self):
+        detector = DriftDetector(window=4, floor=0.75, min_obs=3)
+        for _ in range(20):
+            assert detector.observe(0.95).healthy
+
+    def test_warm_agreement_seeds_but_does_not_count(self):
+        detector = DriftDetector(floor=0.75, min_obs=3, warm_agreement=0.5)
+        assert detector.rolling_agreement() == 0.5
+        assert detector.observe(0.9).healthy  # seeded value is not an obs
+
+    def test_static_check_feature_schema(self, artifact):
+        ok, reason = static_checks(
+            artifact, artifact.features_schema_version + 1
+        )
+        assert not ok and "feature schema" in reason
+
+    def test_static_check_min_records(self, artifact):
+        ok, reason = static_checks(
+            artifact,
+            artifact.features_schema_version,
+            min_records=artifact.n_records + 1,
+        )
+        assert not ok and "too small" in reason
+
+    def test_static_check_stale_corpus(self, artifact):
+        ok, reason = static_checks(
+            artifact,
+            artifact.features_schema_version,
+            live_corpus_fingerprint="somethingelse",
+        )
+        assert not ok and "stale corpus" in reason
+        ok, _ = static_checks(
+            artifact,
+            artifact.features_schema_version,
+            live_corpus_fingerprint=artifact.corpus_fingerprint,
+        )
+        assert ok
+
+
+# ----------------------------------------------------------------------
+# Screen: state machine, anchors, the bit-identical fallback property.
+# ----------------------------------------------------------------------
+class TestScreen:
+    def test_empty_screen_is_inactive(self):
+        screen = Tier0Screen()
+        assert screen.state is ScreenState.INACTIVE
+        assert not screen.active
+        gau = load_workload("GAU")
+        assert screen.screen_sweep(
+            gau.kernel, FERMI, [1, 2, 3, 4], gau.grid_blocks, [4], 3
+        ) is None
+
+    def test_small_corpus_loads_demoted(self, artifact):
+        screen = Tier0Screen(artifact, min_records=artifact.n_records + 1)
+        assert screen.state is ScreenState.DEMOTED
+        assert "too small" in screen.state_reason
+        assert screen.detector.demoted
+
+    def test_stale_corpus_loads_demoted(self, artifact):
+        screen = Tier0Screen(artifact, live_corpus_fingerprint="deadbeef")
+        assert screen.state is ScreenState.DEMOTED
+        assert "stale corpus" in screen.state_reason
+
+    def test_anchors_always_survive(self, artifact):
+        screen = Tier0Screen(artifact)
+        assert screen.active
+        gau = load_workload("GAU")
+        picked = screen.screen_sweep(
+            gau.kernel, FERMI, list(range(1, 9)), gau.grid_blocks,
+            anchors=[1, 8], analytical_k=3,
+        )
+        if picked is not None:  # the uncertainty gate may decline
+            survivors, skipped, k = picked
+            assert 1 in survivors and 8 in survivors
+            assert set(survivors) | set(skipped) == set(range(1, 9))
+            assert not set(survivors) & set(skipped)
+            assert k >= 1
+
+    def test_manual_demotion_is_sticky(self, artifact):
+        screen = Tier0Screen(artifact)
+        verdict = screen.demote("schema bump injected")
+        assert not verdict.healthy
+        assert screen.state is ScreenState.DEMOTED
+        gau = load_workload("GAU")
+        assert screen.screen_sweep(
+            gau.kernel, FERMI, [1, 2, 3, 4], gau.grid_blocks, [4], 3
+        ) is None
+
+    def test_load_screen_raises_on_corruption(self, artifact, tmp_path):
+        path = tmp_path / "model.json"
+        save_artifact(artifact, str(path))
+        data = json.loads(path.read_text())
+        data["checksum"] = "0" * 64
+        path.write_text(json.dumps(data))
+        with pytest.raises(ModelArtifactError):
+            load_screen(str(path))
+
+
+# ----------------------------------------------------------------------
+# The property: a screen with nothing to say leaves profile_tlp
+# bit-identical to running without a model at all.
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    trip=st.integers(min_value=1, max_value=4),
+    nvars=st.integers(min_value=2, max_value=6),
+    max_tlp=st.integers(min_value=2, max_value=4),
+)
+def test_inactive_screen_is_bit_identical(artifact, trip, nvars, max_tlp):
+    kernel = build_loop_kernel(trip=trip, nvars=nvars)
+    baseline = EvaluationEngine(jobs=1).profile_tlp(
+        kernel, FERMI, max_tlp, grid_blocks=max_tlp * 3
+    )
+    demoted_screen = Tier0Screen(artifact)
+    demoted_screen.demote("injected drift")
+    for screen in (Tier0Screen(), demoted_screen):
+        engine = EvaluationEngine(jobs=1, costmodel=screen)
+        profile = engine.profile_tlp(
+            kernel, FERMI, max_tlp, grid_blocks=max_tlp * 3
+        )
+        assert set(profile) == set(baseline)
+        for tlp in baseline:
+            assert profile[tlp].cycles == baseline[tlp].cycles
+            assert profile[tlp].instructions == baseline[tlp].instructions
+            assert profile[tlp].estimated == baseline[tlp].estimated
+        assert engine.stats.tier0_screened == 0
+
+
+# ----------------------------------------------------------------------
+# Engine integration: telemetry journal, demotion events.
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_telemetry_journal_harvests(self, tmp_path):
+        engine = EvaluationEngine(jobs=1, telemetry_dir=str(tmp_path))
+        gau = load_workload("GAU")
+        engine.profile_tlp(
+            gau.kernel, FERMI, 4, grid_blocks=gau.grid_blocks,
+            param_sizes=gau.param_sizes,
+        )
+        journal = tmp_path / "telemetry.ndjsonl"
+        assert journal.exists()
+        records = harvest_telemetry([str(tmp_path)])
+        assert records
+        assert all(r.source == "telemetry" for r in records)
+        assert all(r.cycles > 0 for r in records)
+        # Cache hits on a re-run append nothing new.
+        before = journal.read_text()
+        engine.profile_tlp(
+            gau.kernel, FERMI, 4, grid_blocks=gau.grid_blocks,
+            param_sizes=gau.param_sizes,
+        )
+        assert journal.read_text() == before
+
+    def test_shuffled_labels_demote_with_typed_event(self, corpus):
+        # Drift injection: train on label-shuffled records -> the model
+        # actively misranks, the detector demotes, and the profile's
+        # winner is still the simulated minimum (never a model output).
+        cycles = [r.cycles for r in corpus]
+        shuffled = [
+            CorpusRecord(
+                kernel=r.kernel, fingerprint=r.fingerprint, config=r.config,
+                pipeline=r.pipeline, grid_blocks=r.grid_blocks, tlp=r.tlp,
+                scheduler=r.scheduler,
+                cycles=cycles[(i * 17 + 7) % len(cycles)],
+                features=r.features, source=r.source,
+            )
+            for i, r in enumerate(corpus)
+        ]
+        bad = train_model(shuffled, lam=1.0, seed=0)
+        screen = Tier0Screen(
+            bad, detector=DriftDetector(window=4, floor=0.75, min_obs=1)
+        )
+        engine = EvaluationEngine(jobs=1, costmodel=screen)
+        gau = load_workload("GAU")
+        for _ in range(6):
+            profile = engine.profile_tlp(
+                gau.kernel, FERMI, 8, grid_blocks=gau.grid_blocks,
+                param_sizes=gau.param_sizes,
+            )
+            engine._sim_cache.clear()
+            if not screen.active:
+                break
+        simulated = {
+            t: r.cycles for t, r in profile.items() if not r.estimated
+        }
+        winner = min(simulated, key=lambda t: (simulated[t], -t))
+        assert simulated[winner] == min(simulated.values())
+        if engine.stats.tier0_demotions:
+            demotions = [
+                e for e in engine.events
+                if getattr(e, "action", "") == "demoted"
+            ]
+            assert demotions and demotions[-1].reason
+
+
+# ----------------------------------------------------------------------
+# Service: the model version is part of every single-flight signature.
+# ----------------------------------------------------------------------
+class TestServiceIntegration:
+    def test_model_version_bump_changes_signature(self, monkeypatch):
+        from repro.engine import cache as cache_mod
+        from repro.service import jobs as service_jobs
+        from repro.service.protocol import validate_request
+
+        request = validate_request(
+            {"job": "crat", "params": {"target": "GAU"}}
+        )
+        before = service_jobs.prepare(request).signature
+        monkeypatch.setattr(
+            cache_mod, "MODEL_SCHEMA_VERSION",
+            cache_mod.MODEL_SCHEMA_VERSION + 1,
+        )
+        after = service_jobs.prepare(request).signature
+        assert before != after
+
+    def test_reload_model_control_job(self, artifact, tmp_path):
+        from repro.service.protocol import validate_request
+        from repro.service.server import ReproServer
+
+        path = tmp_path / "model.json"
+        save_artifact(artifact, str(path))
+        server = ReproServer(
+            socket_path=str(tmp_path / "srv.sock"),
+            engine=EvaluationEngine(jobs=1),
+        )
+        # No boot-time path, no param -> typed error, engine untouched.
+        reply = server._handle_reload_model(
+            validate_request({"id": "r1", "job": "reload-model"})
+        )
+        assert reply["status"] == "error"
+        assert server.engine.costmodel is None
+        # Corrupt file -> ModelArtifactError travels back typed.
+        broken = tmp_path / "broken.json"
+        broken.write_text("{")
+        reply = server._handle_reload_model(validate_request(
+            {"id": "r2", "job": "reload-model",
+             "params": {"path": str(broken)}}
+        ))
+        assert reply["status"] == "error"
+        assert reply["error"]["kind"] == "ModelArtifactError"
+        assert server.engine.costmodel is None
+        # Good artifact -> installed and summarized.
+        reply = server._handle_reload_model(validate_request(
+            {"id": "r3", "job": "reload-model",
+             "params": {"path": str(path)}}
+        ))
+        assert reply["status"] == "ok"
+        assert reply["result"]["reloaded"] is True
+        assert server.engine.costmodel is not None
+        assert server.costmodel_path == str(path)
+        assert server.stats.model_reloads == 1

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Cost-model gate: train from a warm run, pin the floors, inject drift.
+
+The acceptance contract of the learned tier-0 screen, checked from
+data:
+
+1. **Train from scratch** — export the exhaustive 22-app corpus from a
+   warm engine run, train the ridge surrogate, and pin the embedded
+   leave-one-app-out rank agreement above :data:`AGREEMENT_FLOOR`.
+2. **Never worse than analytical** — run the three-tier bench
+   (``repro bench --costmodel``) over the full suite: the learned tier
+   must match the exact winner on every app, must never simulate more
+   points than the analytical tier-1 fast path, and any app where it
+   screened and missed is a hard failure.
+3. **Drift injections degrade, never lie** — a stale-corpus
+   fingerprint and a schema bump must refuse/demote with typed errors,
+   and a model trained on shuffled labels must demote via the online
+   detector while every reported winner still matches the no-model
+   engine bit-for-bit.
+
+The run record is appended to ``BENCH_costmodel.json`` so CI uploads
+the trend; the previous committed record (if any) is printed alongside
+for the delta.
+
+CI runs this as the ``cost-model-gate`` job; run locally with::
+
+    PYTHONPATH=src python tools/costmodel_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.arch import FERMI  # noqa: E402
+from repro.bench import compare_costmodel, record_costmodel  # noqa: E402
+from repro.engine import EvaluationEngine  # noqa: E402
+from repro.model import (  # noqa: E402
+    CorpusRecord,
+    DriftDetector,
+    ModelArtifactError,
+    Tier0Screen,
+    load_artifact,
+    save_artifact,
+    train_model,
+    write_corpus,
+)
+from repro.model.artifact import _checksum  # noqa: E402
+from repro.model.corpus import sweep_records  # noqa: E402
+from repro.model.screen import ScreenState  # noqa: E402
+from repro.workloads import full_suite, load_workload  # noqa: E402
+
+#: Pinned floor on the artifact's embedded leave-one-app-out rank
+#: agreement.  Measured 0.8556 on the full 22-app corpus; the pin sits
+#: below it so corpus growth cannot flap the gate, and far above the
+#: 0.5 of an uninformative ranker.
+AGREEMENT_FLOOR = 0.75
+
+JOBS = int(os.environ.get("REPRO_JOBS", "4") or "4")
+LEDGER = os.path.join(REPO, "BENCH_costmodel.json")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def winners(engine: EvaluationEngine, abbrs) -> dict:
+    """Simulated profile winner per app: fewest cycles, ties to the
+    higher TLP — computed from non-estimated points only, so a screen
+    can never smuggle a prediction into the answer."""
+    from repro.core.params import collect_resource_usage
+    from repro.core.throttling import default_allocation
+
+    out = {}
+    for abbr in abbrs:
+        workload = load_workload(abbr)
+        usage = collect_resource_usage(
+            workload.kernel, FERMI, default_reg=workload.default_reg
+        )
+        allocation = default_allocation(workload.kernel, usage)
+        profile = engine.profile_tlp(
+            allocation.kernel, FERMI, usage.max_tlp,
+            grid_blocks=workload.grid_blocks,
+            param_sizes=workload.param_sizes,
+        )
+        simulated = {
+            t: r.cycles for t, r in profile.items() if not r.estimated
+        }
+        out[abbr] = min(simulated, key=lambda t: (simulated[t], -t))
+    return out
+
+
+def main() -> None:
+    suite = [w.abbr for w in full_suite()]
+    scratch = os.environ.get("COSTMODEL_GATE_DIR") or os.path.join(
+        REPO, ".costmodel-gate"
+    )
+    os.makedirs(scratch, exist_ok=True)
+    corpus_path = os.path.join(scratch, "corpus.ndjsonl")
+    model_path = os.path.join(scratch, "model.json")
+
+    # ------------------------------------------------------------------
+    # 1. Corpus from a warm run + training, with the pinned floor.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    engine = EvaluationEngine(jobs=JOBS, disk_cache="")
+    records = sweep_records(suite, engine=engine)
+    write_corpus(records, corpus_path)
+    print(f"corpus: {len(records)} records from {len(suite)} apps "
+          f"({time.perf_counter() - t0:.1f}s)")
+
+    artifact = train_model(records, lam=1.0, seed=0)
+    agreement = float(artifact.metrics["holdout_rank_agreement"])
+    print(f"holdout rank agreement {agreement:.4f} "
+          f"(floor {AGREEMENT_FLOOR}), winner-match "
+          f"{artifact.metrics['holdout_winner_match_rate']:.4f}, "
+          f"rmse(log) {artifact.metrics['holdout_rmse_log']:.4f}")
+    if agreement < AGREEMENT_FLOOR:
+        fail(f"holdout rank agreement {agreement:.4f} below pinned "
+             f"floor {AGREEMENT_FLOOR}")
+    save_artifact(artifact, model_path)
+
+    # Deterministic retrain: same corpus, same checksum.
+    if save_artifact(
+        train_model(records, lam=1.0, seed=0),
+        os.path.join(scratch, "model2.json"),
+    ) != save_artifact(artifact, os.path.join(scratch, "model1.json")):
+        fail("retraining on the same corpus changed the artifact")
+
+    # ------------------------------------------------------------------
+    # 2. Three-tier bench: never worse than the analytical tier.
+    # ------------------------------------------------------------------
+    previous = None
+    if os.path.exists(LEDGER):
+        try:
+            with open(LEDGER) as handle:
+                runs = json.load(handle).get("runs", [])
+            previous = runs[-1] if runs else None
+        except (OSError, ValueError):
+            previous = None
+
+    comparison = compare_costmodel(model_path, jobs=JOBS)
+    print(comparison.table())
+    if comparison.screened_mismatches:
+        fail("tier-0 screened and missed the exact winner on "
+             + ", ".join(comparison.screened_mismatches))
+    if comparison.learned_mismatches:
+        fail("learned pipeline missed the exact winner on "
+             + ", ".join(comparison.learned_mismatches))
+    if comparison.learned_sims > comparison.analytical_sims:
+        fail(f"learned tier simulated more points "
+             f"({comparison.learned_sims}) than the analytical fast "
+             f"path ({comparison.analytical_sims})")
+    record_costmodel(comparison, LEDGER)
+    if previous is not None:
+        print(f"delta vs last committed run: sims "
+              f"{previous['learned_sims']} -> {comparison.learned_sims}, "
+              f"winner-match {previous['winner_match_rate']} -> "
+              f"{round(comparison.winner_match_rate, 4)}")
+
+    # ------------------------------------------------------------------
+    # 3a. Stale corpus: demotes at load with a typed reason, and the
+    #     engine's winners are bit-identical to running with no model.
+    # ------------------------------------------------------------------
+    probe = suite[:3]
+    baseline = winners(EvaluationEngine(jobs=JOBS, disk_cache=""), probe)
+    stale = Tier0Screen(artifact, live_corpus_fingerprint="0" * 32)
+    if stale.state is not ScreenState.DEMOTED:
+        fail("stale-corpus screen did not demote")
+    if "stale corpus" not in stale.state_reason:
+        fail(f"stale-corpus demotion reason untyped: "
+             f"{stale.state_reason!r}")
+    stale_winners = winners(
+        EvaluationEngine(jobs=JOBS, disk_cache="", costmodel=stale), probe
+    )
+    if stale_winners != baseline:
+        fail(f"stale-corpus demotion changed winners: "
+             f"{stale_winners} != {baseline}")
+    print(f"stale corpus: demoted at load ({stale.state_reason!r}), "
+          f"winners unchanged on {', '.join(probe)}")
+
+    # ------------------------------------------------------------------
+    # 3b. Schema bump: a future-versioned artifact refuses to load.
+    # ------------------------------------------------------------------
+    payload = artifact.payload()
+    payload["schema_version"] += 1
+    bumped = os.path.join(scratch, "bumped.json")
+    with open(bumped, "w") as handle:
+        json.dump({"payload": payload, "checksum": _checksum(payload)},
+                  handle)
+    try:
+        load_artifact(bumped)
+    except ModelArtifactError as err:
+        print(f"schema bump: refused with typed error ({err})")
+    else:
+        fail("future-schema artifact loaded instead of refusing")
+
+    # ------------------------------------------------------------------
+    # 3c. Shuffled labels: the online detector demotes, winners hold.
+    #
+    # A label-shuffled model's predictive variance dwarfs its spread,
+    # so in production the uncertainty gate declines every sweep before
+    # the detector ever sees evidence (itself a safe outcome).  The
+    # injection disables that gate to force the model to make screening
+    # decisions, so what is under test is the *detector*: it must
+    # demote with a typed event within its min-obs budget, and every
+    # winner reported while the bad model was still active must match
+    # the exhaustive engine bit-for-bit.
+    # ------------------------------------------------------------------
+    import repro.model.screen as screen_mod
+    from repro.engine.fastpath import FastPathPolicy
+
+    cycles = [r.cycles for r in records]
+    shuffled = [
+        CorpusRecord(
+            kernel=r.kernel, fingerprint=r.fingerprint, config=r.config,
+            pipeline=r.pipeline, grid_blocks=r.grid_blocks, tlp=r.tlp,
+            scheduler=r.scheduler,
+            cycles=cycles[(i * 17 + 7) % len(cycles)],
+            features=r.features, source=r.source,
+        )
+        for i, r in enumerate(records)
+    ]
+    bad = train_model(shuffled, lam=1.0, seed=0)
+    uncertainty_ratio = screen_mod.UNCERTAINTY_SPREAD_RATIO
+    screen_mod.UNCERTAINTY_SPREAD_RATIO = float("inf")
+    try:
+        screen = Tier0Screen(
+            bad, detector=DriftDetector(window=4, floor=0.75, min_obs=3)
+        )
+        engine = EvaluationEngine(
+            jobs=JOBS, disk_cache="", costmodel=screen,
+            fastpath=FastPathPolicy(top_k=3),
+        )
+        drift_probe = suite[:6]
+        shuffled_winners = winners(engine, drift_probe)
+    finally:
+        screen_mod.UNCERTAINTY_SPREAD_RATIO = uncertainty_ratio
+    exact_winners = winners(
+        EvaluationEngine(jobs=JOBS, disk_cache=""), drift_probe
+    )
+    if shuffled_winners != exact_winners:
+        fail(f"shuffled-label model changed a winner: "
+             f"{shuffled_winners} != {exact_winners}")
+    demotions = [
+        e for e in engine.events if getattr(e, "action", "") == "demoted"
+    ]
+    if not demotions:
+        fail("shuffled-label screen was never demoted by the online "
+             "detector")
+    if screen.active:
+        fail("screen still ACTIVE after a demotion event")
+    print(f"shuffled labels: demoted with typed event "
+          f"({demotions[-1].reason!r}), winners unchanged on "
+          f"{', '.join(drift_probe)}")
+
+    print("cost-model gate: OK")
+
+
+if __name__ == "__main__":
+    main()
